@@ -1,0 +1,38 @@
+"""EXP-A1 -- the orientation lowers message complexity (Sections 1.3-1.4).
+
+Regenerates the motivation numbers: depth-first traversal, broadcast and ring
+leader election with and without the sense of direction.  The shapes to
+reproduce are (a) traversal with SoD costs exactly 2(n-1) messages versus
+Theta(m) without it, and (b) oriented (unidirectional) ring election beats the
+bidirectional campaign of the unoriented ring.
+"""
+
+from __future__ import annotations
+
+from bench_utils import report
+
+from repro.analysis.experiments import exp_a1_message_complexity
+
+
+def test_orientation_reduces_messages(benchmark):
+    result = benchmark.pedantic(
+        lambda: exp_a1_message_complexity(sizes=(8, 16, 24, 32, 48), extra_edge_probability=0.3, seed=6),
+        rounds=1,
+        iterations=1,
+    )
+    rows, savings = result["rows"], result["savings"]
+    report(
+        "EXP-A1: messages with vs without the sense of direction",
+        rows,
+        benchmark,
+        traversal_ratio_mean=round(savings["traversal_ratio_mean"], 2),
+        broadcast_ratio_mean=round(savings["broadcast_ratio_mean"], 2),
+        election_ratio_mean=round(savings["election_ratio_mean"], 2),
+    )
+    for row in rows:
+        assert row["traversal_msgs_oriented"] == 2 * (row["n"] - 1)
+        assert row["traversal_msgs_unoriented"] >= row["edges"]
+        assert row["broadcast_msgs_oriented"] <= row["broadcast_msgs_unoriented"]
+        assert row["election_msgs_oriented"] < row["election_msgs_unoriented"]
+    assert savings["traversal_ratio_mean"] > 1.5
+    assert savings["election_ratio_mean"] > 1.5

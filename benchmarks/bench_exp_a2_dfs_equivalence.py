@@ -1,0 +1,31 @@
+"""EXP-A2 -- STNO over a DFS spanning tree names processors like DFTNO (Chapter 5).
+
+The conclusion observes that if the spanning tree maintained for STNO is the
+DFS tree of the graph (with matching port orders), the two protocols assign
+the same names.  This benchmark runs both protocols to stabilization on random
+networks and compares the resulting names with each other and with the
+reference DFS preorder.
+"""
+
+from __future__ import annotations
+
+from bench_utils import report
+
+from repro.analysis.experiments import exp_a2_dfs_equivalence
+
+
+def test_stno_on_dfs_tree_matches_dftno(benchmark):
+    result = benchmark.pedantic(
+        lambda: exp_a2_dfs_equivalence(sizes=(6, 10, 14, 18), trials=2, seed=7),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "EXP-A2: DFTNO names vs STNO-over-DFS-tree names",
+        result["rows"],
+        benchmark,
+        all_identical=result["all_identical"],
+    )
+    assert result["all_identical"]
+    assert all(row["dftno_matches_preorder"] for row in result["rows"])
+    assert all(row["stno_dfs_matches_preorder"] for row in result["rows"])

@@ -1,0 +1,31 @@
+"""EXP-F1 -- the DFTNO node-labeling walkthrough of Figure 3.1.1.
+
+Replays the first token wave on the exact 5-processor rooted network of the
+figure and checks that the naming events reproduce the narrative: r=0, b=1,
+d=2, c=3, a=4, with the counter following the assigned names.
+"""
+
+from __future__ import annotations
+
+from bench_utils import report
+
+from repro.analysis.experiments import exp_f1_figure_3_1_1
+
+
+def test_figure_3_1_1_naming_walkthrough(benchmark):
+    result = benchmark.pedantic(exp_f1_figure_3_1_1, rounds=1, iterations=1)
+    report(
+        "EXP-F1: Figure 3.1.1 -- DFTNO naming events (first wave)",
+        result["events"],
+        benchmark,
+        final_names=result["final_names"],
+        matches_figure=result["matches_figure"],
+    )
+    assert result["matches_figure"]
+    assigned = {event["thesis_label"]: event["assigned_name"] for event in result["events"]}
+    assert assigned == {"r": 0, "b": 1, "d": 2, "c": 3, "a": 4}
+    # The token visits the processors in the figure's order.
+    order = [event["thesis_label"] for event in sorted(result["events"], key=lambda e: e["step"])]
+    assert order == ["r", "b", "d", "c", "a"]
+    # The counter at each naming step equals the name just assigned.
+    assert all(event["max_counter"] == event["assigned_name"] for event in result["events"])

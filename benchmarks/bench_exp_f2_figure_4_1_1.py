@@ -1,0 +1,27 @@
+"""EXP-F2 -- the STNO weight/naming walkthrough of Figure 4.1.1.
+
+Replays STNO (from an arbitrary initial state) on the exact 5-processor tree
+of the figure and checks the two phases the figure draws: subtree weights
+(leaves 1, internal node 3, root 5) and the top-down interval naming
+(root 0, internal child 1, its leaves 2 and 3, the remaining leaf 4).
+"""
+
+from __future__ import annotations
+
+from bench_utils import report
+
+from repro.analysis.experiments import exp_f2_figure_4_1_1
+
+
+def test_figure_4_1_1_weights_and_names(benchmark):
+    result = benchmark.pedantic(exp_f2_figure_4_1_1, rounds=1, iterations=1)
+    report(
+        "EXP-F2: Figure 4.1.1 -- STNO weights and names",
+        result["rows"],
+        benchmark,
+        matches_figure=result["matches_figure"],
+    )
+    assert result["matches_figure"]
+    for row in result["rows"]:
+        assert row["measured_weight"] == row["expected_weight"]
+        assert row["measured_name"] == row["expected_name"]

@@ -1,0 +1,28 @@
+"""EXP-F3 -- chordal sense of direction properties (Figure 2.2.1 / Section 2.2).
+
+Checks, on the Figure 2.2.1 example and a spread of topology families, that
+the produced labelings satisfy the two defining properties of a chordal sense
+of direction: local orientation (locally distinct labels) and edge symmetry
+(the two endpoint labels are inverses modulo N).
+"""
+
+from __future__ import annotations
+
+from bench_utils import report
+
+from repro.analysis.experiments import exp_f3_chordal_properties
+
+
+def test_chordal_properties_hold_across_topologies(benchmark):
+    result = benchmark.pedantic(
+        lambda: exp_f3_chordal_properties(sizes=(5, 8, 13, 21, 34)), rounds=1, iterations=1
+    )
+    report(
+        "EXP-F3: chordal sense of direction validity",
+        result["rows"],
+        benchmark,
+        all_valid=result["all_valid"],
+    )
+    assert result["all_valid"]
+    assert all(row["locally_oriented"] for row in result["rows"])
+    assert all(row["edge_symmetric"] for row in result["rows"])

@@ -1,0 +1,35 @@
+"""EXP-R2 -- daemon ablation (Chapter 5 daemon assumptions).
+
+DFTNO is stated for a weakly fair daemon and STNO for an unfair daemon; both
+must stabilize under every standard scheduler.  This benchmark measures the
+stabilization cost of both protocols under the central, distributed,
+synchronous and (weakly fair) adversarial daemons.
+"""
+
+from __future__ import annotations
+
+from bench_utils import report
+
+from repro.analysis.experiments import exp_r2_daemon_ablation
+
+
+def test_both_protocols_stabilize_under_every_daemon(benchmark):
+    result = benchmark.pedantic(
+        lambda: exp_r2_daemon_ablation(size=14, trials=2, seed=9),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "EXP-R2: stabilization under different daemons (n = 14)",
+        result["rows"],
+        benchmark,
+        all_converged=result["all_converged"],
+    )
+    assert result["all_converged"]
+    # The synchronous daemon packs many moves per step, so it needs the fewest steps.
+    by_daemon = {(row["daemon"], row["protocol"]): row for row in result["rows"]}
+    for protocol in ("dftno", "stno-bfs"):
+        assert (
+            by_daemon[("synchronous", protocol)]["steps_mean"]
+            <= by_daemon[("central", protocol)]["steps_mean"]
+        )

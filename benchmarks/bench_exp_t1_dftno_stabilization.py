@@ -1,0 +1,55 @@
+"""EXP-T1 -- DFTNO stabilizes in O(n) steps after the token layer (Section 3.2.3).
+
+Regenerates the stabilization-versus-size series on two topology families and
+fits a line to the overlay stabilization steps; the thesis's claim corresponds
+to a positive slope with a good linear fit, and to the overlay cost staying a
+small multiple of ``n``.
+"""
+
+from __future__ import annotations
+
+from bench_utils import report
+
+from repro.analysis.experiments import exp_t1_dftno_stabilization
+
+SIZES = (8, 16, 24, 32, 48)
+
+
+def test_dftno_stabilization_scales_linearly_on_random_networks(benchmark):
+    result = benchmark.pedantic(
+        lambda: exp_t1_dftno_stabilization(sizes=SIZES, family="random_connected", trials=2, seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    rows, fit = result["rows"], result["fit"]
+    report(
+        "EXP-T1: DFTNO stabilization vs n (random connected networks)",
+        rows,
+        benchmark,
+        fitted_slope=round(fit["slope"], 3),
+        fitted_r_squared=round(fit["r_squared"], 3),
+    )
+    assert all(row["converged"] == row["trials"] for row in rows)
+    assert fit["slope"] > 0
+    assert fit["r_squared"] > 0.6
+    # O(n): the overlay steps stay within a small constant factor of n.
+    for row in rows:
+        assert row["overlay_steps_mean"] <= 12 * row["n"]
+
+
+def test_dftno_stabilization_scales_linearly_on_rings(benchmark):
+    result = benchmark.pedantic(
+        lambda: exp_t1_dftno_stabilization(sizes=SIZES, family="ring", trials=2, seed=2),
+        rounds=1,
+        iterations=1,
+    )
+    rows, fit = result["rows"], result["fit"]
+    report(
+        "EXP-T1: DFTNO stabilization vs n (rings)",
+        rows,
+        benchmark,
+        fitted_slope=round(fit["slope"], 3),
+        fitted_r_squared=round(fit["r_squared"], 3),
+    )
+    assert fit["slope"] > 0
+    assert rows[-1]["overlay_steps_mean"] > rows[0]["overlay_steps_mean"]

@@ -1,0 +1,53 @@
+"""EXP-T2 -- STNO stabilizes in O(h) rounds after the tree layer (Section 4.2.3).
+
+Regenerates the stabilization-versus-height series at fixed ``n`` on
+height-controlled trees: the overlay rounds must grow with the height and stay
+a small multiple of it, while being essentially independent of ``n``.
+"""
+
+from __future__ import annotations
+
+from bench_utils import report
+
+from repro.analysis.experiments import exp_t2_stno_stabilization
+
+
+def test_stno_stabilization_scales_with_tree_height(benchmark):
+    result = benchmark.pedantic(
+        lambda: exp_t2_stno_stabilization(n=36, heights=(2, 5, 10, 18, 28, 35), trials=2, seed=3),
+        rounds=1,
+        iterations=1,
+    )
+    rows, fit = result["rows"], result["fit"]
+    report(
+        "EXP-T2: STNO stabilization vs spanning-tree height (n = 36)",
+        rows,
+        benchmark,
+        fitted_slope=round(fit["slope"], 3),
+        fitted_r_squared=round(fit["r_squared"], 3),
+    )
+    assert all(row["converged"] == row["trials"] for row in rows)
+    assert fit["slope"] > 0
+    assert fit["r_squared"] > 0.6
+    assert rows[-1]["overlay_rounds_mean"] > rows[0]["overlay_rounds_mean"]
+    for row in rows:
+        assert row["overlay_rounds_mean"] <= 6 * row["height"] + 8
+
+
+def test_stno_rounds_depend_on_height_not_size(benchmark):
+    def run():
+        shallow_large = exp_t2_stno_stabilization(n=48, heights=(3,), trials=2, seed=4)
+        deep_small = exp_t2_stno_stabilization(n=16, heights=(15,), trials=2, seed=5)
+        return shallow_large["rows"][0], deep_small["rows"][0]
+
+    shallow, deep = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "EXP-T2 (control): height, not size, drives STNO's stabilization",
+        [
+            {"case": "n=48, h=3", **{k: v for k, v in shallow.items() if k != "height"}},
+            {"case": "n=16, h=15", **{k: v for k, v in deep.items() if k != "height"}},
+        ],
+        benchmark,
+    )
+    # The deep-but-small tree needs more rounds than the shallow-but-large one.
+    assert deep["overlay_rounds_mean"] > shallow["overlay_rounds_mean"]

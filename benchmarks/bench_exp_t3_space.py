@@ -1,0 +1,59 @@
+"""EXP-T3 -- space usage against the O(Delta * log N) bound (Sections 3.2.3, 4.2.3, Chapter 5).
+
+Regenerates the space comparison the conclusion makes: both orientation layers
+cost Theta(Delta * log N) bits per processor; DFTNO's token substrate needs
+only O(log N) bits while STNO's tree substrate carries extra structure.
+"""
+
+from __future__ import annotations
+
+from bench_utils import report
+
+from repro.analysis.experiments import exp_t3_space
+from repro.analysis.reporting import linear_fit
+from repro.analysis.space import orientation_space_row
+from repro.graphs import generators
+
+
+def test_space_table_across_topologies(benchmark):
+    result = benchmark.pedantic(lambda: exp_t3_space(sizes=(8, 16, 32, 64, 128)), rounds=1, iterations=1)
+    rows = result["rows"]
+    report("EXP-T3: bits of locally shared memory per processor", rows, benchmark)
+    for row in rows:
+        # The orientation layers track the Delta*logN bound within a constant.
+        assert row["dftno_overlay_max_bits"] <= 2 * row["bound_delta_log_n"]
+        assert row["stno_overlay_max_bits"] <= 3 * row["bound_delta_log_n"]
+        # Chapter 5: DFTNO's substrate is the cheaper of the two stacks on
+        # degree-bounded topologies (it needs no per-child bookkeeping).
+        assert row["dftno_substrate_max_bits"] <= row["stno_overlay_max_bits"] + row["stno_substrate_max_bits"]
+
+
+def test_overlay_bits_grow_logarithmically_with_n(benchmark):
+    def run():
+        rows = [orientation_space_row(generators.ring(n)) for n in (8, 16, 32, 64, 128, 256)]
+        fit = linear_fit([row["log_n_bits"] for row in rows], [row["dftno_overlay_max_bits"] for row in rows])
+        return rows, fit
+
+    rows, fit = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "EXP-T3 (rings): overlay bits vs log2 N",
+        rows,
+        benchmark,
+        bits_per_log_n=round(fit["slope"], 2),
+        fit_r_squared=round(fit["r_squared"], 3),
+    )
+    # On rings Delta = 2, so the overlay cost should be ~ (Delta + 2) bits per log N.
+    assert fit["r_squared"] > 0.98
+    assert 2 <= fit["slope"] <= 6
+
+
+def test_overlay_bits_grow_linearly_with_degree(benchmark):
+    def run():
+        rows = [orientation_space_row(generators.star(n)) for n in (8, 16, 32, 64)]
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("EXP-T3 (stars): overlay bits at the hub vs Delta", rows, benchmark)
+    for previous, current in zip(rows, rows[1:]):
+        assert current["dftno_overlay_max_bits"] > previous["dftno_overlay_max_bits"]
+        assert current["max_degree"] == 2 * previous["max_degree"] + 1

@@ -1,0 +1,19 @@
+"""Shared helpers for the benchmark harness (imported by every bench module)."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.analysis.reporting import format_table
+
+
+def report(title: str, rows: Sequence[Mapping[str, Any]], benchmark=None, **summary: Any) -> None:
+    """Print the regenerated table and attach it to the benchmark record."""
+    print()
+    print(format_table(list(rows), title=title))
+    for key, value in summary.items():
+        print(f"  {key}: {value}")
+    if benchmark is not None:
+        benchmark.extra_info["rows"] = [dict(row) for row in rows]
+        for key, value in summary.items():
+            benchmark.extra_info[key] = value

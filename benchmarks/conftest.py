@@ -1,0 +1,13 @@
+"""Pytest configuration for the benchmark harness.
+
+Every module in this directory regenerates one experiment of DESIGN.md (a
+table or a figure of the thesis), checks the *shape* of the result (who wins,
+how the quantity scales) and attaches the full rows to the pytest-benchmark
+report via ``extra_info`` so they can be copied into EXPERIMENTS.md.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Add ``-s`` to also see the regenerated tables on the terminal.
+"""

@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+The project is fully described in pyproject.toml; this file only exists so
+that `pip install -e .` can fall back to the legacy setup.py code path on
+offline machines where PEP 660 editable builds (which require `wheel`) are
+unavailable.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,122 @@
+"""repro -- self-stabilizing network orientation in arbitrary rooted networks.
+
+A from-scratch Python implementation of the two protocols of *Self-Stabilizing
+Network Orientation Algorithms in Arbitrary Rooted Networks* (Gurumurthy,
+UNLV/ICDCS 2000) together with every substrate they depend on:
+
+* a shared-variable self-stabilization runtime (guarded actions, daemons,
+  rounds, fault injection) -- :mod:`repro.runtime`;
+* rooted network topologies and generators -- :mod:`repro.graphs`;
+* the underlying protocols the thesis assumes: depth-first token circulation
+  and spanning-tree construction -- :mod:`repro.substrates`;
+* the paper's contribution: the DFTNO and STNO orientation protocols, the
+  chordal sense of direction and the SP_NO specification -- :mod:`repro.core`;
+* sense-of-direction applications (routing, traversal, broadcast, election)
+  and a synchronous message-passing simulator to quantify their benefit --
+  :mod:`repro.sod` and :mod:`repro.msgpass`;
+* the experiment harness regenerating every quantitative claim of the thesis
+  -- :mod:`repro.analysis`.
+
+Quickstart
+----------
+>>> from repro import generators, orient_with_dftno
+>>> network = generators.random_connected(12, seed=1)
+>>> result = orient_with_dftno(network, seed=1)
+>>> sorted(result.orientation.names.values()) == list(range(12))
+True
+"""
+
+from repro.errors import (
+    ReproError,
+    NetworkError,
+    ProtocolError,
+    SchedulingError,
+    ConvergenceError,
+    SpecificationError,
+    RoutingError,
+    SimulationError,
+)
+from repro.graphs import RootedNetwork, generators
+from repro.runtime import (
+    Action,
+    Configuration,
+    Protocol,
+    Scheduler,
+    RunResult,
+    CentralDaemon,
+    SynchronousDaemon,
+    DistributedDaemon,
+    AdversarialDaemon,
+    make_daemon,
+    space_summary,
+)
+from repro.substrates import (
+    DepthFirstTokenCirculation,
+    BFSSpanningTree,
+    DFSSpanningTree,
+    DijkstraTokenRing,
+    PIFWave,
+    dfs_preorder,
+)
+from repro.core import (
+    ChordalOrientation,
+    OrientationSpecification,
+    DFTNO,
+    STNO,
+    build_dftno,
+    build_stno,
+    centralized_orientation,
+    OrientationResult,
+    orient_with_dftno,
+    orient_with_stno,
+    extract_orientation,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors
+    "ReproError",
+    "NetworkError",
+    "ProtocolError",
+    "SchedulingError",
+    "ConvergenceError",
+    "SpecificationError",
+    "RoutingError",
+    "SimulationError",
+    # graphs
+    "RootedNetwork",
+    "generators",
+    # runtime
+    "Action",
+    "Configuration",
+    "Protocol",
+    "Scheduler",
+    "RunResult",
+    "CentralDaemon",
+    "SynchronousDaemon",
+    "DistributedDaemon",
+    "AdversarialDaemon",
+    "make_daemon",
+    "space_summary",
+    # substrates
+    "DepthFirstTokenCirculation",
+    "BFSSpanningTree",
+    "DFSSpanningTree",
+    "DijkstraTokenRing",
+    "PIFWave",
+    "dfs_preorder",
+    # core
+    "ChordalOrientation",
+    "OrientationSpecification",
+    "DFTNO",
+    "STNO",
+    "build_dftno",
+    "build_stno",
+    "centralized_orientation",
+    "OrientationResult",
+    "orient_with_dftno",
+    "orient_with_stno",
+    "extract_orientation",
+    "__version__",
+]

@@ -1,0 +1,487 @@
+"""One entry point per experiment of DESIGN.md.
+
+Every function regenerates the rows behind one claim or figure of the thesis
+and returns them as a list of dictionaries (plus, where meaningful, a summary
+dictionary with fitted slopes or aggregate ratios).  The benchmark modules
+call these with small parameters and print the tables; EXPERIMENTS.md records
+a full run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.analysis.convergence import (
+    StabilizationSample,
+    measure_dftno,
+    measure_stno,
+    sweep_dftno_sizes,
+    sweep_stno_heights,
+)
+from repro.analysis.reporting import linear_fit, summarize
+from repro.analysis.space import space_rows
+from repro.core.baseline import centralized_orientation
+from repro.core.dftno import VAR_MAX, build_dftno
+from repro.core.specification import VAR_NAME, OrientationSpecification
+from repro.core.stno import STNO, VAR_WEIGHT, build_stno
+from repro.graphs import generators
+from repro.graphs.network import RootedNetwork
+from repro.graphs.properties import radius_from_root
+from repro.runtime.daemon import Daemon, make_daemon
+from repro.runtime.scheduler import Scheduler
+from repro.sod.election import ring_election_oriented, ring_election_unoriented
+from repro.sod.traversal import (
+    broadcast_with_sod,
+    broadcast_without_sod,
+    dfs_traversal_with_sod,
+    dfs_traversal_without_sod,
+)
+from repro.substrates.spanning_tree import BFSSpanningTree
+from repro.substrates.token_circulation import dfs_preorder
+
+
+# ----------------------------------------------------------------------
+# EXP-T1: DFTNO stabilizes in O(n) steps after the token layer (Section 3.2.3)
+# ----------------------------------------------------------------------
+def exp_t1_dftno_stabilization(
+    sizes: Sequence[int] = (8, 16, 24, 32, 48, 64),
+    family: str = "random_connected",
+    trials: int = 3,
+    seed: int = 1,
+    after_substrate: bool = True,
+) -> dict[str, object]:
+    """Stabilization of DFTNO versus network size on one topology family.
+
+    Matching Theorem 3.2.3's phrasing, the runs start (by default) from a
+    configuration whose token layer is already legitimate while the
+    orientation variables are arbitrary.  Returns the per-size rows (mean
+    steps/rounds the orientation layer needed) and the linear fit of those
+    steps against ``n``, whose high R^2 is the measured counterpart of the
+    O(n) theorem.
+    """
+    samples = sweep_dftno_sizes(
+        sizes, family=family, trials=trials, seed=seed, after_substrate=after_substrate
+    )
+    rows = _aggregate_by_parameter(samples, parameter_name="n")
+    fit = _fit_if_possible([row["n"] for row in rows], [row["overlay_steps_mean"] for row in rows])
+    return {"rows": rows, "fit": fit, "samples": [sample.as_row() for sample in samples]}
+
+
+# ----------------------------------------------------------------------
+# EXP-T2: STNO stabilizes in O(h) rounds after the tree layer (Section 4.2.3)
+# ----------------------------------------------------------------------
+def exp_t2_stno_stabilization(
+    n: int = 40,
+    heights: Sequence[int] = (2, 5, 10, 15, 20, 30, 39),
+    trials: int = 3,
+    seed: int = 2,
+    tree: str = "bfs",
+    after_substrate: bool = True,
+) -> dict[str, object]:
+    """Stabilization of STNO versus spanning-tree height at fixed ``n``.
+
+    Matching Theorem 4.2.3's phrasing, the runs start (by default) from a
+    configuration whose spanning tree is already constructed while the
+    orientation variables are arbitrary, so the reported rounds are exactly
+    the O(h) quantity of the theorem.
+    """
+    samples = sweep_stno_heights(
+        n, heights, trials=trials, seed=seed, tree=tree, after_substrate=after_substrate
+    )
+    rows = _aggregate_by_parameter(samples, parameter_name="height")
+    fit = _fit_if_possible(
+        [row["height"] for row in rows], [row["overlay_rounds_mean"] for row in rows]
+    )
+    return {"rows": rows, "fit": fit, "samples": [sample.as_row() for sample in samples]}
+
+
+def _fit_if_possible(xs: list[float], ys: list[float]) -> dict[str, float] | None:
+    """A linear fit, or ``None`` when the sweep has fewer than two distinct points."""
+    if len(set(xs)) < 2:
+        return None
+    return linear_fit(xs, ys)
+
+
+def _aggregate_by_parameter(
+    samples: Sequence[StabilizationSample], parameter_name: str
+) -> list[dict[str, object]]:
+    groups: dict[int, list[StabilizationSample]] = {}
+    for sample in samples:
+        groups.setdefault(sample.parameter, []).append(sample)
+    rows: list[dict[str, object]] = []
+    for parameter in sorted(groups):
+        bucket = groups[parameter]
+        converged = [sample for sample in bucket if sample.converged]
+        overlay_steps = summarize(
+            [sample.overlay_steps for sample in converged if sample.overlay_steps is not None]
+        )
+        overlay_rounds = summarize(
+            [sample.overlay_rounds for sample in converged if sample.overlay_rounds is not None]
+        )
+        full_steps = summarize(
+            [sample.full_steps for sample in converged if sample.full_steps is not None]
+        )
+        rows.append(
+            {
+                parameter_name: parameter,
+                "trials": len(bucket),
+                "converged": len(converged),
+                "overlay_steps_mean": overlay_steps["mean"],
+                "overlay_rounds_mean": overlay_rounds["mean"],
+                "total_steps_mean": full_steps["mean"],
+            }
+        )
+    return rows
+
+
+# ----------------------------------------------------------------------
+# EXP-T3: space usage against O(Delta * log N) (Sections 3.2.3, 4.2.3, Chapter 5)
+# ----------------------------------------------------------------------
+def exp_t3_space(sizes: Sequence[int] = (8, 16, 32, 64, 128)) -> dict[str, object]:
+    """Measured bits per processor for DFTNO and STNO across topology families.
+
+    The rows show, for each topology, the overlay cost (identical for both
+    protocols and following Delta * log N), the substrate cost (O(log N) for
+    the token layer versus O(Delta + log N) recorded-children cost for the
+    tree layer), and the closed-form bound for comparison.
+    """
+    networks: list[RootedNetwork] = []
+    for size in sizes:
+        networks.append(generators.ring(max(size, 3)))
+        networks.append(generators.star(size))
+        networks.append(generators.complete(min(size, 32)))
+        networks.append(generators.random_connected(size, seed=size))
+    rows = space_rows(networks)
+    return {"rows": rows}
+
+
+# ----------------------------------------------------------------------
+# EXP-F1: the node-labeling walkthrough of Figure 3.1.1
+# ----------------------------------------------------------------------
+def exp_f1_figure_3_1_1(seed: int = 3) -> dict[str, object]:
+    """Replay DFTNO on the exact 5-processor network of Figure 3.1.1.
+
+    Starting from the protocol's clean state (the figure's step (i)), the
+    first token wave names the processors in the order the figure shows:
+    r=0, b=1, d=2, c=3, a=4.  The returned event list contains, for every
+    naming step, the processor, its thesis label, the assigned name and the
+    processor's counter value, which together reproduce the figure's
+    narrative.
+    """
+    network = generators.figure_3_1_1_network()
+    labels = generators.FIGURE_3_1_1_LABELS
+    protocol = build_dftno()
+    # Clean token state (the figure's step (i): no processor visited yet), but
+    # with the orientation variables deliberately off so that every naming
+    # shows up as a change in the trace.
+    configuration = protocol.initial_configuration(network)
+    for node in network.nodes():
+        configuration.set(node, VAR_NAME, (node + 1) % network.n)
+        configuration.set(node, VAR_MAX, network.n - 1)
+    scheduler = Scheduler(
+        network,
+        protocol,
+        daemon=make_daemon("central", policy="round_robin"),
+        configuration=configuration,
+        seed=seed,
+        record_trace=True,
+    )
+    scheduler.run(max_steps=400, stop_predicate=lambda s: s.protocol.legitimate(s.network, s.configuration))
+
+    events: list[dict[str, object]] = []
+    for event in scheduler.trace.events():
+        if VAR_NAME in event.changes:
+            _, new_name = event.changes[VAR_NAME]
+            max_value = event.changes.get(VAR_MAX, (None, new_name))[1]
+            events.append(
+                {
+                    "step": event.step,
+                    "processor": event.node,
+                    "thesis_label": labels[event.node],
+                    "assigned_name": new_name,
+                    "max_counter": max_value,
+                }
+            )
+    final_names = {
+        labels[node]: scheduler.configuration.get(node, VAR_NAME) for node in network.nodes()
+    }
+    expected = {"r": 0, "b": 1, "d": 2, "c": 3, "a": 4}
+    return {
+        "events": events,
+        "final_names": final_names,
+        "expected_names": expected,
+        "matches_figure": final_names == expected,
+    }
+
+
+# ----------------------------------------------------------------------
+# EXP-F2: the weight/naming walkthrough of Figure 4.1.1
+# ----------------------------------------------------------------------
+def exp_f2_figure_4_1_1(seed: int = 4) -> dict[str, object]:
+    """Replay STNO on the exact 5-processor tree of Figure 4.1.1.
+
+    The figure computes weights bottom-up (leaves 1, the internal node 3, the
+    root 5) and then names top-down (root 0, then each subtree a contiguous
+    interval).  The returned rows list, per processor, the measured weight and
+    name next to the figure's values.
+    """
+    network = generators.figure_4_1_1_network()
+    protocol = build_stno(tree="bfs")
+    scheduler = Scheduler(
+        network,
+        protocol,
+        daemon=make_daemon("central", policy="round_robin"),
+        configuration=protocol.random_configuration(network, seed=seed),
+        seed=seed,
+    )
+    scheduler.run_until_legitimate(max_steps=2_000)
+
+    expected_weights = {0: 5, 1: 3, 2: 1, 3: 1, 4: 1}
+    expected_names = {0: 0, 1: 1, 2: 4, 3: 2, 4: 3}
+    rows = []
+    for node in network.nodes():
+        rows.append(
+            {
+                "processor": node,
+                "measured_weight": scheduler.configuration.get(node, VAR_WEIGHT),
+                "expected_weight": expected_weights[node],
+                "measured_name": scheduler.configuration.get(node, VAR_NAME),
+                "expected_name": expected_names[node],
+            }
+        )
+    matches = all(
+        row["measured_weight"] == row["expected_weight"]
+        and row["measured_name"] == row["expected_name"]
+        for row in rows
+    )
+    return {"rows": rows, "matches_figure": matches}
+
+
+# ----------------------------------------------------------------------
+# EXP-F3: chordal sense of direction properties (Figure 2.2.1 / Section 2.2)
+# ----------------------------------------------------------------------
+def exp_f3_chordal_properties(sizes: Sequence[int] = (5, 8, 13, 21), seed: int = 5) -> dict[str, object]:
+    """Validate local orientation and edge symmetry of the produced labelings.
+
+    For the Figure 2.2.1 example network and a spread of topology families,
+    the orientation produced by the centralized reference and by DFTNO is
+    checked for the two defining properties of a chordal sense of direction.
+    """
+    networks: list[RootedNetwork] = [generators.figure_2_2_1_network()]
+    for size in sizes:
+        networks.append(generators.ring(max(size, 3)))
+        networks.append(generators.random_connected(size, seed=seed + size))
+    rows = []
+    for network in networks:
+        orientation = centralized_orientation(network)
+        violations = orientation.violations(network)
+        rows.append(
+            {
+                "network": network.name,
+                "n": network.n,
+                "edges": network.num_edges(),
+                "locally_oriented": all(
+                    len(set(orientation.edge_labels[node].values())) == network.degree(node)
+                    for node in network.nodes()
+                ),
+                "edge_symmetric": not any("edge symmetry" in text for text in violations),
+                "valid": orientation.is_valid(network),
+            }
+        )
+    return {"rows": rows, "all_valid": all(row["valid"] for row in rows)}
+
+
+# ----------------------------------------------------------------------
+# EXP-A1: orientation lowers message complexity (Sections 1.3-1.4)
+# ----------------------------------------------------------------------
+def exp_a1_message_complexity(
+    sizes: Sequence[int] = (8, 16, 24, 32),
+    extra_edge_probability: float = 0.3,
+    seed: int = 6,
+) -> dict[str, object]:
+    """Messages for traversal, broadcast and election with and without the orientation."""
+    rows = []
+    for size in sizes:
+        network = generators.random_connected(size, extra_edge_probability, seed=seed + size)
+        orientation = centralized_orientation(network)
+        traversal_plain = dfs_traversal_without_sod(network)
+        traversal_sod = dfs_traversal_with_sod(network, orientation)
+        broadcast_plain = broadcast_without_sod(network)
+        broadcast_sod = broadcast_with_sod(network, orientation)
+
+        ring = generators.ring(size)
+        ring_orientation = centralized_orientation(ring)
+        election_plain = ring_election_unoriented(ring)
+        election_sod = ring_election_oriented(ring, ring_orientation)
+
+        rows.append(
+            {
+                "n": size,
+                "edges": network.num_edges(),
+                "traversal_msgs_unoriented": traversal_plain.messages,
+                "traversal_msgs_oriented": traversal_sod.messages,
+                "broadcast_msgs_unoriented": broadcast_plain.messages,
+                "broadcast_msgs_oriented": broadcast_sod.messages,
+                "election_msgs_unoriented": election_plain.messages,
+                "election_msgs_oriented": election_sod.messages,
+            }
+        )
+    savings = {
+        "traversal_ratio_mean": summarize(
+            [row["traversal_msgs_unoriented"] / row["traversal_msgs_oriented"] for row in rows]
+        )["mean"],
+        "broadcast_ratio_mean": summarize(
+            [row["broadcast_msgs_unoriented"] / row["broadcast_msgs_oriented"] for row in rows]
+        )["mean"],
+        "election_ratio_mean": summarize(
+            [row["election_msgs_unoriented"] / row["election_msgs_oriented"] for row in rows]
+        )["mean"],
+    }
+    return {"rows": rows, "savings": savings}
+
+
+# ----------------------------------------------------------------------
+# EXP-A2: STNO over the DFS tree names like DFTNO (Chapter 5 observation)
+# ----------------------------------------------------------------------
+def exp_a2_dfs_equivalence(
+    sizes: Sequence[int] = (6, 10, 14, 20),
+    trials: int = 2,
+    seed: int = 7,
+) -> dict[str, object]:
+    """Compare the stabilized names of DFTNO and of STNO run over the DFS tree."""
+    rows = []
+    for size in sizes:
+        for trial in range(trials):
+            network = generators.random_connected(size, seed=seed + 31 * trial + size)
+            expected = {node: index for index, node in enumerate(dfs_preorder(network))}
+
+            dftno_run = _final_names(network, "dftno", seed + trial)
+            stno_run = _final_names(network, "stno-dfs", seed + trial + 100)
+            rows.append(
+                {
+                    "network": network.name,
+                    "n": size,
+                    "dftno_matches_preorder": dftno_run == expected,
+                    "stno_dfs_matches_preorder": stno_run == expected,
+                    "names_identical": dftno_run == stno_run,
+                }
+            )
+    return {"rows": rows, "all_identical": all(row["names_identical"] for row in rows)}
+
+
+def _final_names(network: RootedNetwork, variant: str, seed: int) -> dict[int, int]:
+    from repro.core.orientation import orient_with_dftno, orient_with_stno
+
+    if variant == "dftno":
+        result = orient_with_dftno(network, seed=seed)
+    else:
+        result = orient_with_stno(network, tree="dfs", seed=seed)
+    return dict(result.orientation.names)
+
+
+# ----------------------------------------------------------------------
+# EXP-R1: convergence + closure from arbitrary configurations (Definition 2.1.2)
+# ----------------------------------------------------------------------
+def exp_r1_self_stabilization(
+    trials: int = 10,
+    size: int = 12,
+    seed: int = 8,
+    protocols: Sequence[str] = ("dftno", "stno-bfs", "stno-dfs"),
+) -> dict[str, object]:
+    """Empirical convergence rate from random arbitrary configurations."""
+    rng = random.Random(seed)
+    rows = []
+    for protocol_name in protocols:
+        converged = 0
+        rounds: list[int] = []
+        for trial in range(trials):
+            network = generators.random_connected(size, seed=rng.randrange(1 << 30))
+            sample = _measure_by_name(protocol_name, network, seed=rng.randrange(1 << 30))
+            if sample.converged:
+                converged += 1
+                if sample.full_rounds is not None:
+                    rounds.append(sample.full_rounds)
+        stats = summarize(rounds)
+        rows.append(
+            {
+                "protocol": protocol_name,
+                "trials": trials,
+                "converged": converged,
+                "convergence_rate": converged / trials,
+                "rounds_to_stabilize_mean": stats["mean"],
+                "rounds_to_stabilize_max": stats["max"],
+            }
+        )
+    return {"rows": rows, "all_converged": all(row["converged"] == trials for row in rows)}
+
+
+def _measure_by_name(name: str, network: RootedNetwork, seed: int) -> StabilizationSample:
+    if name == "dftno":
+        return measure_dftno(network, seed=seed)
+    if name == "stno-bfs":
+        return measure_stno(network, tree="bfs", seed=seed)
+    if name == "stno-dfs":
+        return measure_stno(network, tree="dfs", seed=seed)
+    raise ValueError(f"unknown protocol {name!r}")
+
+
+# ----------------------------------------------------------------------
+# EXP-R2: daemon ablation (Chapter 5 daemon assumptions)
+# ----------------------------------------------------------------------
+def exp_r2_daemon_ablation(
+    size: int = 16,
+    trials: int = 3,
+    seed: int = 9,
+    daemons: Sequence[str] = ("central", "distributed", "synchronous", "adversarial"),
+) -> dict[str, object]:
+    """Stabilization of both protocols under the standard daemon families."""
+    rows = []
+    for daemon_kind in daemons:
+        for protocol_name in ("dftno", "stno-bfs"):
+            steps: list[int] = []
+            rounds: list[int] = []
+            converged = 0
+            for trial in range(trials):
+                network = generators.random_connected(size, seed=seed + 11 * trial + size)
+                daemon = make_daemon(daemon_kind)
+                sample = _measure_with_daemon(protocol_name, network, daemon, seed + trial)
+                if sample.converged:
+                    converged += 1
+                    if sample.full_steps is not None:
+                        steps.append(sample.full_steps)
+                    if sample.full_rounds is not None:
+                        rounds.append(sample.full_rounds)
+            rows.append(
+                {
+                    "daemon": daemon_kind,
+                    "protocol": protocol_name,
+                    "trials": trials,
+                    "converged": converged,
+                    "steps_mean": summarize(steps)["mean"],
+                    "rounds_mean": summarize(rounds)["mean"],
+                }
+            )
+    return {"rows": rows, "all_converged": all(row["converged"] == row["trials"] for row in rows)}
+
+
+def _measure_with_daemon(
+    name: str, network: RootedNetwork, daemon: Daemon, seed: int
+) -> StabilizationSample:
+    if name == "dftno":
+        return measure_dftno(network, daemon=daemon, seed=seed)
+    return measure_stno(network, tree="bfs", daemon=daemon, seed=seed)
+
+
+__all__ = [
+    "exp_t1_dftno_stabilization",
+    "exp_t2_stno_stabilization",
+    "exp_t3_space",
+    "exp_f1_figure_3_1_1",
+    "exp_f2_figure_4_1_1",
+    "exp_f3_chordal_properties",
+    "exp_a1_message_complexity",
+    "exp_a2_dfs_equivalence",
+    "exp_r1_self_stabilization",
+    "exp_r2_daemon_ablation",
+]

@@ -1,0 +1,100 @@
+"""Plain-text tables and simple statistics for the experiment harness.
+
+The benchmarks print the same rows/series the thesis's claims are about, so
+everything here is dependency-free (no plotting): aligned text tables, a
+least-squares linear fit to confirm O(n)/O(h) shapes, and small summary
+helpers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Mapping, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render dictionaries as an aligned, pipe-separated text table.
+
+    ``columns`` fixes the column order (default: keys of the first row).
+    Floats are formatted with ``float_format``; everything else with ``str``.
+    """
+    if not rows:
+        return f"{title}\n(no data)" if title else "(no data)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def cell(value: Any) -> str:
+        if isinstance(value, bool):
+            return "yes" if value else "no"
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    rendered = [[cell(row.get(column, "")) for column in columns] for row in rows]
+    widths = [
+        max(len(str(column)), *(len(line[index]) for line in rendered))
+        for index, column in enumerate(columns)
+    ]
+    header = " | ".join(str(column).ljust(width) for column, width in zip(columns, widths))
+    separator = "-+-".join("-" * width for width in widths)
+    body = [
+        " | ".join(value.ljust(width) for value, width in zip(line, widths)) for line in rendered
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.extend([header, separator, *body])
+    return "\n".join(lines)
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> dict[str, float]:
+    """Least-squares fit ``y ~ slope * x + intercept`` with the R^2 of the fit.
+
+    Used to confirm the *shape* of the complexity claims: stabilization steps
+    of DFTNO against ``n`` (EXP-T1) and rounds of STNO against ``h`` (EXP-T2)
+    should fit a line with high R^2.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("linear_fit needs two same-length series with at least 2 points")
+    n = float(len(xs))
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    if sxx == 0:
+        raise ValueError("linear_fit needs at least two distinct x values")
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    ss_res = sum((y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys))
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return {"slope": slope, "intercept": intercept, "r_squared": r_squared}
+
+
+def summarize(values: Iterable[float]) -> dict[str, float]:
+    """Mean, standard deviation, minimum and maximum of a series."""
+    data = list(values)
+    if not data:
+        return {"count": 0, "mean": math.nan, "std": math.nan, "min": math.nan, "max": math.nan}
+    mean = sum(data) / len(data)
+    variance = sum((value - mean) ** 2 for value in data) / len(data)
+    return {
+        "count": len(data),
+        "mean": mean,
+        "std": math.sqrt(variance),
+        "min": min(data),
+        "max": max(data),
+    }
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """A safe ratio (``inf`` when the denominator is zero)."""
+    return math.inf if denominator == 0 else numerator / denominator
+
+
+__all__ = ["format_table", "linear_fit", "summarize", "ratio"]

@@ -1,0 +1,58 @@
+"""Space accounting against the thesis's O(Delta * log N) bound.
+
+Section 3.2.3, Section 4.2.3 and Chapter 5 compare the two protocols by the
+number of bits of locally shared memory per processor:
+
+* both orientation layers use O(Delta * log N) bits (edge labels dominate);
+* STNO additionally pays O(Delta * log N) bits for the spanning-tree layer's
+  child bookkeeping, whereas DFTNO's token layer only needs O(log N) bits.
+
+The functions here measure those numbers exactly from the protocols' variable
+declarations so the benchmark table can show both the measured values and the
+bound's shape.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.dftno import build_dftno
+from repro.core.stno import build_stno
+from repro.graphs.network import RootedNetwork
+from repro.runtime.metrics import space_summary, theoretical_orientation_bits
+from repro.runtime.variables import bits_for_values
+
+
+def orientation_space_row(network: RootedNetwork) -> dict[str, object]:
+    """One row of the EXP-T3 table: measured bits for DFTNO and STNO on ``network``."""
+    dftno = build_dftno()
+    stno_bfs = build_stno(tree="bfs")
+
+    dftno_summary = space_summary(dftno, network)
+    stno_summary = space_summary(stno_bfs, network)
+
+    dftno_layers = dftno_summary["per_layer"]
+    stno_layers = stno_summary["per_layer"]
+
+    log_n = bits_for_values(network.n)
+    return {
+        "network": network.name,
+        "n": network.n,
+        "max_degree": network.max_degree,
+        "log_n_bits": log_n,
+        "bound_delta_log_n": theoretical_orientation_bits(network),
+        "dftno_overlay_max_bits": dftno_layers["dftno"]["max_bits_per_node"],
+        "dftno_substrate_max_bits": dftno_layers["dftc"]["max_bits_per_node"],
+        "dftno_total_max_bits": dftno_summary["max_bits_per_node"],
+        "stno_overlay_max_bits": stno_layers["stno"]["max_bits_per_node"],
+        "stno_substrate_max_bits": stno_layers["bfstree"]["max_bits_per_node"],
+        "stno_total_max_bits": stno_summary["max_bits_per_node"],
+    }
+
+
+def space_rows(networks: Sequence[RootedNetwork]) -> list[dict[str, object]]:
+    """EXP-T3: the space table over a collection of topologies."""
+    return [orientation_space_row(network) for network in networks]
+
+
+__all__ = ["orientation_space_row", "space_rows"]

@@ -1,0 +1,53 @@
+"""The paper's contribution: self-stabilizing network orientation.
+
+* :mod:`~repro.core.chordal` -- the chordal sense of direction (Section 2.2):
+  labeling arithmetic, validity checks, and the :class:`ChordalOrientation`
+  value object the rest of the library consumes.
+* :mod:`~repro.core.specification` -- the problem specification ``SP_NO``
+  (SP1: globally unique names, SP2: chordal edge labels) evaluated on live
+  configurations.
+* :mod:`~repro.core.dftno` -- Algorithm 3.1.1, network orientation by
+  depth-first token circulation.
+* :mod:`~repro.core.stno` -- Algorithm 4.1.2, network orientation over a
+  spanning tree.
+* :mod:`~repro.core.baseline` -- a centralized, non-self-stabilizing reference
+  orientation used for cross-checking and benchmarking.
+* :mod:`~repro.core.orientation` -- the high-level public API that wires a
+  network, a substrate, a protocol, a daemon and a fault model together.
+"""
+
+from repro.core.chordal import ChordalOrientation, chordal_edge_label, inverse_label
+from repro.core.specification import (
+    OrientationSpecification,
+    SpecificationReport,
+    VAR_NAME,
+    VAR_EDGE_LABELS,
+)
+from repro.core.dftno import DFTNO, build_dftno
+from repro.core.stno import STNO, build_stno
+from repro.core.baseline import centralized_orientation
+from repro.core.orientation import (
+    OrientationResult,
+    orient_with_dftno,
+    orient_with_stno,
+    extract_orientation,
+)
+
+__all__ = [
+    "ChordalOrientation",
+    "chordal_edge_label",
+    "inverse_label",
+    "OrientationSpecification",
+    "SpecificationReport",
+    "VAR_NAME",
+    "VAR_EDGE_LABELS",
+    "DFTNO",
+    "build_dftno",
+    "STNO",
+    "build_stno",
+    "centralized_orientation",
+    "OrientationResult",
+    "orient_with_dftno",
+    "orient_with_stno",
+    "extract_orientation",
+]

@@ -1,0 +1,72 @@
+"""Centralized (non-self-stabilizing) reference orientations.
+
+The thesis has no experimental baseline -- its contribution is making the
+orientation *self-stabilizing*.  For the reproduction we still need a ground
+truth to compare the distributed protocols against and a cost reference for
+the benchmark tables, so this module computes orientations directly with full
+knowledge of the topology:
+
+* :func:`centralized_orientation` names processors by a global graph traversal
+  (DFS preorder by default, matching what DFTNO converges to; BFS order is
+  also available) and derives the chordal labels in one pass.  It is what a
+  system operator would do once, offline, if transient faults did not exist.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.chordal import ChordalOrientation
+from repro.errors import SpecificationError
+from repro.graphs.network import RootedNetwork
+from repro.substrates.token_circulation import dfs_preorder
+
+
+def _bfs_order(network: RootedNetwork) -> list[int]:
+    order = [network.root]
+    seen = {network.root}
+    queue: deque[int] = deque([network.root])
+    while queue:
+        node = queue.popleft()
+        for neighbor in network.neighbors(node):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                order.append(neighbor)
+                queue.append(neighbor)
+    return order
+
+
+def centralized_orientation(
+    network: RootedNetwork, order: str = "dfs", modulus: int | None = None
+) -> ChordalOrientation:
+    """Compute a valid chordal orientation with global knowledge of the network.
+
+    Parameters
+    ----------
+    network:
+        The rooted network to orient.
+    order:
+        ``"dfs"`` (preorder of the deterministic port-order DFS -- the same
+        names DFTNO stabilizes to) or ``"bfs"`` (breadth-first visit order).
+    modulus:
+        The chordal modulus ``N``; defaults to the network size.
+
+    Returns
+    -------
+    ChordalOrientation
+        A validated orientation (names plus per-endpoint edge labels).
+    """
+    if order == "dfs":
+        visit_order = dfs_preorder(network)
+    elif order == "bfs":
+        visit_order = _bfs_order(network)
+    else:
+        raise SpecificationError(f"unknown naming order {order!r}; use 'dfs' or 'bfs'")
+
+    names = {node: index for index, node in enumerate(visit_order)}
+    orientation = ChordalOrientation.from_names(network, names, modulus=modulus)
+    orientation.require_valid(network)
+    return orientation
+
+
+__all__ = ["centralized_orientation"]

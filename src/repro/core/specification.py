@@ -1,0 +1,148 @@
+"""The network-orientation problem specification ``SP_NO`` (Section 2.3).
+
+A computation satisfies the specification when
+
+* **SP1** -- every processor carries a unique name ``eta_p`` in
+  ``{0, ..., N-1}``, and
+* **SP2** -- for every processor ``p`` and every incident link ``(p, q)``,
+  the label stored at ``p`` equals ``(eta_p - eta_q) mod N``.
+
+The protocols store the name in the shared variable :data:`VAR_NAME`
+(``no_eta``) and the per-link labels in :data:`VAR_EDGE_LABELS` (``no_pi``);
+:class:`OrientationSpecification` evaluates SP1/SP2 directly on a live
+:class:`~repro.runtime.configuration.Configuration`, which is how the
+protocols' legitimacy predicates and the experiment harness decide whether the
+system has stabilized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.chordal import ChordalOrientation, chordal_edge_label
+from repro.graphs.network import RootedNetwork
+from repro.runtime.configuration import Configuration
+
+#: Shared-variable name of the node label ``eta_p`` (both DFTNO and STNO).
+VAR_NAME = "no_eta"
+#: Shared-variable name of the per-link label map ``pi_p`` (both protocols).
+VAR_EDGE_LABELS = "no_pi"
+
+
+@dataclass(frozen=True)
+class SpecificationReport:
+    """Outcome of checking SP1 and SP2 on one configuration."""
+
+    sp1: bool
+    sp2: bool
+    violations: tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def holds(self) -> bool:
+        """Whether the full specification ``SP_NO`` = SP1 and SP2 holds."""
+        return self.sp1 and self.sp2
+
+
+class OrientationSpecification:
+    """Evaluates ``SP_NO`` on configurations of an orientation protocol.
+
+    Parameters
+    ----------
+    modulus:
+        The ``N`` of the chordal arithmetic.  ``None`` means "the number of
+        processors of the network being checked" (the thesis assumes every
+        processor knows this bound).
+    name_variable / labels_variable:
+        Names of the shared variables carrying ``eta_p`` and ``pi_p``;
+        defaults match both DFTNO and STNO.
+    """
+
+    def __init__(
+        self,
+        modulus: int | None = None,
+        name_variable: str = VAR_NAME,
+        labels_variable: str = VAR_EDGE_LABELS,
+    ) -> None:
+        self.modulus = modulus
+        self.name_variable = name_variable
+        self.labels_variable = labels_variable
+
+    def effective_modulus(self, network: RootedNetwork) -> int:
+        """The modulus used for ``network`` (explicit value or ``network.n``)."""
+        return self.modulus if self.modulus is not None else network.n
+
+    # ------------------------------------------------------------------
+    # Checks
+    # ------------------------------------------------------------------
+    def check(self, network: RootedNetwork, configuration: Configuration) -> SpecificationReport:
+        """Evaluate SP1 and SP2, collecting human-readable violations."""
+        modulus = self.effective_modulus(network)
+        violations: list[str] = []
+
+        names: dict[int, int] = {}
+        sp1 = True
+        seen: dict[int, int] = {}
+        for node in network.nodes():
+            name = configuration.get(node, self.name_variable)
+            names[node] = name
+            if not isinstance(name, int) or not 0 <= name < modulus:
+                sp1 = False
+                violations.append(f"SP1: processor {node} carries out-of-range name {name!r}")
+                continue
+            if name in seen:
+                sp1 = False
+                violations.append(
+                    f"SP1: processors {seen[name]} and {node} both carry name {name}"
+                )
+            else:
+                seen[name] = node
+
+        def numeric_name(node: int) -> int:
+            value = names.get(node, 0)
+            return value if isinstance(value, int) else 0
+
+        sp2 = True
+        for node in network.nodes():
+            labels = configuration.get(node, self.labels_variable)
+            if not isinstance(labels, dict):
+                sp2 = False
+                violations.append(f"SP2: processor {node} has no edge-label map")
+                continue
+            for neighbor in network.neighbors(node):
+                expected = chordal_edge_label(
+                    numeric_name(node), numeric_name(neighbor), modulus
+                )
+                actual = labels.get(neighbor)
+                if actual != expected:
+                    sp2 = False
+                    violations.append(
+                        f"SP2: link ({node}, {neighbor}) labeled {actual!r} at {node}, expected {expected}"
+                    )
+        return SpecificationReport(sp1=sp1, sp2=sp2, violations=tuple(violations))
+
+    def holds(self, network: RootedNetwork, configuration: Configuration) -> bool:
+        """Whether ``SP_NO`` holds (SP1 and SP2 simultaneously)."""
+        return self.check(network, configuration).holds
+
+    def sp1_holds(self, network: RootedNetwork, configuration: Configuration) -> bool:
+        """Whether SP1 alone (unique in-range names) holds."""
+        return self.check(network, configuration).sp1
+
+    # ------------------------------------------------------------------
+    # Extraction
+    # ------------------------------------------------------------------
+    def extract(self, network: RootedNetwork, configuration: Configuration) -> ChordalOrientation:
+        """Read the orientation out of ``configuration`` (without validating it)."""
+        modulus = self.effective_modulus(network)
+        names = {node: configuration.get(node, self.name_variable) for node in network.nodes()}
+        labels: dict[int, dict[int, int]] = {}
+        for node in network.nodes():
+            stored = configuration.get(node, self.labels_variable)
+            stored = stored if isinstance(stored, dict) else {}
+            labels[node] = {
+                neighbor: stored.get(neighbor) for neighbor in network.neighbors(node)
+            }
+        return ChordalOrientation(names=names, edge_labels=labels, modulus=modulus)
+
+
+__all__ = ["OrientationSpecification", "SpecificationReport", "VAR_NAME", "VAR_EDGE_LABELS"]

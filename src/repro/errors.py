@@ -1,0 +1,55 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class NetworkError(ReproError):
+    """Raised when a network/topology is malformed (disconnected, bad root, ...)."""
+
+
+class ProtocolError(ReproError):
+    """Raised when a protocol definition is inconsistent.
+
+    Examples: two composed layers declare the same variable name, an action
+    writes a variable that was never declared, or a protocol is asked to run
+    on a network it does not support (e.g. a ring protocol on a tree).
+    """
+
+
+class SchedulingError(ReproError):
+    """Raised when the scheduler or a daemon is used incorrectly."""
+
+
+class ConvergenceError(ReproError):
+    """Raised when an execution fails to reach the requested predicate.
+
+    Carries the number of steps executed so callers can report partial
+    progress.
+    """
+
+    def __init__(self, message: str, steps: int | None = None) -> None:
+        super().__init__(message)
+        self.steps = steps
+
+
+class SpecificationError(ReproError):
+    """Raised when a configuration violates a problem specification check
+    that the caller required to hold (e.g. asking for the orientation of an
+    unoriented network)."""
+
+
+class RoutingError(ReproError):
+    """Raised when a sense-of-direction routing request cannot be satisfied."""
+
+
+class SimulationError(ReproError):
+    """Raised by the synchronous message-passing simulator on misuse."""

@@ -1,0 +1,23 @@
+"""Rooted network topologies used by the self-stabilizing protocols.
+
+The package provides:
+
+* :class:`~repro.graphs.network.RootedNetwork` -- the immutable graph object
+  every protocol and scheduler operates on (nodes ``0..n-1``, a distinguished
+  root, deterministic per-node port order).
+* :mod:`~repro.graphs.generators` -- constructors for the topology families
+  used throughout the paper's discussion and our experiments (rings, paths,
+  stars, trees, grids, hypercubes, tori, cliques, random connected graphs, and
+  the exact example networks of Figures 3.1.1 and 4.1.1).
+* :mod:`~repro.graphs.properties` -- structural queries (distances, diameter,
+  tree height, connectivity, degree statistics).
+* :mod:`~repro.graphs.io` -- serialization to/from adjacency lists, edge
+  lists, and JSON-compatible dictionaries.
+"""
+
+from repro.graphs.network import RootedNetwork
+from repro.graphs import generators
+from repro.graphs import properties
+from repro.graphs import io
+
+__all__ = ["RootedNetwork", "generators", "properties", "io"]

@@ -1,0 +1,116 @@
+"""Serialization helpers for :class:`~repro.graphs.network.RootedNetwork`.
+
+Two interchange formats are supported:
+
+* a JSON-compatible dictionary (``to_dict`` / ``from_dict``) used to persist
+  experiment inputs next to their results, and
+* a human readable adjacency-list text format (``to_adjacency_text`` /
+  ``from_adjacency_text``) convenient for small hand-written topologies in
+  examples and tests.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import NetworkError
+from repro.graphs.network import RootedNetwork
+
+
+def to_dict(network: RootedNetwork) -> dict[str, Any]:
+    """A JSON-compatible description of the network (nodes, edges, root, ports)."""
+    return {
+        "name": network.name,
+        "num_nodes": network.n,
+        "root": network.root,
+        "edges": sorted([list(edge) for edge in network.edges()]),
+        "port_orders": {str(node): list(network.neighbors(node)) for node in network.nodes()},
+    }
+
+
+def from_dict(data: dict[str, Any]) -> RootedNetwork:
+    """Rebuild a network from the output of :func:`to_dict`."""
+    try:
+        num_nodes = int(data["num_nodes"])
+        edges = [tuple(edge) for edge in data["edges"]]
+        root = int(data.get("root", 0))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise NetworkError(f"malformed network dictionary: {exc}") from exc
+    port_orders = {
+        int(node): tuple(order) for node, order in (data.get("port_orders") or {}).items()
+    }
+    return RootedNetwork(
+        num_nodes,
+        edges,
+        root=root,
+        name=data.get("name"),
+        port_orders=port_orders or None,
+    )
+
+
+def to_json(network: RootedNetwork, indent: int | None = 2) -> str:
+    """JSON text form of :func:`to_dict`."""
+    return json.dumps(to_dict(network), indent=indent, sort_keys=True)
+
+
+def from_json(text: str) -> RootedNetwork:
+    """Rebuild a network from :func:`to_json` output."""
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise NetworkError(f"invalid JSON network description: {exc}") from exc
+    return from_dict(data)
+
+
+def to_adjacency_text(network: RootedNetwork) -> str:
+    """A compact adjacency-list text form.
+
+    Line 1: ``<num_nodes> <root>``.  Each following line: ``<node>: n1 n2 ...``
+    listing the neighbors of ``node`` in port order.
+    """
+    lines = [f"{network.n} {network.root}"]
+    for node in network.nodes():
+        neighbors = " ".join(str(q) for q in network.neighbors(node))
+        lines.append(f"{node}: {neighbors}".rstrip())
+    return "\n".join(lines) + "\n"
+
+
+def from_adjacency_text(text: str, name: str | None = None) -> RootedNetwork:
+    """Parse the format produced by :func:`to_adjacency_text`."""
+    lines = [line.strip() for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise NetworkError("empty adjacency description")
+    header = lines[0].split()
+    if len(header) != 2:
+        raise NetworkError("header must be '<num_nodes> <root>'")
+    try:
+        num_nodes, root = int(header[0]), int(header[1])
+    except ValueError as exc:
+        raise NetworkError(f"invalid header {lines[0]!r}") from exc
+
+    port_orders: dict[int, tuple[int, ...]] = {}
+    edges: set[tuple[int, int]] = set()
+    for line in lines[1:]:
+        if ":" not in line:
+            raise NetworkError(f"malformed adjacency line {line!r}")
+        node_text, _, neighbors_text = line.partition(":")
+        try:
+            node = int(node_text)
+            neighbors = tuple(int(token) for token in neighbors_text.split())
+        except ValueError as exc:
+            raise NetworkError(f"malformed adjacency line {line!r}") from exc
+        port_orders[node] = neighbors
+        for neighbor in neighbors:
+            edges.add((node, neighbor) if node < neighbor else (neighbor, node))
+    return RootedNetwork(num_nodes, sorted(edges), root=root, name=name, port_orders=port_orders)
+
+
+__all__ = [
+    "to_dict",
+    "from_dict",
+    "to_json",
+    "from_json",
+    "to_adjacency_text",
+    "from_adjacency_text",
+]

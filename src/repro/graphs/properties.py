@@ -1,0 +1,137 @@
+"""Structural queries on :class:`~repro.graphs.network.RootedNetwork`.
+
+These are used both by the analysis harness (e.g. to report diameter or tree
+height alongside stabilization times) and by correctness checks (e.g. the
+spanning-tree legitimacy predicate needs true BFS distances).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Mapping
+
+from repro.errors import NetworkError
+from repro.graphs.network import RootedNetwork
+
+
+def bfs_distances(network: RootedNetwork, source: int | None = None) -> dict[int, int]:
+    """Hop distances from ``source`` (default: the root) to every processor."""
+    if source is None:
+        source = network.root
+    distances = {source: 0}
+    queue: deque[int] = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbor in network.neighbors(node):
+            if neighbor not in distances:
+                distances[neighbor] = distances[node] + 1
+                queue.append(neighbor)
+    return distances
+
+
+def eccentricity(network: RootedNetwork, node: int) -> int:
+    """Largest hop distance from ``node`` to any other processor."""
+    return max(bfs_distances(network, node).values())
+
+
+def diameter(network: RootedNetwork) -> int:
+    """The diameter of the network (0 for a single processor)."""
+    return max(eccentricity(network, node) for node in network.nodes())
+
+
+def radius_from_root(network: RootedNetwork) -> int:
+    """Eccentricity of the root; the depth of the BFS tree rooted at ``r``."""
+    return eccentricity(network, network.root)
+
+
+def is_tree(network: RootedNetwork) -> bool:
+    """Whether the network is a tree (connected with ``n - 1`` links)."""
+    return network.num_edges() == network.n - 1
+
+
+def degree_histogram(network: RootedNetwork) -> dict[int, int]:
+    """Mapping ``degree -> number of processors with that degree``."""
+    histogram: dict[int, int] = {}
+    for node in network.nodes():
+        histogram[network.degree(node)] = histogram.get(network.degree(node), 0) + 1
+    return histogram
+
+
+def average_degree(network: RootedNetwork) -> float:
+    """Average processor degree (``2m / n``)."""
+    return 2.0 * network.num_edges() / network.n
+
+
+def tree_height(network: RootedNetwork, parents: Mapping[int, int | None]) -> int:
+    """Height of the spanning tree described by ``parents``.
+
+    ``parents`` maps every non-root processor to its parent; the root maps to
+    ``None``.  The height ``h`` is the quantity the STNO stabilization bound
+    O(h) refers to.
+
+    Raises
+    ------
+    NetworkError
+        If ``parents`` does not describe a spanning tree of the network
+        (missing processors, parent not a neighbor, or a cycle).
+    """
+    depths: dict[int, int] = {network.root: 0}
+
+    def depth_of(node: int, trail: set[int]) -> int:
+        if node in depths:
+            return depths[node]
+        if node in trail:
+            raise NetworkError("parent pointers contain a cycle")
+        parent = parents.get(node)
+        if parent is None:
+            raise NetworkError(f"processor {node} has no parent but is not the root")
+        if parent not in network.neighbor_set(node):
+            raise NetworkError(f"parent {parent} of processor {node} is not one of its neighbors")
+        trail.add(node)
+        depths[node] = depth_of(parent, trail) + 1
+        trail.discard(node)
+        return depths[node]
+
+    for node in network.nodes():
+        depth_of(node, set())
+    return max(depths.values())
+
+
+def spanning_tree_children(
+    network: RootedNetwork, parents: Mapping[int, int | None]
+) -> dict[int, tuple[int, ...]]:
+    """Children lists (in port order) of the spanning tree described by ``parents``."""
+    children: dict[int, list[int]] = {node: [] for node in network.nodes()}
+    for node in network.nodes():
+        parent = parents.get(node)
+        if parent is not None:
+            children[parent].append(node)
+    ordered: dict[int, tuple[int, ...]] = {}
+    for node in network.nodes():
+        member = set(children[node])
+        ordered[node] = tuple(q for q in network.neighbors(node) if q in member)
+    return ordered
+
+
+def is_spanning_tree(network: RootedNetwork, parents: Mapping[int, int | None]) -> bool:
+    """Whether ``parents`` encodes a spanning tree of the network rooted at ``r``."""
+    try:
+        tree_height(network, parents)
+    except NetworkError:
+        return False
+    non_root = [node for node in network.nodes() if node != network.root]
+    return all(parents.get(node) is not None for node in non_root) and parents.get(network.root) is None
+
+
+__all__ = [
+    "bfs_distances",
+    "eccentricity",
+    "diameter",
+    "radius_from_root",
+    "is_tree",
+    "degree_histogram",
+    "average_degree",
+    "tree_height",
+    "spanning_tree_children",
+    "is_spanning_tree",
+]

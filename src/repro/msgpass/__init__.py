@@ -1,0 +1,32 @@
+"""A synchronous message-passing simulator.
+
+The thesis motivates network orientation by its effect on the *message
+complexity* of distributed computations (Section 1.3-1.4, citing Santoro and
+Tel/Flocchini et al.): once processors share a sense of direction, traversal,
+broadcast and election algorithms need far fewer messages.  Quantifying that
+claim (experiment EXP-A1) requires a message-passing model rather than the
+shared-variable model of the protocols themselves, so this small package
+provides one:
+
+* :class:`~repro.msgpass.simulator.SynchronousSimulator` runs node programs in
+  lock-step rounds over the links of a :class:`~repro.graphs.network.RootedNetwork`,
+  counting every message sent;
+* :class:`~repro.msgpass.node.NodeProgram` is the per-processor behaviour
+  interface (``on_start`` / ``on_message``), with a
+  :class:`~repro.msgpass.node.Context` for sending messages and halting.
+
+The simulator is deliberately simple (synchronous, reliable FIFO links); the
+quantities compared in EXP-A1 are message *counts*, which the synchrony does
+not distort.
+"""
+
+from repro.msgpass.node import Context, Message, NodeProgram
+from repro.msgpass.simulator import SimulationResult, SynchronousSimulator
+
+__all__ = [
+    "Context",
+    "Message",
+    "NodeProgram",
+    "SimulationResult",
+    "SynchronousSimulator",
+]

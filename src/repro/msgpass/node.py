@@ -1,0 +1,132 @@
+"""Per-processor programs for the synchronous message-passing simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.graphs.network import RootedNetwork
+
+
+@dataclass(frozen=True)
+class Message:
+    """A message in flight.
+
+    Attributes
+    ----------
+    sender / receiver:
+        Processor identifiers of the endpoints.
+    payload:
+        Arbitrary (immutable, ideally) content.
+    round_sent:
+        The round in which the message was sent; it is delivered at the start
+        of the following round.
+    """
+
+    sender: int
+    receiver: int
+    payload: Any
+    round_sent: int
+
+
+class Context:
+    """What a node program may do during one activation.
+
+    The context exposes the processor's identity and local topology (its
+    degree and ports), lets it send messages over its incident links, read and
+    update its private state dictionary, and halt.  Knowledge beyond the local
+    neighborhood (names of remote processors, the size of the network, an
+    orientation) must be given to the program explicitly -- that is precisely
+    the difference the sense-of-direction experiments measure.
+    """
+
+    def __init__(self, node: int, network: RootedNetwork, state: dict[str, Any], round_index: int) -> None:
+        self._node = node
+        self._network = network
+        self._state = state
+        self._round = round_index
+        self._outbox: list[tuple[int, Any]] = []
+        self._halted = False
+
+    # -- identity and topology -----------------------------------------
+    @property
+    def node(self) -> int:
+        """This processor's identifier (used only by the simulator harness)."""
+        return self._node
+
+    @property
+    def is_root(self) -> bool:
+        """Whether this processor is the distinguished initiator/root."""
+        return self._network.is_root(self._node)
+
+    @property
+    def round(self) -> int:
+        """The current round number (0-based)."""
+        return self._round
+
+    @property
+    def neighbors(self) -> tuple[int, ...]:
+        """Identifiers of the neighbors, in port order."""
+        return self._network.neighbors(self._node)
+
+    @property
+    def degree(self) -> int:
+        """Number of incident links."""
+        return self._network.degree(self._node)
+
+    # -- state -----------------------------------------------------------
+    @property
+    def state(self) -> dict[str, Any]:
+        """The processor's private, persistent state dictionary."""
+        return self._state
+
+    # -- communication ----------------------------------------------------
+    def send(self, neighbor: int, payload: Any) -> None:
+        """Send ``payload`` to ``neighbor`` (delivered next round)."""
+        if neighbor not in self._network.neighbor_set(self._node):
+            raise SimulationError(f"processor {self._node} cannot send to non-neighbor {neighbor}")
+        self._outbox.append((neighbor, payload))
+
+    def send_all(self, payload: Any, exclude: int | None = None) -> None:
+        """Send ``payload`` to every neighbor, optionally excluding one."""
+        for neighbor in self.neighbors:
+            if neighbor != exclude:
+                self.send(neighbor, payload)
+
+    def halt(self) -> None:
+        """Mark this processor as terminated (it will not be activated again)."""
+        self._halted = True
+
+    # -- used by the simulator ---------------------------------------------
+    @property
+    def outbox(self) -> list[tuple[int, Any]]:
+        """Messages queued during this activation."""
+        return list(self._outbox)
+
+    @property
+    def halted(self) -> bool:
+        """Whether :meth:`halt` was called during this activation."""
+        return self._halted
+
+
+class NodeProgram:
+    """Behaviour of one processor in the synchronous model.
+
+    Subclasses override :meth:`on_start` (called once, in round 0) and
+    :meth:`on_message` (called once per delivered message).  The same program
+    instance is shared by all processors; per-processor data lives in
+    ``context.state``.
+    """
+
+    def on_start(self, context: Context) -> None:
+        """Called once at the beginning of the execution."""
+
+    def on_message(self, context: Context, sender: int, payload: Any) -> None:
+        """Called for every message delivered to this processor."""
+
+    def on_round(self, context: Context) -> None:
+        """Called once per round after all of the round's messages were handled."""
+
+
+__all__ = ["Message", "Context", "NodeProgram"]

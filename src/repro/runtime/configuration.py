@@ -1,0 +1,113 @@
+"""Global configurations (the paper's product of processor states)."""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Iterator, Mapping
+
+from repro.errors import ProtocolError
+
+
+class Configuration:
+    """The state of the whole system: one variable assignment per processor.
+
+    A configuration is a mapping ``node -> {variable name -> value}``.  The
+    scheduler reads the configuration at the start of a computation step to
+    evaluate guards, and applies the writes of all selected processors at the
+    end of the step, which gives the composite-atomicity semantics of the
+    paper's model (guard evaluation and statement execution of an action are a
+    single atomic step).
+    """
+
+    __slots__ = ("_states",)
+
+    def __init__(self, states: Mapping[int, Mapping[str, Any]] | None = None) -> None:
+        self._states: dict[int, dict[str, Any]] = {}
+        if states is not None:
+            for node, variables in states.items():
+                self._states[int(node)] = dict(variables)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def get(self, node: int, variable: str) -> Any:
+        """Value of ``variable`` at ``node``."""
+        try:
+            return self._states[node][variable]
+        except KeyError as exc:
+            raise ProtocolError(
+                f"configuration has no value for variable {variable!r} at processor {node}"
+            ) from exc
+
+    def state_of(self, node: int) -> dict[str, Any]:
+        """A copy of the full local state of ``node``."""
+        return copy.deepcopy(self._states.get(node, {}))
+
+    def has(self, node: int, variable: str) -> bool:
+        """Whether ``variable`` is defined at ``node``."""
+        return variable in self._states.get(node, {})
+
+    def nodes(self) -> Iterator[int]:
+        """Processors that have at least one variable."""
+        return iter(self._states)
+
+    def variables_of(self, node: int) -> tuple[str, ...]:
+        """Names of the variables defined at ``node``."""
+        return tuple(self._states.get(node, {}))
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def set(self, node: int, variable: str, value: Any) -> None:
+        """Set ``variable`` at ``node`` (creating the slot if needed)."""
+        self._states.setdefault(node, {})[variable] = value
+
+    def update_node(self, node: int, values: Mapping[str, Any]) -> None:
+        """Apply several writes at ``node`` at once."""
+        self._states.setdefault(node, {}).update(values)
+
+    # ------------------------------------------------------------------
+    # Whole-configuration operations
+    # ------------------------------------------------------------------
+    def copy(self) -> "Configuration":
+        """A deep copy (mutable values such as edge-label maps are duplicated)."""
+        return Configuration(copy.deepcopy(self._states))
+
+    def to_dict(self) -> dict[int, dict[str, Any]]:
+        """A plain-dictionary snapshot (deep copied)."""
+        return copy.deepcopy(self._states)
+
+    def diff(self, other: "Configuration") -> dict[int, dict[str, tuple[Any, Any]]]:
+        """Per-node ``variable -> (self value, other value)`` differences."""
+        changed: dict[int, dict[str, tuple[Any, Any]]] = {}
+        nodes = set(self._states) | set(other._states)
+        for node in nodes:
+            mine = self._states.get(node, {})
+            theirs = other._states.get(node, {})
+            names = set(mine) | set(theirs)
+            for name in names:
+                if mine.get(name) != theirs.get(name):
+                    changed.setdefault(node, {})[name] = (mine.get(name), theirs.get(name))
+        return changed
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Configuration):
+            return NotImplemented
+        return self._states == other._states
+
+    def __repr__(self) -> str:
+        return f"Configuration(nodes={len(self._states)})"
+
+    def format(self, variables: tuple[str, ...] | None = None) -> str:
+        """A readable multi-line rendering, optionally restricted to some variables."""
+        lines = []
+        for node in sorted(self._states):
+            state = self._states[node]
+            if variables is not None:
+                state = {name: state[name] for name in variables if name in state}
+            rendered = ", ".join(f"{name}={value!r}" for name, value in sorted(state.items()))
+            lines.append(f"  {node}: {rendered}")
+        return "\n".join(lines)
+
+
+__all__ = ["Configuration"]

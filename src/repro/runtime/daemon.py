@@ -1,0 +1,188 @@
+"""Daemons: the scheduling adversaries of the self-stabilization model.
+
+The paper assumes the *distributed daemon* with *weak fairness*: at each
+computation step the daemon selects a non-empty subset of the enabled
+processors (each executes at most one action), and a continuously enabled
+processor is eventually selected.  This module provides that daemon plus the
+other standard ones used in the literature and in our ablation experiment
+(EXP-R2):
+
+* :class:`CentralDaemon` -- exactly one enabled processor per step (the
+  "serial" daemon); selection policy is random or round-robin.
+* :class:`SynchronousDaemon` -- every enabled processor executes each step.
+* :class:`DistributedDaemon` -- a random non-empty subset executes.
+* :class:`AdversarialDaemon` -- a central daemon that tries to delay
+  convergence by preferring the most recently enabled processor, while still
+  honoring weak fairness through a bounded-bypass counter.
+
+All daemons are deterministic functions of the supplied random generator, so
+experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Mapping, Sequence
+
+from repro.errors import SchedulingError
+
+
+class Daemon(ABC):
+    """Selects which enabled processors execute in each computation step."""
+
+    #: Human readable identifier used in experiment reports.
+    name: str = "daemon"
+
+    @abstractmethod
+    def select(
+        self,
+        enabled: Sequence[int],
+        step: int,
+        rng: random.Random,
+    ) -> list[int]:
+        """Return the non-empty subset of ``enabled`` that executes this step.
+
+        ``enabled`` is given in ascending processor order.  Implementations
+        must return a non-empty subset (the scheduler verifies this).
+        """
+
+    def reset(self) -> None:
+        """Forget any internal bookkeeping (called when a run starts)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class CentralDaemon(Daemon):
+    """The serial daemon: exactly one enabled processor executes per step.
+
+    ``policy`` is either ``"random"`` (uniform choice) or ``"round_robin"``
+    (cycle through processor identifiers), both weakly fair.
+    """
+
+    def __init__(self, policy: str = "random") -> None:
+        if policy not in ("random", "round_robin"):
+            raise SchedulingError(f"unknown central daemon policy {policy!r}")
+        self.policy = policy
+        self.name = f"central-{policy}"
+        self._cursor = 0
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+    def select(self, enabled: Sequence[int], step: int, rng: random.Random) -> list[int]:
+        if self.policy == "random":
+            return [rng.choice(list(enabled))]
+        # Round-robin: pick the first enabled processor at or after the cursor.
+        ordered = sorted(enabled)
+        chosen = next((node for node in ordered if node >= self._cursor), ordered[0])
+        self._cursor = chosen + 1
+        return [chosen]
+
+
+class SynchronousDaemon(Daemon):
+    """Every enabled processor executes in every step (one round per step)."""
+
+    name = "synchronous"
+
+    def select(self, enabled: Sequence[int], step: int, rng: random.Random) -> list[int]:
+        return list(enabled)
+
+
+class DistributedDaemon(Daemon):
+    """A random non-empty subset of the enabled processors executes.
+
+    Each enabled processor is included independently with probability
+    ``activation_probability``; if the coin flips exclude everyone, one
+    processor is chosen uniformly so the step is never empty.
+    """
+
+    def __init__(self, activation_probability: float = 0.5) -> None:
+        if not 0.0 < activation_probability <= 1.0:
+            raise SchedulingError("activation_probability must lie in (0, 1]")
+        self.activation_probability = activation_probability
+        self.name = f"distributed-p{activation_probability:g}"
+
+    def select(self, enabled: Sequence[int], step: int, rng: random.Random) -> list[int]:
+        chosen = [node for node in enabled if rng.random() < self.activation_probability]
+        if not chosen:
+            chosen = [rng.choice(list(enabled))]
+        return chosen
+
+
+class AdversarialDaemon(Daemon):
+    """A weakly fair central daemon that tries to slow convergence down.
+
+    It prefers the processor that became enabled most recently (starving
+    long-enabled processors as long as it legally can) but guarantees weak
+    fairness: any processor that has been bypassed ``fairness_bound``
+    consecutive times while enabled is selected unconditionally.
+    """
+
+    def __init__(self, fairness_bound: int = 8) -> None:
+        if fairness_bound < 1:
+            raise SchedulingError("fairness_bound must be >= 1")
+        self.fairness_bound = fairness_bound
+        self.name = f"adversarial-b{fairness_bound}"
+        self._enabled_since: dict[int, int] = {}
+        self._bypassed: dict[int, int] = {}
+
+    def reset(self) -> None:
+        self._enabled_since.clear()
+        self._bypassed.clear()
+
+    def select(self, enabled: Sequence[int], step: int, rng: random.Random) -> list[int]:
+        enabled_set = set(enabled)
+        # Forget processors that are no longer enabled; they restart their clock.
+        for node in list(self._enabled_since):
+            if node not in enabled_set:
+                del self._enabled_since[node]
+                self._bypassed.pop(node, None)
+        for node in enabled_set:
+            self._enabled_since.setdefault(node, step)
+            self._bypassed.setdefault(node, 0)
+
+        overdue = [node for node in enabled if self._bypassed[node] >= self.fairness_bound]
+        if overdue:
+            chosen = min(overdue, key=lambda node: self._enabled_since[node])
+        else:
+            # Most recently enabled first; tie-break with the random stream so
+            # different seeds explore different adversarial schedules.
+            latest = max(self._enabled_since[node] for node in enabled)
+            candidates = [node for node in enabled if self._enabled_since[node] == latest]
+            chosen = rng.choice(candidates)
+
+        for node in enabled_set:
+            if node != chosen:
+                self._bypassed[node] += 1
+        self._bypassed[chosen] = 0
+        del self._enabled_since[chosen]
+        return [chosen]
+
+
+_DAEMONS: Mapping[str, type[Daemon]] = {
+    "central": CentralDaemon,
+    "synchronous": SynchronousDaemon,
+    "distributed": DistributedDaemon,
+    "adversarial": AdversarialDaemon,
+}
+
+
+def make_daemon(kind: str, **kwargs: object) -> Daemon:
+    """Build a daemon by name (``central``, ``synchronous``, ``distributed``, ``adversarial``)."""
+    try:
+        factory = _DAEMONS[kind]
+    except KeyError as exc:
+        raise SchedulingError(f"unknown daemon kind {kind!r}; choose from {sorted(_DAEMONS)}") from exc
+    return factory(**kwargs)  # type: ignore[arg-type]
+
+
+__all__ = [
+    "Daemon",
+    "CentralDaemon",
+    "SynchronousDaemon",
+    "DistributedDaemon",
+    "AdversarialDaemon",
+    "make_daemon",
+]

@@ -1,0 +1,111 @@
+"""Transient-fault modelling.
+
+Self-stabilization (Definition 2.1.2) quantifies over *every* initial
+configuration, which is the abstraction of transient faults: whatever a burst
+of memory corruption leaves behind, the protocol recovers.  This module makes
+that concrete for experiments:
+
+* :func:`random_configuration` draws a fully arbitrary configuration from the
+  protocol's variable domains (the worst case the definition allows);
+* :func:`corrupt_configuration` perturbs an existing configuration at a chosen
+  fraction of processors/variables (a "partial" fault);
+* :class:`FaultInjector` applies corruption bursts to a running scheduler at
+  chosen steps, for recovery experiments (EXP-R1) and the fault-recovery
+  example application.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.graphs.network import RootedNetwork
+from repro.runtime.configuration import Configuration
+from repro.runtime.protocol import Protocol
+from repro.runtime.scheduler import Scheduler
+
+
+def random_configuration(
+    protocol: Protocol,
+    network: RootedNetwork,
+    seed: int | None = None,
+    rng: random.Random | None = None,
+) -> Configuration:
+    """An arbitrary configuration of ``protocol`` on ``network``."""
+    return protocol.random_configuration(network, rng=rng, seed=seed)
+
+
+def corrupt_configuration(
+    configuration: Configuration,
+    protocol: Protocol,
+    network: RootedNetwork,
+    node_fraction: float = 1.0,
+    variable_fraction: float = 1.0,
+    seed: int | None = None,
+    rng: random.Random | None = None,
+) -> Configuration:
+    """A copy of ``configuration`` with some variables replaced by arbitrary values.
+
+    ``node_fraction`` of the processors are hit (at least one, chosen at
+    random); at each hit processor, ``variable_fraction`` of its variables are
+    replaced by fresh arbitrary values from their domains.
+    """
+    if not 0.0 <= node_fraction <= 1.0:
+        raise ValueError("node_fraction must lie in [0, 1]")
+    if not 0.0 <= variable_fraction <= 1.0:
+        raise ValueError("variable_fraction must lie in [0, 1]")
+    rng = rng or random.Random(seed)
+    corrupted = configuration.copy()
+
+    nodes = list(network.nodes())
+    hit_count = max(1, round(node_fraction * len(nodes))) if node_fraction > 0 else 0
+    hit_nodes = rng.sample(nodes, hit_count) if hit_count else []
+
+    for node in hit_nodes:
+        arbitrary = protocol.random_state(network, node, rng)
+        names = list(arbitrary)
+        keep = max(1, round(variable_fraction * len(names))) if variable_fraction > 0 else 0
+        chosen = rng.sample(names, keep) if keep else []
+        for name in chosen:
+            corrupted.set(node, name, arbitrary[name])
+    return corrupted
+
+
+@dataclass
+class FaultInjector:
+    """Injects corruption bursts into a running :class:`Scheduler`.
+
+    ``schedule`` maps step indices to ``(node_fraction, variable_fraction)``
+    pairs; :meth:`maybe_inject` is called by the experiment loop after each
+    step and applies the burst when its step arrives.
+    """
+
+    protocol: Protocol
+    network: RootedNetwork
+    schedule: dict[int, tuple[float, float]] = field(default_factory=dict)
+    seed: int | None = None
+    injected_at: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def maybe_inject(self, scheduler: Scheduler) -> bool:
+        """Apply a scheduled burst if one is due at the scheduler's current step."""
+        step = scheduler.steps_executed
+        if step not in self.schedule or step in self.injected_at:
+            return False
+        node_fraction, variable_fraction = self.schedule[step]
+        corrupted = corrupt_configuration(
+            scheduler.configuration,
+            self.protocol,
+            self.network,
+            node_fraction=node_fraction,
+            variable_fraction=variable_fraction,
+            rng=self._rng,
+        )
+        scheduler.set_configuration(corrupted)
+        self.injected_at.append(step)
+        return True
+
+
+__all__ = ["random_configuration", "corrupt_configuration", "FaultInjector"]

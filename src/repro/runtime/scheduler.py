@@ -1,0 +1,406 @@
+"""The execution engine: computation steps, rounds, and convergence detection.
+
+A *computation step* follows the paper's distributed-daemon semantics: the
+daemon selects a non-empty subset of the enabled processors; each selected
+processor atomically evaluates its first enabled action against the
+configuration at the beginning of the step and its writes are applied at the
+end of the step.
+
+A *round* is the standard asynchronous round: the shortest suffix of the
+execution in which every processor that was continuously enabled since the
+beginning of the round has executed at least one action or has become
+disabled.  Rounds are what the O(n) / O(h) stabilization bounds of the two
+orientation protocols are measured in.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.errors import ConvergenceError, SchedulingError
+from repro.graphs.network import RootedNetwork
+from repro.runtime.actions import Action
+from repro.runtime.configuration import Configuration
+from repro.runtime.daemon import Daemon, DistributedDaemon
+from repro.runtime.metrics import ExecutionMetrics
+from repro.runtime.processor import ProcessorView
+from repro.runtime.protocol import Protocol
+from repro.runtime.trace import Trace, TraceEvent
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """What happened during one computation step."""
+
+    step: int
+    round: int
+    executed: tuple[tuple[int, str], ...]  # (node, action name) pairs
+    changed_nodes: tuple[int, ...]
+
+
+@dataclass
+class RunResult:
+    """Outcome of a (bounded) execution.
+
+    Attributes
+    ----------
+    steps, moves, rounds:
+        Totals over the executed portion.
+    terminated:
+        ``True`` when no action was enabled anymore (silent protocols).
+    converged:
+        ``True`` when the requested stop predicate (usually legitimacy) was
+        reached.
+    first_legitimate_step / first_legitimate_round:
+        The step/round at which the protocol's legitimacy predicate first
+        became true and then remained true until the end of the observed
+        execution; ``None`` if it never did.
+    configuration:
+        The final configuration.
+    metrics:
+        Full per-node / per-action counters.
+    trace:
+        The recorded trace (``None`` unless tracing was requested).
+    """
+
+    steps: int
+    moves: int
+    rounds: int
+    terminated: bool
+    converged: bool
+    first_legitimate_step: int | None
+    first_legitimate_round: int | None
+    configuration: Configuration
+    metrics: ExecutionMetrics
+    trace: Trace | None = None
+
+    @property
+    def stabilization_steps(self) -> int | None:
+        """Alias for :attr:`first_legitimate_step` (readability in experiments)."""
+        return self.first_legitimate_step
+
+    @property
+    def stabilization_rounds(self) -> int | None:
+        """Alias for :attr:`first_legitimate_round`."""
+        return self.first_legitimate_round
+
+
+class Scheduler:
+    """Drives a protocol on a network under a daemon.
+
+    Parameters
+    ----------
+    network:
+        The rooted network the protocol runs on.
+    protocol:
+        The protocol (possibly a layered composition).
+    daemon:
+        Scheduling adversary; defaults to the paper's distributed daemon.
+    configuration:
+        Starting configuration.  Defaults to an *arbitrary* configuration
+        drawn from the variables' domains (the self-stabilization setting);
+        pass ``protocol.initial_configuration(network)`` for a clean start.
+    seed / rng:
+        Randomness used by the daemon and by arbitrary initialization.
+    record_trace:
+        Whether to keep a :class:`~repro.runtime.trace.Trace` of every move.
+    """
+
+    def __init__(
+        self,
+        network: RootedNetwork,
+        protocol: Protocol,
+        daemon: Daemon | None = None,
+        configuration: Configuration | None = None,
+        seed: int | None = None,
+        rng: random.Random | None = None,
+        record_trace: bool = False,
+        trace_limit: int | None = 100_000,
+    ) -> None:
+        self.network = network
+        self.protocol = protocol
+        self.daemon = daemon or DistributedDaemon()
+        self.rng = rng or random.Random(seed)
+        protocol.validate(network)
+        self.daemon.reset()
+
+        if configuration is None:
+            configuration = protocol.random_configuration(network, rng=self.rng)
+        self.configuration = configuration.copy()
+
+        self._actions: dict[int, tuple[Action, ...]] = {
+            node: tuple(protocol.actions(network, node)) for node in network.nodes()
+        }
+        self.metrics = ExecutionMetrics()
+        self.trace: Trace | None = Trace(limit=trace_limit) if record_trace else None
+
+        self._step_index = 0
+        self._round_index = 0
+        self._round_pending: set[int] | None = None
+
+    # ------------------------------------------------------------------
+    # Enabled actions
+    # ------------------------------------------------------------------
+    def enabled_actions(self) -> dict[int, Action]:
+        """The first enabled action of every enabled processor."""
+        enabled: dict[int, Action] = {}
+        for node in self.network.nodes():
+            action = self._first_enabled(node)
+            if action is not None:
+                enabled[node] = action
+        return enabled
+
+    def enabled_nodes(self) -> tuple[int, ...]:
+        """Identifiers of the processors with at least one enabled action."""
+        return tuple(sorted(self.enabled_actions()))
+
+    def is_enabled(self, node: int) -> bool:
+        """Whether ``node`` has an enabled action in the current configuration."""
+        return self._first_enabled(node) is not None
+
+    def _first_enabled(self, node: int) -> Action | None:
+        view = ProcessorView(node, self.network, self.configuration)
+        for action in self._actions[node]:
+            if action.enabled(view):
+                return action
+        return None
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+    def step(self) -> StepRecord | None:
+        """Execute one computation step; ``None`` if no processor is enabled."""
+        enabled = self.enabled_actions()
+        if not enabled:
+            return None
+
+        if self._round_pending is None:
+            self._round_pending = set(enabled)
+
+        selected = self.daemon.select(tuple(sorted(enabled)), self._step_index, self.rng)
+        if not selected:
+            raise SchedulingError(f"daemon {self.daemon.name!r} selected an empty set")
+        invalid = [node for node in selected if node not in enabled]
+        if invalid:
+            raise SchedulingError(
+                f"daemon {self.daemon.name!r} selected processors that are not enabled: {invalid}"
+            )
+
+        executed: list[tuple[int, str]] = []
+        changed_nodes: list[int] = []
+        pending_writes: dict[int, dict[str, object]] = {}
+        for node in selected:
+            action = enabled[node]
+            view = ProcessorView(node, self.network, self.configuration)
+            action.execute(view)
+            writes = view.pending_writes
+            pending_writes[node] = writes
+            executed.append((node, action.name))
+            self.metrics.record_move(node, action.name, action.layer)
+
+        # Apply all writes after every selected processor has read the
+        # beginning-of-step configuration (composite atomicity).
+        for node, writes in pending_writes.items():
+            changes: dict[str, tuple[object, object]] = {}
+            for name, value in writes.items():
+                old = self.configuration.get(node, name) if self.configuration.has(node, name) else None
+                if old != value:
+                    changes[name] = (old, value)
+            if changes:
+                changed_nodes.append(node)
+            self.configuration.update_node(node, writes)
+            if self.trace is not None:
+                action_name = dict(executed)[node]
+                layer = enabled[node].layer
+                self.trace.record(
+                    TraceEvent(
+                        step=self._step_index,
+                        round=self._round_index,
+                        node=node,
+                        action=action_name,
+                        layer=layer,
+                        changes=changes,
+                    )
+                )
+
+        record = StepRecord(
+            step=self._step_index,
+            round=self._round_index,
+            executed=tuple(executed),
+            changed_nodes=tuple(changed_nodes),
+        )
+
+        self._step_index += 1
+        self.metrics.steps = self._step_index
+        self._advance_round(set(selected))
+        return record
+
+    def _advance_round(self, executed_nodes: set[int]) -> None:
+        """Round bookkeeping: a round ends when every processor that was
+        enabled at its start has executed or become disabled."""
+        if self._round_pending is None:
+            return
+        self._round_pending -= executed_nodes
+        if self._round_pending:
+            still_enabled = set(self.enabled_nodes())
+            self._round_pending &= still_enabled
+        if not self._round_pending:
+            self._round_index += 1
+            self.metrics.rounds = self._round_index
+            self._round_pending = None
+
+    # ------------------------------------------------------------------
+    # Whole runs
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        max_steps: int = 100_000,
+        stop_predicate: Callable[["Scheduler"], bool] | None = None,
+    ) -> RunResult:
+        """Execute until termination, ``stop_predicate`` holds, or ``max_steps``.
+
+        The returned :class:`RunResult` also reports the first step/round at
+        which the protocol's legitimacy predicate became true and stayed true
+        for the rest of the observed execution.
+        """
+        first_legitimate_step: int | None = None
+        first_legitimate_round: int | None = None
+
+        def note_legitimacy() -> None:
+            nonlocal first_legitimate_step, first_legitimate_round
+            if self.protocol.legitimate(self.network, self.configuration):
+                if first_legitimate_step is None:
+                    first_legitimate_step = self._step_index
+                    first_legitimate_round = self._round_index
+            else:
+                first_legitimate_step = None
+                first_legitimate_round = None
+
+        note_legitimacy()
+        converged = bool(stop_predicate and stop_predicate(self))
+        terminated = False
+
+        while not converged and self._step_index < max_steps:
+            record = self.step()
+            if record is None:
+                terminated = True
+                break
+            note_legitimacy()
+            if stop_predicate is not None and stop_predicate(self):
+                converged = True
+
+        if terminated:
+            # A terminated (silent) execution trivially converged if legitimate.
+            converged = converged or self.protocol.legitimate(self.network, self.configuration)
+
+        return RunResult(
+            steps=self._step_index,
+            moves=self.metrics.moves,
+            rounds=self._round_index,
+            terminated=terminated,
+            converged=converged,
+            first_legitimate_step=first_legitimate_step,
+            first_legitimate_round=first_legitimate_round,
+            configuration=self.configuration.copy(),
+            metrics=self.metrics,
+            trace=self.trace,
+        )
+
+    def run_until_legitimate(
+        self,
+        max_steps: int = 100_000,
+        confirm_steps: int = 0,
+        raise_on_failure: bool = False,
+    ) -> RunResult:
+        """Run until the protocol's legitimacy predicate holds.
+
+        ``confirm_steps`` additional steps are executed afterwards while
+        checking that legitimacy *keeps* holding (an empirical closure check);
+        if it is violated during confirmation the run keeps going until it
+        becomes legitimate again or the budget runs out.
+        """
+
+        result = self.run(
+            max_steps=max_steps,
+            stop_predicate=lambda scheduler: scheduler.protocol.legitimate(
+                scheduler.network, scheduler.configuration
+            ),
+        )
+        if not result.converged:
+            if raise_on_failure:
+                raise ConvergenceError(
+                    f"protocol {self.protocol.name!r} did not stabilize on {self.network.name} "
+                    f"within {max_steps} steps",
+                    steps=result.steps,
+                )
+            return result
+
+        if confirm_steps > 0:
+            stabilization_step = result.first_legitimate_step
+            stabilization_round = result.first_legitimate_round
+            confirmed = 0
+            while confirmed < confirm_steps and self._step_index < max_steps:
+                record = self.step()
+                if record is None:
+                    break
+                confirmed += 1
+                if not self.protocol.legitimate(self.network, self.configuration):
+                    # Closure violated: keep running until legitimate again.
+                    inner = self.run(
+                        max_steps=max_steps,
+                        stop_predicate=lambda scheduler: scheduler.protocol.legitimate(
+                            scheduler.network, scheduler.configuration
+                        ),
+                    )
+                    stabilization_step = inner.first_legitimate_step
+                    stabilization_round = inner.first_legitimate_round
+                    confirmed = 0
+                    if not inner.converged:
+                        if raise_on_failure:
+                            raise ConvergenceError(
+                                f"protocol {self.protocol.name!r} lost legitimacy and did not recover",
+                                steps=self._step_index,
+                            )
+                        break
+            result = RunResult(
+                steps=self._step_index,
+                moves=self.metrics.moves,
+                rounds=self._round_index,
+                terminated=result.terminated,
+                converged=self.protocol.legitimate(self.network, self.configuration),
+                first_legitimate_step=stabilization_step,
+                first_legitimate_round=stabilization_round,
+                configuration=self.configuration.copy(),
+                metrics=self.metrics,
+                trace=self.trace,
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # State manipulation (fault injection)
+    # ------------------------------------------------------------------
+    def set_configuration(self, configuration: Configuration) -> None:
+        """Replace the current configuration (e.g. after injecting faults)."""
+        self.configuration = configuration.copy()
+        self._round_pending = None
+
+    @property
+    def steps_executed(self) -> int:
+        """Number of computation steps executed so far."""
+        return self._step_index
+
+    @property
+    def rounds_completed(self) -> int:
+        """Number of asynchronous rounds completed so far."""
+        return self._round_index
+
+    def __repr__(self) -> str:
+        return (
+            f"Scheduler(protocol={self.protocol.name!r}, network={self.network.name!r}, "
+            f"daemon={self.daemon.name!r}, steps={self._step_index})"
+        )
+
+
+__all__ = ["Scheduler", "RunResult", "StepRecord"]

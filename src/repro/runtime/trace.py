@@ -1,0 +1,103 @@
+"""Execution traces: what happened, at which step, at which processor."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One action execution.
+
+    Attributes
+    ----------
+    step:
+        Index of the computation step (0-based).
+    round:
+        Index of the asynchronous round the step belongs to (0-based).
+    node:
+        The processor that executed.
+    action:
+        The label of the executed action.
+    layer:
+        The protocol layer the action belongs to.
+    changes:
+        ``variable -> (old value, new value)`` for every variable the
+        statement actually changed (no-op writes are dropped).
+    """
+
+    step: int
+    round: int
+    node: int
+    action: str
+    layer: str
+    changes: dict[str, tuple[Any, Any]] = field(default_factory=dict)
+
+    def format(self) -> str:
+        """One-line rendering used by example scripts and failure messages."""
+        if self.changes:
+            changed = ", ".join(
+                f"{name}: {old!r} -> {new!r}" for name, (old, new) in sorted(self.changes.items())
+            )
+        else:
+            changed = "(no state change)"
+        return f"step {self.step:4d} round {self.round:3d}  p{self.node:<3d} {self.action:<24s} {changed}"
+
+
+class Trace:
+    """A bounded buffer of :class:`TraceEvent` records.
+
+    ``limit`` caps memory use for long runs; when exceeded, the oldest events
+    are discarded and :attr:`dropped` counts how many were lost.
+    """
+
+    def __init__(self, limit: int | None = 100_000) -> None:
+        self._events: list[TraceEvent] = []
+        self._limit = limit
+        self.dropped = 0
+
+    def record(self, event: TraceEvent) -> None:
+        """Append ``event``, evicting the oldest entries beyond the limit."""
+        self._events.append(event)
+        if self._limit is not None and len(self._events) > self._limit:
+            overflow = len(self._events) - self._limit
+            del self._events[:overflow]
+            self.dropped += overflow
+
+    def events(self) -> tuple[TraceEvent, ...]:
+        """All retained events in execution order."""
+        return tuple(self._events)
+
+    def filter(self, predicate: Callable[[TraceEvent], bool]) -> tuple[TraceEvent, ...]:
+        """Events satisfying ``predicate``."""
+        return tuple(event for event in self._events if predicate(event))
+
+    def for_node(self, node: int) -> tuple[TraceEvent, ...]:
+        """Events executed by ``node``."""
+        return self.filter(lambda event: event.node == node)
+
+    def for_action(self, action: str) -> tuple[TraceEvent, ...]:
+        """Events whose action label equals ``action``."""
+        return self.filter(lambda event: event.action == action)
+
+    def for_variable(self, variable: str) -> tuple[TraceEvent, ...]:
+        """Events that changed ``variable``."""
+        return self.filter(lambda event: variable in event.changes)
+
+    def format(self, last: int | None = None) -> str:
+        """Multi-line rendering of the (optionally last ``last``) events."""
+        events = self._events if last is None else self._events[-last:]
+        return "\n".join(event.format() for event in events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __repr__(self) -> str:
+        return f"Trace(events={len(self._events)}, dropped={self.dropped})"
+
+
+__all__ = ["Trace", "TraceEvent"]

@@ -1,0 +1,36 @@
+"""Applications of the chordal sense of direction.
+
+The thesis motivates network orientation by what it buys the layers above
+(Sections 1.3-1.4 and Chapter 5): once every processor has a globally
+consistent name and chordal edge labels, classic distributed computations get
+cheaper because a processor can locally determine *which* processor is on the
+other side of each link.  This package implements the applications used by the
+message-complexity experiment (EXP-A1) and the routing example:
+
+* :mod:`~repro.sod.traversal` -- depth-first traversal and broadcast of an
+  arbitrary network, with and without a sense of direction;
+* :mod:`~repro.sod.election` -- leader election on a ring, using the ring
+  orientation derived from the chordal labels versus an unoriented ring;
+* :mod:`~repro.sod.routing` -- chordal greedy routing (with a tree fallback)
+  on an oriented network.
+"""
+
+from repro.sod.traversal import (
+    dfs_traversal_with_sod,
+    dfs_traversal_without_sod,
+    broadcast_with_sod,
+    broadcast_without_sod,
+)
+from repro.sod.election import ring_election_oriented, ring_election_unoriented
+from repro.sod.routing import ChordalRouter, RouteResult
+
+__all__ = [
+    "dfs_traversal_with_sod",
+    "dfs_traversal_without_sod",
+    "broadcast_with_sod",
+    "broadcast_without_sod",
+    "ring_election_oriented",
+    "ring_election_unoriented",
+    "ChordalRouter",
+    "RouteResult",
+]

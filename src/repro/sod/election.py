@@ -1,0 +1,173 @@
+"""Leader election on a ring, with and without an orientation.
+
+The ring-orientation literature the thesis surveys ([19, 23, 9] and Tel's
+overview) uses leader election as the standard consumer of an orientation:
+
+* On an *oriented* ring every processor knows which of its two links is
+  "clockwise" -- exactly what the chordal labels provide, since the link
+  labeled ``N - 1`` leads to the successor on the name cycle (the neighbor
+  whose name is one higher).  Chang-Roberts election can then be run
+  unidirectionally: a processor forwards only identifiers larger than its own,
+  costing between ``n`` and ``O(n^2)`` messages, ``O(n log n)`` on average.
+* On an *unoriented* ring a processor cannot tell its two links apart, so the
+  simple strategy is to campaign in both directions and absorb smaller
+  identifiers; every surviving identifier travels both ways, roughly doubling
+  the traffic and pushing the worst case firmly to ``Theta(n^2)``.
+
+Both algorithms are run on the synchronous message-passing simulator; the
+identifiers are the (unique) chordal names themselves for the oriented run and
+arbitrary unique identifiers for the unoriented run, so the comparison is
+purely about what the orientation saves (EXP-A1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.chordal import ChordalOrientation
+from repro.errors import SimulationError
+from repro.graphs.network import RootedNetwork
+from repro.msgpass.node import Context, NodeProgram
+from repro.msgpass.simulator import SynchronousSimulator
+
+
+@dataclass(frozen=True)
+class ElectionOutcome:
+    """Result of one election run."""
+
+    messages: int
+    rounds: int
+    leader_identifier: int
+
+
+def _require_ring(network: RootedNetwork) -> None:
+    if network.num_edges() != network.n or any(network.degree(p) != 2 for p in network.nodes()):
+        raise SimulationError("ring election requires a cycle topology")
+
+
+# ----------------------------------------------------------------------
+# Oriented ring: Chang-Roberts over the successor links
+# ----------------------------------------------------------------------
+class _ChangRoberts(NodeProgram):
+    """Unidirectional Chang-Roberts election using the chordal successor link."""
+
+    def __init__(self, orientation: ChordalOrientation) -> None:
+        self._orientation = orientation
+
+    def _successor(self, context: Context) -> int:
+        # The successor on the virtual name cycle is the neighbor whose name is
+        # one higher, i.e. the link labeled (eta_p - eta_q) mod N = N - 1.
+        modulus = self._orientation.modulus
+        for neighbor in context.neighbors:
+            if self._orientation.label(context.node, neighbor) == (modulus - 1) % modulus:
+                return neighbor
+        # Rings of size 2 degenerate; fall back to the first link.
+        return context.neighbors[0]
+
+    def on_start(self, context: Context) -> None:
+        identifier = self._orientation.name_of(context.node)
+        context.state["id"] = identifier
+        context.state["leader"] = None
+        context.send(self._successor(context), ("candidate", identifier))
+
+    def on_message(self, context: Context, sender: int, payload: Any) -> None:
+        kind, value = payload
+        own = context.state["id"]
+        if kind == "candidate":
+            if value > own:
+                context.send(self._successor(context), ("candidate", value))
+            elif value == own:
+                context.state["leader"] = own
+                context.send(self._successor(context), ("elected", own))
+            # Smaller identifiers are swallowed.
+        elif kind == "elected":
+            if context.state["leader"] is None:
+                context.state["leader"] = value
+                context.send(self._successor(context), ("elected", value))
+            context.halt()
+
+
+def ring_election_oriented(network: RootedNetwork, orientation: ChordalOrientation) -> ElectionOutcome:
+    """Chang-Roberts election on the ring oriented by ``orientation``."""
+    _require_ring(network)
+    orientation.require_valid(network)
+    result = SynchronousSimulator(network, _ChangRoberts(orientation)).run()
+    leaders = {
+        result.state_of(node).get("leader")
+        for node in network.nodes()
+        if result.state_of(node).get("leader") is not None
+    }
+    if len(leaders) != 1:
+        raise SimulationError(f"oriented election produced leaders {leaders}")
+    return ElectionOutcome(
+        messages=result.messages_sent, rounds=result.rounds, leader_identifier=leaders.pop()
+    )
+
+
+# ----------------------------------------------------------------------
+# Unoriented ring: bidirectional campaign / absorb
+# ----------------------------------------------------------------------
+class _BidirectionalElection(NodeProgram):
+    """Election on an unoriented ring by campaigning in both directions.
+
+    Because a processor cannot tell its two links apart, it campaigns over
+    both of them; a candidate identifier is forwarded (away from the link it
+    arrived on) whenever it beats the identifier of the processor relaying it,
+    and is absorbed otherwise -- i.e. Chang-Roberts run simultaneously in both
+    directions.  When a processor receives its own identifier back it declares
+    itself leader and announces the result both ways.  Every message of the
+    oriented run is thus paid (roughly) twice, which is what the comparison
+    quantifies.
+    """
+
+    def __init__(self, identifiers: dict[int, int]) -> None:
+        self._identifiers = identifiers
+
+    def on_start(self, context: Context) -> None:
+        identifier = self._identifiers[context.node]
+        context.state["id"] = identifier
+        context.state["leader"] = None
+        context.send_all(("candidate", identifier))
+
+    def on_message(self, context: Context, sender: int, payload: Any) -> None:
+        kind, value = payload
+        state = context.state
+        if kind == "candidate":
+            if value == state["id"]:
+                if state["leader"] is None:
+                    state["leader"] = value
+                    context.send_all(("elected", value))
+            elif value > state["id"]:
+                # Forward away from the sender (the other link of the ring).
+                context.send_all(("candidate", value), exclude=sender)
+        elif kind == "elected":
+            if state["leader"] is None:
+                state["leader"] = value
+                context.send_all(("elected", value), exclude=sender)
+            context.halt()
+
+
+def ring_election_unoriented(
+    network: RootedNetwork, identifiers: dict[int, int] | None = None
+) -> ElectionOutcome:
+    """Bidirectional election on the same ring without using any orientation."""
+    _require_ring(network)
+    if identifiers is None:
+        identifiers = {node: node for node in network.nodes()}
+    if len(set(identifiers.values())) != network.n:
+        raise SimulationError("election identifiers must be unique")
+    result = SynchronousSimulator(network, _BidirectionalElection(identifiers)).run()
+    leaders = {
+        result.state_of(node).get("leader")
+        for node in network.nodes()
+        if result.state_of(node).get("leader") is not None
+    }
+    if len(leaders) != 1:
+        raise SimulationError(f"unoriented election produced leaders {leaders}")
+    return ElectionOutcome(
+        messages=result.messages_sent, rounds=result.rounds, leader_identifier=leaders.pop()
+    )
+
+
+__all__ = ["ElectionOutcome", "ring_election_oriented", "ring_election_unoriented"]

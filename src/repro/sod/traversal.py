@@ -1,0 +1,257 @@
+"""Depth-first traversal and broadcast, with and without a sense of direction.
+
+The classic observation (Santoro 1984; Flocchini, Mans, Santoro 1995 -- the
+works the thesis cites as motivation) is that a traversal token in an
+*unoriented* network cannot tell whether a neighbor has already been visited:
+it must either traverse the link to find out (paying two messages per
+non-tree edge) or probe it and wait for a reply.  With a chordal sense of
+direction the token can carry the *names* of the visited processors; since a
+processor can derive the name behind each of its links from the link label,
+it forwards the token only over links leading to unvisited processors, and the
+traversal costs ``2(n-1)`` messages instead of ``Theta(m)``.
+
+Both variants are implemented as programs for the synchronous message-passing
+simulator, so the message counts reported by EXP-A1 are measured, not assumed.
+Broadcast is treated the same way: plain flooding versus flooding in which a
+processor uses the sense of direction to skip links whose far end is already
+known to have been informed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.chordal import ChordalOrientation
+from repro.errors import SimulationError
+from repro.graphs.network import RootedNetwork
+from repro.msgpass.node import Context, NodeProgram
+from repro.msgpass.simulator import SimulationResult, SynchronousSimulator
+
+
+@dataclass(frozen=True)
+class TraversalOutcome:
+    """What a traversal/broadcast run produced."""
+
+    messages: int
+    rounds: int
+    visited: int
+
+    @property
+    def complete(self) -> bool:
+        """Whether every processor was reached."""
+        return self.visited > 0
+
+
+# ----------------------------------------------------------------------
+# Depth-first traversal WITHOUT a sense of direction
+# ----------------------------------------------------------------------
+class _DFSWithoutSoD(NodeProgram):
+    """Classic DFS token traversal: the token must explore every incident link.
+
+    Without a sense of direction a processor cannot tell whether the far end
+    of a link has been visited, so it delegates the token over every
+    non-parent link once; an already-visited receiver bounces the token
+    straight back.  Every non-tree link therefore costs two messages in each
+    direction it is probed, giving the classic ``Theta(m)`` message bound the
+    sense of direction removes.
+    """
+
+    TOKEN = "token"
+
+    def on_start(self, context: Context) -> None:
+        state = context.state
+        state.setdefault("visited", False)
+        state.setdefault("parent", None)
+        state.setdefault("delegated", [])  # links the token was sent over
+        state.setdefault("pending", None)  # link the token is currently out on
+        if context.is_root:
+            state["visited"] = True
+            self._explore(context)
+
+    def on_message(self, context: Context, sender: int, payload: Any) -> None:
+        state = context.state
+        if not state["visited"]:
+            # First visit: adopt the sender as parent and keep exploring.
+            state["visited"] = True
+            state["parent"] = sender
+            self._explore(context)
+            return
+        if sender == state["pending"]:
+            # The token returned from the processor we delegated it to.
+            self._explore(context)
+            return
+        # A probe over a link whose far end (us) is already visited: bounce it
+        # back so the sender can try its next link.
+        context.send(sender, self.TOKEN)
+
+    def _explore(self, context: Context) -> None:
+        state = context.state
+        for neighbor in context.neighbors:
+            if neighbor == state["parent"] or neighbor in state["delegated"]:
+                continue
+            state["delegated"].append(neighbor)
+            state["pending"] = neighbor
+            context.send(neighbor, self.TOKEN)
+            return
+        state["pending"] = None
+        parent = state["parent"]
+        if parent is None:
+            context.halt()
+        else:
+            context.send(parent, self.TOKEN)
+
+
+def dfs_traversal_without_sod(network: RootedNetwork) -> TraversalOutcome:
+    """Run the unoriented DFS traversal and report its message count."""
+    result = SynchronousSimulator(network, _DFSWithoutSoD()).run()
+    return _outcome(result, network)
+
+
+# ----------------------------------------------------------------------
+# Depth-first traversal WITH a chordal sense of direction
+# ----------------------------------------------------------------------
+class _DFSWithSoD(NodeProgram):
+    """DFS traversal whose token carries the set of visited *names*.
+
+    At each processor the sense of direction turns the visited-name set into a
+    visited-link set (the name behind a link is derivable from its label), so
+    the token only ever travels over tree links: ``2(n-1)`` messages.
+    """
+
+    def __init__(self, orientation: ChordalOrientation) -> None:
+        self._orientation = orientation
+
+    def on_start(self, context: Context) -> None:
+        context.state.setdefault("parent", None)
+        if context.is_root:
+            visited = frozenset({self._orientation.name_of(context.node)})
+            self._forward(context, visited)
+
+    def on_message(self, context: Context, sender: int, payload: Any) -> None:
+        kind, visited = payload
+        if kind == "token":
+            if context.state["parent"] is None and not context.is_root:
+                context.state["parent"] = sender
+            visited = visited | {self._orientation.name_of(context.node)}
+        self._forward(context, visited)
+
+    def _forward(self, context: Context, visited: frozenset[int]) -> None:
+        for neighbor in context.neighbors:
+            neighbor_name = self._orientation.neighbor_name(context.node, neighbor)
+            if neighbor_name not in visited:
+                context.send(neighbor, ("token", visited))
+                return
+        parent = context.state["parent"]
+        if parent is not None:
+            context.send(parent, ("return", visited))
+        else:
+            context.halt()
+
+
+def dfs_traversal_with_sod(network: RootedNetwork, orientation: ChordalOrientation) -> TraversalOutcome:
+    """Run the sense-of-direction DFS traversal and report its message count."""
+    orientation.require_valid(network)
+    result = SynchronousSimulator(network, _DFSWithSoD(orientation)).run()
+    return _outcome(result, network)
+
+
+# ----------------------------------------------------------------------
+# Broadcast
+# ----------------------------------------------------------------------
+class _FloodingBroadcast(NodeProgram):
+    """Plain flooding: forward the first copy to every neighbor but the sender."""
+
+    def on_start(self, context: Context) -> None:
+        context.state.setdefault("informed", False)
+        if context.is_root:
+            context.state["informed"] = True
+            context.send_all("data")
+
+    def on_message(self, context: Context, sender: int, payload: Any) -> None:
+        if context.state.get("informed"):
+            return
+        context.state["informed"] = True
+        context.send_all("data", exclude=sender)
+
+
+class _SoDBroadcast(NodeProgram):
+    """Flooding that skips links whose far end is already known to be informed.
+
+    Each message carries the set of names its sender knows to have been
+    informed; the receiver extends the set with itself and only forwards over
+    links whose derived far-end name is not in the set.  The sense of
+    direction is what makes "the far end of this link" a well-defined name.
+    """
+
+    def __init__(self, orientation: ChordalOrientation) -> None:
+        self._orientation = orientation
+
+    def on_start(self, context: Context) -> None:
+        context.state.setdefault("informed", False)
+        if context.is_root:
+            context.state["informed"] = True
+            own = self._orientation.name_of(context.node)
+            known = frozenset(
+                {own} | {self._orientation.neighbor_name(context.node, q) for q in context.neighbors}
+            )
+            for neighbor in context.neighbors:
+                context.send(neighbor, known)
+
+    def on_message(self, context: Context, sender: int, payload: Any) -> None:
+        if context.state.get("informed"):
+            return
+        context.state["informed"] = True
+        known: frozenset[int] = payload | {self._orientation.name_of(context.node)}
+        targets = []
+        for neighbor in context.neighbors:
+            name = self._orientation.neighbor_name(context.node, neighbor)
+            if name not in known:
+                targets.append((neighbor, name))
+        known = known | {name for _, name in targets}
+        for neighbor, _ in targets:
+            context.send(neighbor, known)
+
+
+def broadcast_without_sod(network: RootedNetwork) -> TraversalOutcome:
+    """Flooding broadcast from the root; ~2m - (n-1) messages."""
+    result = SynchronousSimulator(network, _FloodingBroadcast()).run()
+    return _broadcast_outcome(result, network)
+
+
+def broadcast_with_sod(network: RootedNetwork, orientation: ChordalOrientation) -> TraversalOutcome:
+    """Sense-of-direction broadcast from the root; close to n - 1 messages on dense networks."""
+    orientation.require_valid(network)
+    result = SynchronousSimulator(network, _SoDBroadcast(orientation)).run()
+    return _broadcast_outcome(result, network)
+
+
+# ----------------------------------------------------------------------
+# Shared post-processing
+# ----------------------------------------------------------------------
+def _outcome(result: SimulationResult, network: RootedNetwork) -> TraversalOutcome:
+    visited = sum(
+        1
+        for node in network.nodes()
+        if result.state_of(node).get("visited") or result.state_of(node).get("parent") is not None
+        or network.is_root(node)
+    )
+    if visited != network.n:
+        raise SimulationError(f"traversal reached only {visited} of {network.n} processors")
+    return TraversalOutcome(messages=result.messages_sent, rounds=result.rounds, visited=visited)
+
+
+def _broadcast_outcome(result: SimulationResult, network: RootedNetwork) -> TraversalOutcome:
+    informed = sum(1 for node in network.nodes() if result.state_of(node).get("informed"))
+    if informed != network.n:
+        raise SimulationError(f"broadcast reached only {informed} of {network.n} processors")
+    return TraversalOutcome(messages=result.messages_sent, rounds=result.rounds, visited=informed)
+
+
+__all__ = [
+    "TraversalOutcome",
+    "dfs_traversal_without_sod",
+    "dfs_traversal_with_sod",
+    "broadcast_without_sod",
+    "broadcast_with_sod",
+]

@@ -1,0 +1,41 @@
+"""Underlying self-stabilizing protocols the orientation layers build on.
+
+The thesis *assumes* these layers exist (citing Datta et al. for depth-first
+token circulation and the classic literature for spanning-tree construction);
+this package implements them so the reproduction is self-contained:
+
+* :mod:`~repro.substrates.token_circulation` -- deterministic depth-first
+  token circulation on an arbitrary rooted network, with local error detection
+  and top-down cleaning so that it recovers from arbitrary states.  DFTNO is
+  layered on it.
+* :mod:`~repro.substrates.spanning_tree` -- a BFS spanning tree built by
+  distance relaxation (Dolev-Israeli-Moran / Chen-Yu-Huang style) and a DFS
+  spanning tree extracted from the token circulation.  STNO is layered on
+  either.
+* :mod:`~repro.substrates.dijkstra_ring` -- Dijkstra's K-state token ring, the
+  canonical self-stabilizing protocol referenced in the introduction; used to
+  validate the runtime and in examples.
+* :mod:`~repro.substrates.pif` -- propagation of information with feedback on
+  a rooted tree, another classic wave substrate mentioned in the related work.
+"""
+
+from repro.substrates.token_circulation import DepthFirstTokenCirculation, dfs_preorder
+from repro.substrates.spanning_tree import (
+    SpanningTreeProtocol,
+    BFSSpanningTree,
+    DFSSpanningTree,
+    tree_parents_from_configuration,
+)
+from repro.substrates.dijkstra_ring import DijkstraTokenRing
+from repro.substrates.pif import PIFWave
+
+__all__ = [
+    "DepthFirstTokenCirculation",
+    "dfs_preorder",
+    "SpanningTreeProtocol",
+    "BFSSpanningTree",
+    "DFSSpanningTree",
+    "tree_parents_from_configuration",
+    "DijkstraTokenRing",
+    "PIFWave",
+]

@@ -1,0 +1,434 @@
+"""Self-stabilizing depth-first token circulation on an arbitrary rooted network.
+
+DFTNO (Chapter 3) assumes an underlying protocol in the style of Datta,
+Johnen, Petit and Villain [10]: a single token circulates forever in a
+*deterministic* depth-first order, every processor receives it exactly once
+per round after stabilization, and the layer above can observe
+
+* ``Forward(p)`` -- the step at which ``p`` receives the token for the first
+  time in the current round (from its parent ``A_p``), and
+* ``Backtrack(p)`` -- the steps at which the token returns to ``p`` from a
+  descendant ``D_p``.
+
+This module implements such a layer from scratch.
+
+Design
+------
+Each wave (round of token circulation) is a depth-first traversal identified
+by a parity bit.  Every processor stores:
+
+* ``tc_st``   -- ``ACTIVE`` while the processor is on the DFS stack (the
+  deepest active processor holds the token), ``WAIT`` otherwise;
+* ``tc_wave`` -- the parity of the last wave the processor joined.  A
+  processor is *unvisited* for a traversal of parity ``w`` exactly when it is
+  waiting with ``tc_wave != w``; finishing a wave therefore needs no explicit
+  cleaning phase -- the next wave simply uses the opposite parity;
+* ``tc_par`` / ``tc_child`` -- the ancestor the token arrived from (``A_p``)
+  and the descendant currently delegated to (``D_p``);
+* ``tc_lvl``  -- the processor's depth on the current stack, used for local
+  error detection.
+
+The root starts a wave by flipping its parity and becoming active; an active
+processor delegates the token to its first unvisited neighbor in port order
+(the determinism DFTNO relies on) and returns to ``WAIT`` (backtracks) when
+none remains.  When the root returns to ``WAIT`` the wave is over and the next
+one may start immediately.
+
+Self-stabilization is by local checking: an active non-root processor whose
+parent pointer, parent's child pointer, wave parity or level (``lvl =
+lvl_parent + 1 <= n - 1``) are inconsistent resets to ``WAIT``.  Spurious
+active segments therefore erode from their top (a parent cycle can never have
+consistent strictly increasing levels), and can only recruit boundedly many
+processors before hitting the level bound; once they are gone, every wave
+started by the root visits every processor exactly once and the composed
+system satisfies the interface the thesis assumes of [10].  The construction
+matches the *interface and complexity class* of [10] (O(log N) bits per
+processor), not its exact rule set, which the thesis does not reproduce
+either; the substitution is recorded in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.graphs.network import RootedNetwork
+from repro.runtime.actions import Action
+from repro.runtime.configuration import Configuration
+from repro.runtime.processor import ProcessorView
+from repro.runtime.protocol import Protocol
+from repro.runtime.variables import VariableSpec, enum_variable, int_variable, pointer_variable
+
+# Traversal states.
+WAIT = "wait"
+ACTIVE = "active"
+
+# Variable names (prefixed to keep composed namespaces disjoint).
+VAR_STATE = "tc_st"
+VAR_WAVE = "tc_wave"
+VAR_PARENT = "tc_par"
+VAR_CHILD = "tc_child"
+VAR_LEVEL = "tc_lvl"
+
+
+def dfs_preorder(network: RootedNetwork) -> list[int]:
+    """The deterministic DFS preorder the token follows (root first, port order).
+
+    This is the reference order used by correctness checks and by the
+    DFTNO <-> STNO equivalence experiment: after stabilization, the token
+    visits processors exactly in this order every round, and DFTNO names the
+    ``i``-th processor of this list ``i``.
+    """
+    root = network.root
+    visited: set[int] = {root}
+    order: list[int] = [root]
+    # Explicit stack mirroring the token's behaviour: the holder repeatedly
+    # delegates to its first *currently* unvisited neighbor in port order and
+    # backtracks when none remains.
+    stack: list[int] = [root]
+    while stack:
+        node = stack[-1]
+        next_child = None
+        for neighbor in network.neighbors(node):
+            if neighbor not in visited:
+                next_child = neighbor
+                break
+        if next_child is None:
+            stack.pop()
+        else:
+            visited.add(next_child)
+            order.append(next_child)
+            stack.append(next_child)
+    return order
+
+
+class DepthFirstTokenCirculation(Protocol):
+    """Deterministic, self-stabilizing DFS token circulation (see module docstring).
+
+    Action labels exposed for composition hooks (used by DFTNO):
+
+    * :attr:`ACTION_ROOT_START` -- the root creates the token (the root's
+      ``Forward``);
+    * :attr:`ACTION_FORWARD` -- a non-root processor receives the token for
+      the first time in the wave (``Forward(p)``);
+    * :attr:`ACTION_DELEGATE` / :attr:`ACTION_ROOT_DELEGATE` -- the holder
+      passes the token to its next unvisited neighbor; when the previous
+      delegation just completed this is the moment the token *backtracked* to
+      the processor (``Backtrack(p)``);
+    * :attr:`ACTION_FINISH` / :attr:`ACTION_ROOT_FINISH` -- no unvisited
+      neighbor remains; the processor backtracks the token to its parent (the
+      root instead ends the wave).
+    """
+
+    name = "dftc"
+
+    ACTION_ROOT_NORMALIZE = "TC-RootNormalize"
+    ACTION_ROOT_START = "TC-RootStart"
+    ACTION_ROOT_DELEGATE = "TC-RootDelegate"
+    ACTION_ROOT_FINISH = "TC-RootFinish"
+    ACTION_ERROR = "TC-Error"
+    ACTION_FORWARD = "TC-Forward"
+    ACTION_DELEGATE = "TC-Delegate"
+    ACTION_FINISH = "TC-Finish"
+
+    #: Action labels that correspond to the paper's ``Forward(p)`` predicate.
+    FORWARD_ACTIONS = (ACTION_ROOT_START, ACTION_FORWARD)
+    #: Action labels after which the token has just returned from a descendant.
+    BACKTRACK_ACTIONS = (
+        ACTION_ROOT_DELEGATE,
+        ACTION_ROOT_FINISH,
+        ACTION_DELEGATE,
+        ACTION_FINISH,
+    )
+
+    # ------------------------------------------------------------------
+    # Variable declarations
+    # ------------------------------------------------------------------
+    def variables(self, network: RootedNetwork, node: int) -> Sequence[VariableSpec]:
+        max_level = max(network.n - 1, 0)
+        return [
+            enum_variable(
+                VAR_STATE,
+                (WAIT, ACTIVE),
+                initial=WAIT,
+                description="ACTIVE while on the DFS stack of the current wave",
+            ),
+            enum_variable(
+                VAR_WAVE,
+                (0, 1),
+                initial=0,
+                description="parity of the last wave this processor joined",
+            ),
+            pointer_variable(
+                VAR_PARENT,
+                allow_none=True,
+                description="ancestor A_p: the neighbor the token arrived from",
+            ),
+            pointer_variable(
+                VAR_CHILD,
+                allow_none=True,
+                description="descendant D_p: the neighbor currently delegated to",
+            ),
+            int_variable(
+                VAR_LEVEL,
+                0,
+                max_level,
+                initial=0,
+                description="depth on the current DFS stack (error detection)",
+            ),
+        ]
+
+    # ------------------------------------------------------------------
+    # Local predicates
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _unvisited_neighbors(view: ProcessorView) -> list[int]:
+        """Neighbors not yet visited by the wave this processor belongs to."""
+        wave = view.read(VAR_WAVE)
+        unvisited = []
+        for q in view.neighbors:
+            if view.read_neighbor(q, VAR_STATE) == WAIT and view.read_neighbor(q, VAR_WAVE) != wave:
+                unvisited.append(q)
+        return unvisited
+
+    @staticmethod
+    def _child_settled(view: ProcessorView) -> bool:
+        """The current delegation, if any, has completed (child visited and waiting)."""
+        child = view.read(VAR_CHILD)
+        if child is None:
+            return True
+        if child not in view.network.neighbor_set(view.node):
+            return True
+        return (
+            view.read_neighbor(child, VAR_STATE) == WAIT
+            and view.read_neighbor(child, VAR_WAVE) == view.read(VAR_WAVE)
+        )
+
+    def _valid_active(self, view: ProcessorView) -> bool:
+        """Consistency of an ACTIVE non-root processor with its parent."""
+        parent = view.read(VAR_PARENT)
+        if parent is None or parent not in view.network.neighbor_set(view.node):
+            return False
+        level = view.read(VAR_LEVEL)
+        if level > view.network.n - 1:
+            return False
+        if view.read_neighbor(parent, VAR_STATE) != ACTIVE:
+            return False
+        if view.read_neighbor(parent, VAR_CHILD) != view.node:
+            return False
+        if view.read_neighbor(parent, VAR_WAVE) != view.read(VAR_WAVE):
+            return False
+        return level == view.read_neighbor(parent, VAR_LEVEL) + 1
+
+    @staticmethod
+    def holds_token(view: ProcessorView) -> bool:
+        """Whether the processor currently holds the circulating token.
+
+        A processor holds the token when it is on the DFS stack and is not
+        waiting on an active descendant; DFTNO uses the negation of this as
+        part of its edge-relabeling guard (the paper's ``~Forward /\\
+        ~Backtrack``).
+        """
+        if view.read(VAR_STATE) != ACTIVE:
+            return False
+        child = view.read(VAR_CHILD)
+        if child is None or child not in view.network.neighbor_set(view.node):
+            return True
+        return view.read_neighbor(child, VAR_STATE) != ACTIVE
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _delegate(self, view: ProcessorView) -> None:
+        unvisited = self._unvisited_neighbors(view)
+        if unvisited:
+            view.write(VAR_CHILD, unvisited[0])
+
+    @staticmethod
+    def _retire(view: ProcessorView) -> None:
+        view.write(VAR_STATE, WAIT)
+        view.write(VAR_CHILD, None)
+
+    # ------------------------------------------------------------------
+    # Programs
+    # ------------------------------------------------------------------
+    def actions(self, network: RootedNetwork, node: int) -> Sequence[Action]:
+        if network.is_root(node):
+            return self._root_actions()
+        return self._non_root_actions()
+
+    def _root_actions(self) -> list[Action]:
+        def normalize_guard(view: ProcessorView) -> bool:
+            return view.read(VAR_PARENT) is not None or view.read(VAR_LEVEL) != 0
+
+        def normalize(view: ProcessorView) -> None:
+            view.write(VAR_PARENT, None)
+            view.write(VAR_LEVEL, 0)
+
+        def start_guard(view: ProcessorView) -> bool:
+            return view.read(VAR_STATE) == WAIT
+
+        def start(view: ProcessorView) -> None:
+            view.write(VAR_STATE, ACTIVE)
+            view.write(VAR_WAVE, 1 - view.read(VAR_WAVE))
+            view.write(VAR_CHILD, None)
+            view.write(VAR_PARENT, None)
+            view.write(VAR_LEVEL, 0)
+
+        def delegate_guard(view: ProcessorView) -> bool:
+            return (
+                view.read(VAR_STATE) == ACTIVE
+                and self._child_settled(view)
+                and bool(self._unvisited_neighbors(view))
+            )
+
+        def finish_guard(view: ProcessorView) -> bool:
+            return (
+                view.read(VAR_STATE) == ACTIVE
+                and self._child_settled(view)
+                and not self._unvisited_neighbors(view)
+            )
+
+        return [
+            Action(self.ACTION_ROOT_NORMALIZE, normalize_guard, normalize, layer=self.name, priority=0),
+            Action(self.ACTION_ROOT_DELEGATE, delegate_guard, self._delegate, layer=self.name, priority=1),
+            Action(self.ACTION_ROOT_FINISH, finish_guard, self._retire, layer=self.name, priority=2),
+            Action(self.ACTION_ROOT_START, start_guard, start, layer=self.name, priority=3),
+        ]
+
+    def _non_root_actions(self) -> list[Action]:
+        def error_guard(view: ProcessorView) -> bool:
+            return view.read(VAR_STATE) == ACTIVE and not self._valid_active(view)
+
+        def error_reset(view: ProcessorView) -> None:
+            self._retire(view)
+
+        def forward_guard(view: ProcessorView) -> bool:
+            if view.read(VAR_STATE) != WAIT:
+                return False
+            return self._forwarding_parent(view) is not None
+
+        def forward(view: ProcessorView) -> None:
+            parent = self._forwarding_parent(view)
+            if parent is None:  # pragma: no cover - guarded by forward_guard
+                return
+            view.write(VAR_STATE, ACTIVE)
+            view.write(VAR_WAVE, view.read_neighbor(parent, VAR_WAVE))
+            view.write(VAR_PARENT, parent)
+            view.write(VAR_CHILD, None)
+            view.write(VAR_LEVEL, view.read_neighbor(parent, VAR_LEVEL) + 1)
+
+        def delegate_guard(view: ProcessorView) -> bool:
+            return (
+                view.read(VAR_STATE) == ACTIVE
+                and self._valid_active(view)
+                and self._child_settled(view)
+                and bool(self._unvisited_neighbors(view))
+            )
+
+        def finish_guard(view: ProcessorView) -> bool:
+            return (
+                view.read(VAR_STATE) == ACTIVE
+                and self._valid_active(view)
+                and self._child_settled(view)
+                and not self._unvisited_neighbors(view)
+            )
+
+        return [
+            Action(self.ACTION_ERROR, error_guard, error_reset, layer=self.name, priority=0),
+            Action(self.ACTION_FORWARD, forward_guard, forward, layer=self.name, priority=1),
+            Action(self.ACTION_DELEGATE, delegate_guard, self._delegate, layer=self.name, priority=2),
+            Action(self.ACTION_FINISH, finish_guard, self._retire, layer=self.name, priority=3),
+        ]
+
+    def _forwarding_parent(self, view: ProcessorView) -> int | None:
+        """The first neighbor (port order) currently delegating the token to us."""
+        max_level = view.network.n - 1
+        own_wave = view.read(VAR_WAVE)
+        for q in view.neighbors:
+            if (
+                view.read_neighbor(q, VAR_STATE) == ACTIVE
+                and view.read_neighbor(q, VAR_CHILD) == view.node
+                and view.read_neighbor(q, VAR_WAVE) != own_wave
+                and view.read_neighbor(q, VAR_LEVEL) + 1 <= max_level
+            ):
+                return q
+        return None
+
+    # ------------------------------------------------------------------
+    # Legitimacy
+    # ------------------------------------------------------------------
+    def legitimate(self, network: RootedNetwork, configuration: Configuration) -> bool:
+        """Structural legitimacy of the token layer (``L_TC`` in the thesis).
+
+        The root carries no parent pointer and level 0, every active non-root
+        processor is consistently stacked under an active parent of the same
+        wave (hence the active processors form a single DFS stack starting at
+        the root), and there is at most one token holder.
+        """
+        root = network.root
+        if configuration.get(root, VAR_PARENT) is not None:
+            return False
+        if configuration.get(root, VAR_LEVEL) != 0:
+            return False
+
+        any_active_non_root = False
+        for node in network.nodes():
+            if configuration.get(node, VAR_LEVEL) > network.n - 1:
+                return False
+            if node == root:
+                continue
+            if configuration.get(node, VAR_STATE) != ACTIVE:
+                continue
+            any_active_non_root = True
+            parent = configuration.get(node, VAR_PARENT)
+            if parent is None or parent not in network.neighbor_set(node):
+                return False
+            if configuration.get(parent, VAR_STATE) != ACTIVE:
+                return False
+            if configuration.get(parent, VAR_CHILD) != node:
+                return False
+            if configuration.get(parent, VAR_WAVE) != configuration.get(node, VAR_WAVE):
+                return False
+            if configuration.get(node, VAR_LEVEL) != configuration.get(parent, VAR_LEVEL) + 1:
+                return False
+
+        if any_active_non_root and configuration.get(root, VAR_STATE) != ACTIVE:
+            return False
+        return len(self.token_holders(network, configuration)) <= 1
+
+    # ------------------------------------------------------------------
+    # Introspection helpers used by experiments and by DFTNO
+    # ------------------------------------------------------------------
+    @staticmethod
+    def token_holders(network: RootedNetwork, configuration: Configuration) -> list[int]:
+        """Processors currently holding the token (exactly one once legitimate and active)."""
+        holders = []
+        for node in network.nodes():
+            if configuration.get(node, VAR_STATE) != ACTIVE:
+                continue
+            child = configuration.get(node, VAR_CHILD)
+            if child is None or child not in network.neighbor_set(node):
+                holders.append(node)
+            elif configuration.get(child, VAR_STATE) != ACTIVE:
+                holders.append(node)
+        return holders
+
+    @staticmethod
+    def traversal_parents(
+        network: RootedNetwork, configuration: Configuration
+    ) -> dict[int, int | None]:
+        """Current parent pointers ``A_p`` (the DFS tree being traced out)."""
+        return {node: configuration.get(node, VAR_PARENT) for node in network.nodes()}
+
+
+__all__ = [
+    "DepthFirstTokenCirculation",
+    "dfs_preorder",
+    "WAIT",
+    "ACTIVE",
+    "VAR_STATE",
+    "VAR_WAVE",
+    "VAR_PARENT",
+    "VAR_CHILD",
+    "VAR_LEVEL",
+]

@@ -1,0 +1,128 @@
+"""Tests for the reporting helpers and the space-accounting rows."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.reporting import format_table, linear_fit, ratio, summarize
+from repro.analysis.space import orientation_space_row, space_rows
+from repro.graphs import generators
+
+
+# ----------------------------------------------------------------------
+# format_table
+# ----------------------------------------------------------------------
+def test_format_table_renders_columns_in_order():
+    rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.5}]
+    text = format_table(rows, columns=["b", "a"], title="demo")
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    assert lines[1].startswith("b")
+    assert "2.50" in text and "10" in text
+
+
+def test_format_table_defaults_and_booleans():
+    text = format_table([{"ok": True, "label": "x"}])
+    assert "yes" in text
+    assert "label" in text
+
+
+def test_format_table_empty_rows():
+    assert "(no data)" in format_table([], title="empty")
+    assert format_table([]) == "(no data)"
+
+
+def test_format_table_missing_cells_render_blank():
+    text = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+    assert "3" in text
+
+
+# ----------------------------------------------------------------------
+# linear_fit / summarize / ratio
+# ----------------------------------------------------------------------
+def test_linear_fit_recovers_exact_line():
+    xs = [1, 2, 3, 4, 5]
+    ys = [3 * x + 2 for x in xs]
+    fit = linear_fit(xs, ys)
+    assert fit["slope"] == pytest.approx(3.0)
+    assert fit["intercept"] == pytest.approx(2.0)
+    assert fit["r_squared"] == pytest.approx(1.0)
+
+
+def test_linear_fit_constant_series_has_unit_r_squared():
+    fit = linear_fit([1, 2, 3], [5, 5, 5])
+    assert fit["slope"] == pytest.approx(0.0)
+    assert fit["r_squared"] == pytest.approx(1.0)
+
+
+def test_linear_fit_noisy_data_r_squared_below_one():
+    fit = linear_fit([1, 2, 3, 4], [2, 1, 4, 3])
+    assert 0.0 <= fit["r_squared"] < 1.0
+
+
+def test_linear_fit_input_validation():
+    with pytest.raises(ValueError):
+        linear_fit([1], [2])
+    with pytest.raises(ValueError):
+        linear_fit([1, 2], [1])
+    with pytest.raises(ValueError):
+        linear_fit([2, 2, 2], [1, 2, 3])
+
+
+def test_summarize_statistics():
+    stats = summarize([2, 4, 6])
+    assert stats["count"] == 3
+    assert stats["mean"] == pytest.approx(4.0)
+    assert stats["min"] == 2 and stats["max"] == 6
+    assert stats["std"] == pytest.approx(math.sqrt(8 / 3))
+
+
+def test_summarize_empty_series():
+    stats = summarize([])
+    assert stats["count"] == 0
+    assert math.isnan(stats["mean"])
+
+
+def test_ratio_handles_zero_denominator():
+    assert ratio(4, 2) == 2
+    assert ratio(1, 0) == math.inf
+
+
+# ----------------------------------------------------------------------
+# Space rows (EXP-T3)
+# ----------------------------------------------------------------------
+def test_orientation_space_row_fields():
+    row = orientation_space_row(generators.ring(16))
+    assert row["n"] == 16
+    assert row["max_degree"] == 2
+    assert row["dftno_total_max_bits"] == row["dftno_overlay_max_bits"] + row["dftno_substrate_max_bits"]
+    assert row["stno_total_max_bits"] == row["stno_overlay_max_bits"] + row["stno_substrate_max_bits"]
+
+
+def test_overlay_space_identical_shape_for_both_protocols():
+    # Both orientation layers store eta + pi (+ one extra log N word), so their
+    # costs track each other and the Delta*logN bound.
+    for network in (generators.ring(32), generators.star(32), generators.complete(16)):
+        row = orientation_space_row(network)
+        assert row["dftno_overlay_max_bits"] <= row["bound_delta_log_n"] + row["log_n_bits"]
+        assert row["stno_overlay_max_bits"] >= row["dftno_overlay_max_bits"]
+
+
+def test_dftno_substrate_is_logarithmic_and_stno_substrate_smaller_topologies():
+    small = orientation_space_row(generators.ring(8))
+    large = orientation_space_row(generators.ring(128))
+    # Token-circulation substrate grows with log N only.
+    assert large["dftno_substrate_max_bits"] <= small["dftno_substrate_max_bits"] + 10
+    # Orientation overlay grows with Delta * log N: compare star hubs.
+    star_small = orientation_space_row(generators.star(8))
+    star_large = orientation_space_row(generators.star(64))
+    assert star_large["dftno_overlay_max_bits"] > 4 * star_small["dftno_overlay_max_bits"] / 2
+
+
+def test_space_rows_covers_all_networks():
+    networks = [generators.ring(8), generators.star(8)]
+    rows = space_rows(networks)
+    assert len(rows) == 2
+    assert {row["network"] for row in rows} == {networks[0].name, networks[1].name}

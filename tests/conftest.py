@@ -1,0 +1,60 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs import generators
+from repro.graphs.network import RootedNetwork
+
+
+@pytest.fixture
+def small_ring() -> RootedNetwork:
+    """A 6-processor ring."""
+    return generators.ring(6)
+
+
+@pytest.fixture
+def small_tree() -> RootedNetwork:
+    """A 7-processor complete binary tree."""
+    return generators.kary_tree(7, 2)
+
+
+@pytest.fixture
+def small_random() -> RootedNetwork:
+    """A small random connected network with a few extra links."""
+    return generators.random_connected(9, extra_edge_probability=0.3, seed=17)
+
+
+@pytest.fixture
+def figure_network() -> RootedNetwork:
+    """The 5-processor network of Figure 3.1.1."""
+    return generators.figure_3_1_1_network()
+
+
+@pytest.fixture
+def figure_tree() -> RootedNetwork:
+    """The 5-processor tree of Figure 4.1.1."""
+    return generators.figure_4_1_1_network()
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A deterministic random generator for tests."""
+    return random.Random(12345)
+
+
+def topologies_for_sweeps() -> list[RootedNetwork]:
+    """A compact but varied set of topologies used by several test modules."""
+    return [
+        generators.path(5),
+        generators.ring(6),
+        generators.star(7),
+        generators.kary_tree(7, 2),
+        generators.complete(5),
+        generators.grid(3, 3),
+        generators.random_connected(10, seed=3),
+        generators.random_connected(12, extra_edge_probability=0.4, seed=8),
+    ]

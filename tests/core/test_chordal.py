@@ -1,0 +1,160 @@
+"""Unit tests for the chordal sense of direction (Section 2.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.chordal import (
+    ChordalOrientation,
+    chordal_edge_label,
+    inverse_label,
+    is_locally_oriented,
+)
+from repro.errors import SpecificationError
+from repro.graphs import generators
+
+
+def test_chordal_edge_label_definition():
+    assert chordal_edge_label(3, 1, 5) == 2
+    assert chordal_edge_label(1, 3, 5) == 3
+    assert chordal_edge_label(0, 4, 5) == 1
+    assert chordal_edge_label(4, 4, 5) == 0
+
+
+def test_chordal_edge_label_rejects_bad_modulus():
+    with pytest.raises(SpecificationError):
+        chordal_edge_label(1, 2, 0)
+
+
+def test_inverse_label_is_modular_inverse():
+    for modulus in (3, 5, 8):
+        for label in range(modulus):
+            assert (label + inverse_label(label, modulus)) % modulus == 0
+
+
+def test_inverse_label_rejects_bad_modulus():
+    with pytest.raises(SpecificationError):
+        inverse_label(1, -1)
+
+
+def test_edge_symmetry_of_chordal_labels():
+    # The label at one endpoint is the inverse (mod N) of the label at the other.
+    for modulus in (4, 7, 11):
+        for a in range(modulus):
+            for b in range(modulus):
+                if a == b:
+                    continue
+                assert chordal_edge_label(a, b, modulus) == inverse_label(
+                    chordal_edge_label(b, a, modulus), modulus
+                )
+
+
+def test_is_locally_oriented():
+    assert is_locally_oriented({1: 1, 2: 2, 3: 3})
+    assert not is_locally_oriented({1: 1, 2: 1})
+    assert is_locally_oriented({})
+
+
+# ----------------------------------------------------------------------
+# ChordalOrientation
+# ----------------------------------------------------------------------
+def test_from_names_builds_valid_orientation(small_random):
+    names = {node: node for node in small_random.nodes()}
+    orientation = ChordalOrientation.from_names(small_random, names)
+    assert orientation.is_valid(small_random)
+    assert orientation.modulus == small_random.n
+
+
+def test_name_and_node_lookup(small_ring):
+    names = {node: (node + 2) % small_ring.n for node in small_ring.nodes()}
+    orientation = ChordalOrientation.from_names(small_ring, names)
+    assert orientation.name_of(0) == 2
+    assert orientation.node_named(2) == 0
+    with pytest.raises(SpecificationError):
+        orientation.node_named(99)
+
+
+def test_neighbor_name_derivation(small_random):
+    names = {node: node for node in small_random.nodes()}
+    orientation = ChordalOrientation.from_names(small_random, names)
+    for node in small_random.nodes():
+        for neighbor in small_random.neighbors(node):
+            assert orientation.neighbor_name(node, neighbor) == names[neighbor]
+
+
+def test_cyclic_distance(small_ring):
+    names = {node: node for node in small_ring.nodes()}
+    orientation = ChordalOrientation.from_names(small_ring, names)
+    assert orientation.cyclic_distance(0, 2) == 2
+    assert orientation.cyclic_distance(2, 0) == small_ring.n - 2
+    assert orientation.cyclic_distance(3, 3) == 0
+
+
+def test_label_accessor(small_ring):
+    names = {node: node for node in small_ring.nodes()}
+    orientation = ChordalOrientation.from_names(small_ring, names)
+    assert orientation.label(1, 0) == 1
+    assert orientation.label(0, 1) == small_ring.n - 1
+
+
+def test_violations_detects_duplicate_names(small_ring):
+    names = {node: 0 for node in small_ring.nodes()}
+    orientation = ChordalOrientation.from_names(small_ring, names)
+    problems = orientation.violations(small_ring)
+    assert any("share name" in text for text in problems)
+    assert not orientation.is_valid(small_ring)
+
+
+def test_violations_detects_out_of_range_name(small_ring):
+    names = {node: node for node in small_ring.nodes()}
+    names[1] = 99
+    orientation = ChordalOrientation.from_names(small_ring, names)
+    assert any("outside" in text for text in orientation.violations(small_ring))
+
+
+def test_violations_detects_wrong_edge_label(small_ring):
+    names = {node: node for node in small_ring.nodes()}
+    orientation = ChordalOrientation.from_names(small_ring, names)
+    orientation.edge_labels[0][1] = (orientation.edge_labels[0][1] + 1) % small_ring.n
+    problems = orientation.violations(small_ring)
+    assert any("expected" in text for text in problems)
+
+
+def test_violations_detects_missing_name_and_label(small_ring):
+    orientation = ChordalOrientation(names={}, edge_labels={}, modulus=small_ring.n)
+    problems = orientation.violations(small_ring)
+    assert any("has no name" in text for text in problems)
+    assert any("unlabeled" in text for text in problems)
+
+
+def test_violations_detects_edge_symmetry_break(small_ring):
+    names = {node: node for node in small_ring.nodes()}
+    orientation = ChordalOrientation.from_names(small_ring, names)
+    # Break symmetry on one side only.
+    orientation.edge_labels[0][1] = 3
+    orientation.names[0] = 0  # keep names untouched
+    problems = orientation.violations(small_ring)
+    assert any("edge symmetry" in text for text in problems)
+
+
+def test_require_valid_raises_with_details(small_ring):
+    names = {node: 0 for node in small_ring.nodes()}
+    orientation = ChordalOrientation.from_names(small_ring, names)
+    with pytest.raises(SpecificationError) as excinfo:
+        orientation.require_valid(small_ring)
+    assert "share name" in str(excinfo.value)
+
+
+def test_format_lists_every_processor(small_ring):
+    names = {node: node for node in small_ring.nodes()}
+    orientation = ChordalOrientation.from_names(small_ring, names)
+    text = orientation.format(small_ring)
+    for node in small_ring.nodes():
+        assert f"processor {node}:" in text
+
+
+def test_explicit_modulus_larger_than_n(small_ring):
+    names = {node: node for node in small_ring.nodes()}
+    orientation = ChordalOrientation.from_names(small_ring, names, modulus=17)
+    assert orientation.modulus == 17
+    assert orientation.is_valid(small_ring)

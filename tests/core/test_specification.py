@@ -1,0 +1,118 @@
+"""Unit tests for the SP_NO specification checker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baseline import centralized_orientation
+from repro.core.specification import VAR_EDGE_LABELS, VAR_NAME, OrientationSpecification
+from repro.graphs import generators
+from repro.runtime.configuration import Configuration
+
+
+def configuration_from_orientation(network, orientation) -> Configuration:
+    return Configuration(
+        {
+            node: {
+                VAR_NAME: orientation.names[node],
+                VAR_EDGE_LABELS: dict(orientation.edge_labels[node]),
+            }
+            for node in network.nodes()
+        }
+    )
+
+
+@pytest.fixture
+def oriented_configuration(small_random):
+    orientation = centralized_orientation(small_random)
+    return configuration_from_orientation(small_random, orientation)
+
+
+def test_specification_holds_on_valid_orientation(small_random, oriented_configuration):
+    spec = OrientationSpecification()
+    report = spec.check(small_random, oriented_configuration)
+    assert report.sp1 and report.sp2 and report.holds
+    assert report.violations == ()
+    assert spec.holds(small_random, oriented_configuration)
+    assert spec.sp1_holds(small_random, oriented_configuration)
+
+
+def test_sp1_violation_duplicate_names(small_random, oriented_configuration):
+    oriented_configuration.set(1, VAR_NAME, oriented_configuration.get(2, VAR_NAME))
+    report = OrientationSpecification().check(small_random, oriented_configuration)
+    assert not report.sp1
+    assert any("SP1" in text for text in report.violations)
+
+
+def test_sp1_violation_out_of_range_name(small_random, oriented_configuration):
+    oriented_configuration.set(1, VAR_NAME, small_random.n + 3)
+    report = OrientationSpecification().check(small_random, oriented_configuration)
+    assert not report.sp1
+
+
+def test_sp1_violation_non_integer_name(small_random, oriented_configuration):
+    oriented_configuration.set(1, VAR_NAME, "three")
+    report = OrientationSpecification().check(small_random, oriented_configuration)
+    assert not report.sp1
+
+
+def test_sp2_violation_wrong_label(small_random, oriented_configuration):
+    node = 0
+    neighbor = small_random.neighbors(node)[0]
+    labels = oriented_configuration.get(node, VAR_EDGE_LABELS)
+    labels[neighbor] = (labels[neighbor] + 1) % small_random.n
+    oriented_configuration.set(node, VAR_EDGE_LABELS, labels)
+    report = OrientationSpecification().check(small_random, oriented_configuration)
+    assert report.sp1
+    assert not report.sp2
+    assert any("SP2" in text for text in report.violations)
+
+
+def test_sp2_violation_missing_label_map(small_random, oriented_configuration):
+    oriented_configuration.set(0, VAR_EDGE_LABELS, None)
+    report = OrientationSpecification().check(small_random, oriented_configuration)
+    assert not report.sp2
+
+
+def test_effective_modulus_defaults_to_network_size(small_ring):
+    spec = OrientationSpecification()
+    assert spec.effective_modulus(small_ring) == small_ring.n
+    assert OrientationSpecification(modulus=32).effective_modulus(small_ring) == 32
+
+
+def test_extract_round_trips_orientation(small_random, oriented_configuration):
+    spec = OrientationSpecification()
+    extracted = spec.extract(small_random, oriented_configuration)
+    assert extracted.is_valid(small_random)
+    reference = centralized_orientation(small_random)
+    assert extracted.names == reference.names
+
+
+def test_extract_handles_broken_label_maps(small_random, oriented_configuration):
+    oriented_configuration.set(0, VAR_EDGE_LABELS, "garbage")
+    extracted = OrientationSpecification().extract(small_random, oriented_configuration)
+    assert extracted.edge_labels[0][small_random.neighbors(0)[0]] is None
+    assert not extracted.is_valid(small_random)
+
+
+def test_custom_variable_names(small_ring):
+    orientation = centralized_orientation(small_ring)
+    config = Configuration(
+        {
+            node: {
+                "myname": orientation.names[node],
+                "mylabels": dict(orientation.edge_labels[node]),
+            }
+            for node in small_ring.nodes()
+        }
+    )
+    spec = OrientationSpecification(name_variable="myname", labels_variable="mylabels")
+    assert spec.holds(small_ring, config)
+
+
+def test_report_holds_property():
+    from repro.core.specification import SpecificationReport
+
+    assert SpecificationReport(sp1=True, sp2=True).holds
+    assert not SpecificationReport(sp1=True, sp2=False).holds
+    assert not SpecificationReport(sp1=False, sp2=True).holds

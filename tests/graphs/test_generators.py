@@ -1,0 +1,175 @@
+"""Unit tests for the topology generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.graphs import generators
+from repro.graphs.properties import bfs_distances, diameter, is_tree
+
+
+def test_ring_structure():
+    network = generators.ring(7)
+    assert network.n == 7
+    assert network.num_edges() == 7
+    assert all(network.degree(node) == 2 for node in network.nodes())
+
+
+def test_ring_minimum_size():
+    with pytest.raises(NetworkError):
+        generators.ring(2)
+
+
+def test_path_structure():
+    network = generators.path(5)
+    assert network.num_edges() == 4
+    assert network.degree(0) == 1
+    assert network.degree(2) == 2
+    assert is_tree(network)
+
+
+def test_star_structure():
+    network = generators.star(6)
+    assert network.degree(0) == 5
+    assert all(network.degree(node) == 1 for node in range(1, 6))
+    assert is_tree(network)
+
+
+def test_complete_structure():
+    network = generators.complete(5)
+    assert network.num_edges() == 10
+    assert all(network.degree(node) == 4 for node in network.nodes())
+
+
+def test_wheel_structure():
+    network = generators.wheel(6)
+    assert network.degree(0) == 5
+    assert all(network.degree(node) == 3 for node in range(1, 6))
+
+
+def test_kary_tree_structure():
+    network = generators.kary_tree(7, 2)
+    assert is_tree(network)
+    assert network.degree(0) == 2
+    assert network.degree(3) == 1  # a leaf
+
+
+def test_kary_tree_arity_three():
+    network = generators.kary_tree(13, 3)
+    assert is_tree(network)
+    assert network.degree(0) == 3
+
+
+def test_caterpillar_structure():
+    network = generators.caterpillar(4, legs_per_node=2)
+    assert network.n == 4 + 8
+    assert is_tree(network)
+
+
+def test_grid_structure():
+    network = generators.grid(3, 4)
+    assert network.n == 12
+    assert network.num_edges() == 3 * 3 + 2 * 4
+    assert network.max_degree == 4
+
+
+def test_torus_structure():
+    network = generators.torus(3, 4)
+    assert network.n == 12
+    assert all(network.degree(node) == 4 for node in network.nodes())
+
+
+def test_torus_rejects_small_dimensions():
+    with pytest.raises(NetworkError):
+        generators.torus(2, 5)
+
+
+def test_hypercube_structure():
+    network = generators.hypercube(4)
+    assert network.n == 16
+    assert all(network.degree(node) == 4 for node in network.nodes())
+    assert diameter(network) == 4
+
+
+def test_lollipop_structure():
+    network = generators.lollipop(4, 3)
+    assert network.n == 7
+    assert network.degree(6) == 1
+
+
+def test_random_tree_is_tree():
+    network = generators.random_tree(20, seed=5)
+    assert is_tree(network)
+    assert network.n == 20
+
+
+def test_random_tree_deterministic_for_seed():
+    a = generators.random_tree(15, seed=9)
+    b = generators.random_tree(15, seed=9)
+    assert a.edges() == b.edges()
+
+
+def test_random_connected_is_connected_and_contains_tree():
+    network = generators.random_connected(25, extra_edge_probability=0.1, seed=2)
+    assert network.n == 25
+    assert network.num_edges() >= 24
+    distances = bfs_distances(network)
+    assert len(distances) == 25
+
+
+def test_random_connected_probability_bounds():
+    with pytest.raises(NetworkError):
+        generators.random_connected(10, extra_edge_probability=1.5)
+
+
+def test_random_connected_zero_extra_probability_gives_tree():
+    network = generators.random_connected(12, extra_edge_probability=0.0, seed=4)
+    assert is_tree(network)
+
+
+def test_random_regularish_degree_bounds():
+    network = generators.random_regularish(16, degree=4, seed=3)
+    assert all(2 <= network.degree(node) <= 4 for node in network.nodes())
+
+
+def test_random_regularish_rejects_bad_degree():
+    with pytest.raises(NetworkError):
+        generators.random_regularish(10, degree=1)
+    with pytest.raises(NetworkError):
+        generators.random_regularish(10, degree=10)
+
+
+def test_figure_3_1_1_network_shape():
+    network = generators.figure_3_1_1_network()
+    assert network.n == 5
+    assert is_tree(network)
+    # Root must try b (processor 1) before a (processor 4) for the figure's order.
+    assert network.neighbors(0) == (1, 4)
+    assert set(generators.FIGURE_3_1_1_LABELS.values()) == {"r", "a", "b", "c", "d"}
+
+
+def test_figure_4_1_1_network_shape():
+    network = generators.figure_4_1_1_network()
+    assert network.n == 5
+    assert is_tree(network)
+    assert network.degree(0) == 2
+    assert network.degree(1) == 3
+
+
+def test_figure_2_2_1_network_has_chord():
+    network = generators.figure_2_2_1_network()
+    assert network.n == 5
+    assert network.num_edges() == 6
+
+
+def test_family_dispatch():
+    for name in ("ring", "path", "star", "complete", "binary_tree", "random_tree",
+                 "random_connected", "grid"):
+        network = generators.family(name, 9, seed=1)
+        assert network.n >= 2
+
+
+def test_family_unknown_name():
+    with pytest.raises(NetworkError):
+        generators.family("moebius", 9)

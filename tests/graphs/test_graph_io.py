@@ -1,0 +1,84 @@
+"""Unit tests for network serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.graphs import generators, io
+from repro.graphs.network import RootedNetwork
+
+
+def test_dict_round_trip_preserves_structure_and_ports():
+    network = generators.ring(5).with_port_orders({0: (4, 1)})
+    data = io.to_dict(network)
+    rebuilt = io.from_dict(data)
+    assert rebuilt == network
+    assert rebuilt.neighbors(0) == (4, 1)
+
+
+def test_json_round_trip():
+    network = generators.grid(3, 3)
+    text = io.to_json(network)
+    rebuilt = io.from_json(text)
+    assert rebuilt == network
+
+
+def test_from_json_rejects_invalid_text():
+    with pytest.raises(NetworkError):
+        io.from_json("{not json")
+
+
+def test_from_dict_rejects_missing_fields():
+    with pytest.raises(NetworkError):
+        io.from_dict({"edges": [[0, 1]]})
+
+
+def test_adjacency_text_round_trip():
+    network = generators.kary_tree(7, 2)
+    text = io.to_adjacency_text(network)
+    rebuilt = io.from_adjacency_text(text, name="rebuilt")
+    assert rebuilt.edges() == network.edges()
+    assert rebuilt.root == network.root
+    assert rebuilt.neighbors(1) == network.neighbors(1)
+
+
+def test_adjacency_text_parsing_hand_written():
+    text = """
+    4 1
+    0: 1 2
+    1: 0 3
+    2: 0
+    3: 1
+    """
+    network = io.from_adjacency_text(text)
+    assert network.n == 4
+    assert network.root == 1
+    assert network.has_edge(0, 2)
+
+
+def test_adjacency_text_rejects_empty_input():
+    with pytest.raises(NetworkError):
+        io.from_adjacency_text("   \n  ")
+
+
+def test_adjacency_text_rejects_bad_header():
+    with pytest.raises(NetworkError):
+        io.from_adjacency_text("4\n0: 1\n")
+
+
+def test_adjacency_text_rejects_malformed_line():
+    with pytest.raises(NetworkError):
+        io.from_adjacency_text("2 0\n0 1\n")
+    with pytest.raises(NetworkError):
+        io.from_adjacency_text("2 0\n0: x\n")
+
+
+def test_to_dict_is_json_compatible():
+    import json
+
+    network = RootedNetwork(3, [(0, 1), (1, 2)], root=2, name="tiny")
+    data = io.to_dict(network)
+    json.dumps(data)  # must not raise
+    assert data["root"] == 2
+    assert data["name"] == "tiny"

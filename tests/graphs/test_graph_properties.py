@@ -1,0 +1,114 @@
+"""Unit tests for structural graph queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.graphs import generators
+from repro.graphs.network import RootedNetwork
+from repro.graphs.properties import (
+    average_degree,
+    bfs_distances,
+    degree_histogram,
+    diameter,
+    eccentricity,
+    is_spanning_tree,
+    is_tree,
+    radius_from_root,
+    spanning_tree_children,
+    tree_height,
+)
+
+
+def test_bfs_distances_from_root():
+    network = generators.path(5)
+    distances = bfs_distances(network)
+    assert distances == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+
+def test_bfs_distances_from_other_source():
+    network = generators.path(5)
+    distances = bfs_distances(network, source=2)
+    assert distances[0] == 2 and distances[4] == 2
+
+
+def test_eccentricity_and_diameter_on_path():
+    network = generators.path(6)
+    assert eccentricity(network, 0) == 5
+    assert eccentricity(network, 2) == 3
+    assert diameter(network) == 5
+
+
+def test_diameter_of_complete_graph_is_one():
+    assert diameter(generators.complete(6)) == 1
+
+
+def test_radius_from_root():
+    network = generators.kary_tree(7, 2)
+    assert radius_from_root(network) == 2
+
+
+def test_is_tree():
+    assert is_tree(generators.path(4))
+    assert not is_tree(generators.ring(4))
+
+
+def test_degree_histogram_and_average_degree():
+    network = generators.star(5)
+    histogram = degree_histogram(network)
+    assert histogram == {4: 1, 1: 4}
+    assert average_degree(network) == pytest.approx(2 * 4 / 5)
+
+
+def test_tree_height_on_valid_parent_map():
+    network = generators.kary_tree(7, 2)
+    parents = {0: None, 1: 0, 2: 0, 3: 1, 4: 1, 5: 2, 6: 2}
+    assert tree_height(network, parents) == 2
+
+
+def test_tree_height_rejects_cycle():
+    network = generators.ring(4)
+    parents = {0: None, 1: 2, 2: 1, 3: 0}
+    with pytest.raises(NetworkError):
+        tree_height(network, parents)
+
+
+def test_tree_height_rejects_non_neighbor_parent():
+    network = generators.path(4)
+    parents = {0: None, 1: 0, 2: 0, 3: 2}  # 2 is not adjacent to 0
+    with pytest.raises(NetworkError):
+        tree_height(network, parents)
+
+
+def test_tree_height_rejects_missing_parent():
+    network = generators.path(3)
+    parents = {0: None, 1: 0, 2: None}
+    with pytest.raises(NetworkError):
+        tree_height(network, parents)
+
+
+def test_spanning_tree_children_in_port_order():
+    network = RootedNetwork(4, [(0, 1), (0, 2), (0, 3)])
+    parents = {0: None, 1: 0, 2: 0, 3: 0}
+    children = spanning_tree_children(network, parents)
+    assert children[0] == (1, 2, 3)
+    assert children[1] == ()
+
+
+def test_is_spanning_tree_accepts_valid_tree():
+    network = generators.ring(5)
+    parents = {0: None, 1: 0, 2: 1, 3: 2, 4: 0}
+    assert is_spanning_tree(network, parents)
+
+
+def test_is_spanning_tree_rejects_rooted_elsewhere():
+    network = generators.ring(5)
+    parents = {0: 1, 1: None, 2: 1, 3: 2, 4: 0}
+    assert not is_spanning_tree(network, parents)
+
+
+def test_is_spanning_tree_rejects_cycle():
+    network = generators.ring(4)
+    parents = {0: None, 1: 2, 2: 1, 3: 0}
+    assert not is_spanning_tree(network, parents)

@@ -1,0 +1,144 @@
+"""Unit tests for :class:`repro.graphs.network.RootedNetwork`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.graphs.network import RootedNetwork
+
+
+def test_basic_construction():
+    network = RootedNetwork(4, [(0, 1), (1, 2), (2, 3)], root=0, name="p4")
+    assert network.n == 4
+    assert network.root == 0
+    assert network.name == "p4"
+    assert network.num_edges() == 3
+    assert len(network) == 4
+    assert list(network) == [0, 1, 2, 3]
+
+
+def test_neighbors_are_in_port_order():
+    network = RootedNetwork(4, [(0, 3), (0, 1), (0, 2)])
+    assert network.neighbors(0) == (1, 2, 3)
+    assert network.degree(0) == 3
+    assert network.neighbor_set(0) == frozenset({1, 2, 3})
+
+
+def test_custom_port_orders_respected():
+    network = RootedNetwork(4, [(0, 1), (0, 2), (0, 3)], port_orders={0: (3, 1, 2)})
+    assert network.neighbors(0) == (3, 1, 2)
+    assert network.port(0, 3) == 0
+    assert network.neighbor_at(0, 1) == 1
+
+
+def test_custom_port_order_must_cover_exact_neighbors():
+    with pytest.raises(NetworkError):
+        RootedNetwork(4, [(0, 1), (0, 2), (0, 3)], port_orders={0: (1, 2)})
+    with pytest.raises(NetworkError):
+        RootedNetwork(4, [(0, 1), (0, 2), (0, 3)], port_orders={0: (1, 2, 2)})
+
+
+def test_port_lookup_errors():
+    network = RootedNetwork(3, [(0, 1), (1, 2)])
+    with pytest.raises(NetworkError):
+        network.port(0, 2)
+    with pytest.raises(NetworkError):
+        network.neighbor_at(0, 5)
+
+
+def test_has_edge_is_symmetric():
+    network = RootedNetwork(3, [(0, 1), (1, 2)])
+    assert network.has_edge(0, 1)
+    assert network.has_edge(1, 0)
+    assert not network.has_edge(0, 2)
+
+
+def test_edges_are_canonical_pairs():
+    network = RootedNetwork(3, [(2, 1), (1, 0)])
+    assert network.edges() == frozenset({(0, 1), (1, 2)})
+
+
+def test_single_processor_network_is_allowed():
+    network = RootedNetwork(1, [])
+    assert network.n == 1
+    assert network.degree(0) == 0
+    assert network.max_degree == 0
+
+
+def test_rejects_empty_network():
+    with pytest.raises(NetworkError):
+        RootedNetwork(0, [])
+
+
+def test_rejects_self_loop():
+    with pytest.raises(NetworkError):
+        RootedNetwork(3, [(0, 0), (0, 1), (1, 2)])
+
+
+def test_rejects_duplicate_edge():
+    with pytest.raises(NetworkError):
+        RootedNetwork(3, [(0, 1), (1, 0), (1, 2)])
+
+
+def test_rejects_out_of_range_edge():
+    with pytest.raises(NetworkError):
+        RootedNetwork(3, [(0, 5)])
+
+
+def test_rejects_bad_root():
+    with pytest.raises(NetworkError):
+        RootedNetwork(3, [(0, 1), (1, 2)], root=7)
+
+
+def test_rejects_disconnected_graph():
+    with pytest.raises(NetworkError) as excinfo:
+        RootedNetwork(4, [(0, 1), (2, 3)])
+    assert "not connected" in str(excinfo.value)
+
+
+def test_rejects_multi_node_network_without_edges():
+    with pytest.raises(NetworkError):
+        RootedNetwork(3, [])
+
+
+def test_is_root():
+    network = RootedNetwork(3, [(0, 1), (1, 2)], root=1)
+    assert network.is_root(1)
+    assert not network.is_root(0)
+
+
+def test_with_root_reroots_without_changing_structure():
+    network = RootedNetwork(4, [(0, 1), (1, 2), (2, 3)], root=0)
+    rerooted = network.with_root(3)
+    assert rerooted.root == 3
+    assert rerooted.edges() == network.edges()
+    assert rerooted.neighbors(1) == network.neighbors(1)
+
+
+def test_with_port_orders_overrides_selected_nodes():
+    network = RootedNetwork(4, [(0, 1), (0, 2), (0, 3)])
+    updated = network.with_port_orders({0: (2, 3, 1)})
+    assert updated.neighbors(0) == (2, 3, 1)
+    assert updated.neighbors(1) == network.neighbors(1)
+
+
+def test_equality_and_hash():
+    a = RootedNetwork(3, [(0, 1), (1, 2)])
+    b = RootedNetwork(3, [(1, 2), (0, 1)])
+    c = RootedNetwork(3, [(0, 1), (1, 2)], root=1)
+    assert a == b
+    assert hash(a) == hash(b)
+    assert a != c
+    assert a != "not a network"
+
+
+def test_repr_mentions_key_facts():
+    network = RootedNetwork(3, [(0, 1), (1, 2)], name="tiny")
+    text = repr(network)
+    assert "tiny" in text and "n=3" in text
+
+
+def test_max_degree():
+    network = RootedNetwork(5, [(0, 1), (0, 2), (0, 3), (0, 4)])
+    assert network.max_degree == 4

@@ -1,0 +1,130 @@
+"""Integration tests: the full stack from topology to applications."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import (
+    generators,
+    make_daemon,
+    orient_with_dftno,
+    orient_with_stno,
+    space_summary,
+)
+from repro.core.baseline import centralized_orientation
+from repro.runtime.faults import corrupt_configuration
+from repro.runtime.scheduler import Scheduler
+from repro.core.dftno import build_dftno
+from repro.core.specification import OrientationSpecification
+from repro.sod.routing import ChordalRouter
+from repro.sod.traversal import dfs_traversal_with_sod
+
+
+def test_public_api_surface_is_importable():
+    # Everything advertised in __all__ must resolve.
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
+    assert repro.__version__ == "1.0.0"
+
+
+def test_quickstart_docstring_example():
+    network = generators.random_connected(12, seed=1)
+    result = orient_with_dftno(network, seed=1)
+    assert sorted(result.orientation.names.values()) == list(range(12))
+
+
+@pytest.mark.parametrize("orient", [orient_with_dftno, orient_with_stno])
+def test_protocol_output_feeds_routing_and_traversal(orient):
+    network = generators.random_connected(14, extra_edge_probability=0.3, seed=4)
+    result = orient(network, seed=5)
+    orientation = result.orientation
+
+    router = ChordalRouter(network, orientation)
+    route = router.route(1, 12)
+    assert route.path[0] == 1 and route.path[-1] == 12
+
+    traversal = dfs_traversal_with_sod(network, orientation)
+    assert traversal.messages == 2 * (network.n - 1)
+
+
+def test_dftno_and_centralized_baseline_agree_across_topologies():
+    for builder in (lambda: generators.ring(8), lambda: generators.grid(3, 3),
+                    lambda: generators.complete(6), lambda: generators.kary_tree(7, 2)):
+        network = builder()
+        distributed = orient_with_dftno(network, seed=6)
+        centralized = centralized_orientation(network, order="dfs")
+        assert distributed.orientation.names == centralized.names
+
+
+def test_stabilization_time_scales_roughly_linearly_for_dftno():
+    small = orient_with_dftno(generators.ring(8), seed=7)
+    large = orient_with_dftno(generators.ring(32), seed=7)
+    assert large.stabilization_steps > small.stabilization_steps
+
+
+def test_space_summaries_match_paper_comparison():
+    network = generators.random_connected(20, extra_edge_probability=0.2, seed=8)
+    dftno = orient_with_dftno(network, seed=9)
+    stno = orient_with_stno(network, seed=10)
+    dftno_layers = space_summary(dftno.protocol, network)["per_layer"]
+    stno_layers = space_summary(stno.protocol, network)["per_layer"]
+    # Chapter 5: the orientation layers cost the same order; DFTNO's substrate
+    # needs only O(log N) bits while STNO's tree substrate is comparable or larger
+    # only through its parent/child bookkeeping.
+    assert dftno_layers["dftno"]["max_bits_per_node"] <= stno_layers["stno"]["max_bits_per_node"]
+    assert dftno_layers["dftc"]["max_bits_per_node"] < dftno_layers["dftno"]["max_bits_per_node"]
+
+
+def test_recovery_after_mid_run_corruption():
+    network = generators.random_connected(10, extra_edge_probability=0.3, seed=11)
+    protocol = build_dftno()
+    scheduler = Scheduler(network, protocol, seed=12)
+    first = scheduler.run_until_legitimate(max_steps=100_000)
+    assert first.converged
+
+    specification = OrientationSpecification()
+    corrupted = corrupt_configuration(
+        scheduler.configuration, protocol, network, node_fraction=1.0, seed=13
+    )
+    scheduler.set_configuration(corrupted)
+    recovery = scheduler.run_until_legitimate(max_steps=scheduler.steps_executed + 100_000)
+    assert recovery.converged
+    assert specification.holds(network, scheduler.configuration)
+
+
+def test_repeated_corruption_bursts_always_recover():
+    network = generators.ring(9)
+    protocol = build_dftno()
+    scheduler = Scheduler(network, protocol, seed=14)
+    specification = OrientationSpecification()
+    for burst in range(4):
+        result = scheduler.run_until_legitimate(max_steps=scheduler.steps_executed + 80_000)
+        assert result.converged, f"burst {burst} did not recover"
+        scheduler.set_configuration(
+            corrupt_configuration(
+                scheduler.configuration, protocol, network, node_fraction=0.5, seed=burst
+            )
+        )
+    final = scheduler.run_until_legitimate(max_steps=scheduler.steps_executed + 80_000)
+    assert final.converged
+    assert specification.holds(network, scheduler.configuration)
+
+
+@pytest.mark.parametrize("daemon_kind", ["central", "distributed", "synchronous", "adversarial"])
+def test_both_protocols_converge_under_all_daemons_on_figure_networks(daemon_kind):
+    for network in (generators.figure_3_1_1_network(), generators.figure_4_1_1_network()):
+        dftno = orient_with_dftno(network, daemon=make_daemon(daemon_kind), seed=15)
+        stno = orient_with_stno(network, daemon=make_daemon(daemon_kind), seed=16)
+        assert dftno.orientation.is_valid(network)
+        assert stno.orientation.is_valid(network)
+
+
+def test_rerooting_changes_names_but_not_validity():
+    network = generators.random_connected(10, seed=17)
+    original = orient_with_dftno(network, seed=18)
+    rerooted_network = network.with_root(5)
+    rerooted = orient_with_dftno(rerooted_network, seed=18)
+    assert rerooted.orientation.names[5] == 0
+    assert rerooted.orientation.is_valid(rerooted_network)
+    assert original.orientation.names[network.root] == 0

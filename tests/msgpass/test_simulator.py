@@ -1,0 +1,149 @@
+"""Tests for the synchronous message-passing simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.graphs import generators
+from repro.msgpass.node import Context, NodeProgram
+from repro.msgpass.simulator import SynchronousSimulator
+
+
+class Flood(NodeProgram):
+    """Root floods a value; every processor records the round it learned it."""
+
+    def on_start(self, context: Context) -> None:
+        if context.is_root:
+            context.state["value"] = 42
+            context.state["learned_round"] = 0
+            context.send_all(42)
+
+    def on_message(self, context: Context, sender: int, payload) -> None:
+        if "value" not in context.state:
+            context.state["value"] = payload
+            context.state["learned_round"] = context.round
+            context.send_all(payload, exclude=sender)
+
+
+class PingPong(NodeProgram):
+    """Two processors bounce a counter until it reaches a limit."""
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+
+    def on_start(self, context: Context) -> None:
+        if context.is_root:
+            context.send(context.neighbors[0], 1)
+
+    def on_message(self, context: Context, sender: int, payload) -> None:
+        context.state["last"] = payload
+        if payload < self.limit:
+            context.send(sender, payload + 1)
+        else:
+            context.halt()
+
+
+class ChattyForever(NodeProgram):
+    def on_start(self, context: Context) -> None:
+        context.send_all("hi")
+
+    def on_message(self, context: Context, sender: int, payload) -> None:
+        context.send(sender, "hi")
+
+
+class BadSender(NodeProgram):
+    def on_start(self, context: Context) -> None:
+        if context.is_root:
+            context.send(context.node + 100, "boom")
+
+
+def test_flood_reaches_every_processor_with_bfs_rounds():
+    network = generators.grid(3, 3)
+    result = SynchronousSimulator(network, Flood()).run()
+    assert all(result.state_of(node).get("value") == 42 for node in network.nodes())
+    from repro.graphs.properties import bfs_distances
+
+    distances = bfs_distances(network)
+    for node in network.nodes():
+        if node != network.root:
+            assert result.state_of(node)["learned_round"] == distances[node]
+
+
+def test_flood_message_count_is_bounded_by_twice_edges():
+    network = generators.random_connected(12, extra_edge_probability=0.3, seed=1)
+    result = SynchronousSimulator(network, Flood()).run()
+    assert result.messages_sent <= 2 * network.num_edges()
+    assert result.messages_sent >= network.n - 1
+
+
+def test_ping_pong_round_and_message_accounting():
+    network = generators.path(2)
+    result = SynchronousSimulator(network, PingPong(limit=5)).run()
+    assert result.messages_sent == 5
+    assert result.rounds == 6  # round 0 start + 5 delivery rounds
+    assert result.messages_per_round[0] == 1
+    assert sum(result.messages_per_round) == result.messages_sent
+    assert result.halted  # the processor that saw the limit halted
+
+
+def test_halted_processor_receives_no_further_deliveries():
+    network = generators.path(2)
+    result = SynchronousSimulator(network, PingPong(limit=1)).run()
+    # Root sends 1; neighbor halts after seeing the limit; nothing else happens.
+    assert result.messages_sent == 1
+    assert 1 in result.halted
+
+
+def test_simulator_raises_on_round_budget_exhaustion():
+    network = generators.path(2)
+    simulator = SynchronousSimulator(network, ChattyForever(), max_rounds=20)
+    with pytest.raises(SimulationError):
+        simulator.run()
+
+
+def test_send_to_non_neighbor_is_rejected():
+    network = generators.path(3)
+    with pytest.raises(SimulationError):
+        SynchronousSimulator(network, BadSender()).run()
+
+
+def test_context_exposes_topology_and_state():
+    network = generators.star(4)
+    captured = {}
+
+    class Probe(NodeProgram):
+        def on_start(self, context: Context) -> None:
+            if context.node == 0:
+                captured["neighbors"] = context.neighbors
+                captured["degree"] = context.degree
+                captured["is_root"] = context.is_root
+                captured["round"] = context.round
+                context.state["touched"] = True
+
+    result = SynchronousSimulator(network, Probe()).run()
+    assert captured["neighbors"] == (1, 2, 3)
+    assert captured["degree"] == 3
+    assert captured["is_root"] is True
+    assert captured["round"] == 0
+    assert result.state_of(0)["touched"] is True
+    assert result.state_of(1) == {}
+
+
+def test_on_round_hook_called_after_messages():
+    network = generators.path(2)
+    calls = []
+
+    class RoundHook(NodeProgram):
+        def on_start(self, context: Context) -> None:
+            if context.is_root:
+                context.send(1, "x")
+
+        def on_message(self, context: Context, sender: int, payload) -> None:
+            calls.append(("message", context.node))
+
+        def on_round(self, context: Context) -> None:
+            calls.append(("round", context.node))
+
+    SynchronousSimulator(network, RoundHook()).run()
+    assert calls == [("message", 1), ("round", 1)]

@@ -1,0 +1,141 @@
+"""Property-based tests (hypothesis) for chordal arithmetic and graph structures."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.chordal import ChordalOrientation, chordal_edge_label, inverse_label
+from repro.graphs import generators, io
+from repro.graphs.network import RootedNetwork
+from repro.graphs.properties import bfs_distances, is_spanning_tree, is_tree
+from repro.substrates.spanning_tree import dfs_tree_parents
+from repro.substrates.token_circulation import dfs_preorder
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+@st.composite
+def random_connected_networks(draw, max_nodes: int = 12):
+    """A random connected rooted network (random spanning tree + extra edges)."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    edges: set[tuple[int, int]] = set()
+    for node in range(1, n):
+        parent = draw(st.integers(min_value=0, max_value=node - 1))
+        edges.add((parent, node))
+    extra_count = draw(st.integers(min_value=0, max_value=min(6, n * (n - 1) // 2)))
+    for _ in range(extra_count):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    root = draw(st.integers(min_value=0, max_value=n - 1))
+    return RootedNetwork(n, sorted(edges), root=root)
+
+
+@st.composite
+def names_and_modulus(draw):
+    modulus = draw(st.integers(min_value=2, max_value=64))
+    a = draw(st.integers(min_value=0, max_value=modulus - 1))
+    b = draw(st.integers(min_value=0, max_value=modulus - 1))
+    return a, b, modulus
+
+
+# ----------------------------------------------------------------------
+# Chordal arithmetic invariants (Section 2.2)
+# ----------------------------------------------------------------------
+@given(names_and_modulus())
+def test_chordal_label_is_in_range(data):
+    a, b, modulus = data
+    assert 0 <= chordal_edge_label(a, b, modulus) < modulus
+
+
+@given(names_and_modulus())
+def test_edge_symmetry_inverse_modulo_n(data):
+    a, b, modulus = data
+    forward = chordal_edge_label(a, b, modulus)
+    backward = chordal_edge_label(b, a, modulus)
+    assert backward == inverse_label(forward, modulus)
+    assert (forward + backward) % modulus == 0
+
+
+@given(names_and_modulus())
+def test_label_recovers_neighbor_name(data):
+    a, b, modulus = data
+    label = chordal_edge_label(a, b, modulus)
+    assert (a - label) % modulus == b
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_connected_networks())
+def test_orientation_from_unique_names_is_always_valid(network):
+    names = {node: node for node in network.nodes()}
+    orientation = ChordalOrientation.from_names(network, names)
+    assert orientation.is_valid(network)
+    # Local orientation: labels at every processor are pairwise distinct.
+    for node in network.nodes():
+        labels = list(orientation.edge_labels[node].values())
+        assert len(labels) == len(set(labels))
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_connected_networks(), st.randoms(use_true_random=False))
+def test_orientation_with_permuted_names_is_valid(network, rnd):
+    names = list(network.nodes())
+    rnd.shuffle(names)
+    mapping = {node: names[index] for index, node in enumerate(network.nodes())}
+    orientation = ChordalOrientation.from_names(network, mapping)
+    assert orientation.is_valid(network)
+
+
+# ----------------------------------------------------------------------
+# Graph invariants
+# ----------------------------------------------------------------------
+@settings(max_examples=50, deadline=None)
+@given(random_connected_networks())
+def test_generated_networks_are_connected(network):
+    distances = bfs_distances(network)
+    assert len(distances) == network.n
+
+
+@settings(max_examples=50, deadline=None)
+@given(random_connected_networks())
+def test_dfs_preorder_is_a_permutation_starting_at_root(network):
+    order = dfs_preorder(network)
+    assert order[0] == network.root
+    assert sorted(order) == list(network.nodes())
+
+
+@settings(max_examples=50, deadline=None)
+@given(random_connected_networks())
+def test_dfs_preorder_parents_precede_children(network):
+    order = dfs_preorder(network)
+    position = {node: index for index, node in enumerate(order)}
+    parents = dfs_tree_parents(network)
+    assert is_spanning_tree(network, parents)
+    for node, parent in parents.items():
+        if parent is not None:
+            assert position[parent] < position[node]
+            assert network.has_edge(parent, node)
+
+
+@settings(max_examples=50, deadline=None)
+@given(random_connected_networks())
+def test_network_dict_round_trip(network):
+    assert io.from_dict(io.to_dict(network)) == network
+
+
+@settings(max_examples=50, deadline=None)
+@given(random_connected_networks())
+def test_network_adjacency_round_trip(network):
+    rebuilt = io.from_adjacency_text(io.to_adjacency_text(network))
+    assert rebuilt.edges() == network.edges()
+    assert rebuilt.root == network.root
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=40), st.integers(min_value=0, max_value=2 ** 20))
+def test_random_trees_are_trees(n, seed):
+    network = generators.random_tree(n, seed=seed)
+    assert is_tree(network)
+    assert len(bfs_distances(network)) == n

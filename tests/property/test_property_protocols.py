@@ -1,0 +1,150 @@
+"""Property-based tests: self-stabilization of the protocol stacks.
+
+These are the empirical counterparts of Definition 2.1.2: from *arbitrary*
+configurations drawn by hypothesis (arbitrary topology, arbitrary variable
+values, randomized daemon), the protocols must converge to their legitimacy
+predicates, and the orientation they produce must satisfy SP1/SP2.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.dftno import build_dftno
+from repro.core.specification import VAR_NAME, OrientationSpecification
+from repro.core.stno import build_stno
+from repro.graphs.network import RootedNetwork
+from repro.runtime.daemon import CentralDaemon, DistributedDaemon, SynchronousDaemon
+from repro.runtime.scheduler import Scheduler
+from repro.substrates.spanning_tree import BFSSpanningTree
+from repro.substrates.token_circulation import DepthFirstTokenCirculation, dfs_preorder
+
+COMMON_SETTINGS = dict(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@st.composite
+def small_networks(draw, max_nodes: int = 8):
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    edges: set[tuple[int, int]] = set()
+    for node in range(1, n):
+        parent = draw(st.integers(min_value=0, max_value=node - 1))
+        edges.add((parent, node))
+    extra = draw(st.integers(min_value=0, max_value=4))
+    for _ in range(extra):
+        u = draw(st.integers(min_value=0, max_value=n - 1))
+        v = draw(st.integers(min_value=0, max_value=n - 1))
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    return RootedNetwork(n, sorted(edges), root=0)
+
+
+def daemons():
+    return st.sampled_from(["central", "distributed", "synchronous"])
+
+
+def make_daemon(kind: str):
+    return {
+        "central": lambda: CentralDaemon("random"),
+        "distributed": lambda: DistributedDaemon(),
+        "synchronous": lambda: SynchronousDaemon(),
+    }[kind]()
+
+
+# ----------------------------------------------------------------------
+# Token circulation substrate
+# ----------------------------------------------------------------------
+@settings(**COMMON_SETTINGS)
+@given(small_networks(), st.integers(min_value=0, max_value=2 ** 16), daemons())
+def test_token_circulation_stabilizes_from_any_state(network, seed, daemon_kind):
+    protocol = DepthFirstTokenCirculation()
+    scheduler = Scheduler(network, protocol, daemon=make_daemon(daemon_kind), seed=seed)
+    result = scheduler.run_until_legitimate(max_steps=40_000)
+    assert result.converged
+    assert len(protocol.token_holders(network, result.configuration)) <= 1
+
+
+# ----------------------------------------------------------------------
+# BFS spanning tree substrate
+# ----------------------------------------------------------------------
+@settings(**COMMON_SETTINGS)
+@given(small_networks(), st.integers(min_value=0, max_value=2 ** 16), daemons())
+def test_bfs_tree_stabilizes_from_any_state(network, seed, daemon_kind):
+    protocol = BFSSpanningTree()
+    scheduler = Scheduler(network, protocol, daemon=make_daemon(daemon_kind), seed=seed)
+    result = scheduler.run_until_legitimate(max_steps=40_000)
+    assert result.converged
+    assert protocol.is_spanning_tree(network, result.configuration)
+
+
+# ----------------------------------------------------------------------
+# DFTNO (convergence + the names it converges to)
+# ----------------------------------------------------------------------
+def settle_window(network) -> int:
+    """Steps spanning at least one full token wave (see orientation._run)."""
+    return 4 * (network.n + network.num_edges()) + 8
+
+
+@settings(**COMMON_SETTINGS)
+@given(small_networks(), st.integers(min_value=0, max_value=2 ** 16), daemons())
+def test_dftno_orientation_from_any_state(network, seed, daemon_kind):
+    protocol = build_dftno()
+    scheduler = Scheduler(network, protocol, daemon=make_daemon(daemon_kind), seed=seed)
+    result = scheduler.run_until_legitimate(
+        max_steps=120_000, confirm_steps=settle_window(network)
+    )
+    assert result.converged
+    specification = OrientationSpecification()
+    assert specification.holds(network, result.configuration)
+    expected = {node: index for index, node in enumerate(dfs_preorder(network))}
+    names = {node: result.configuration.get(node, VAR_NAME) for node in network.nodes()}
+    assert names == expected
+
+
+@settings(**COMMON_SETTINGS)
+@given(small_networks(), st.integers(min_value=0, max_value=2 ** 16))
+def test_dftno_closure_after_stabilization(network, seed):
+    protocol = build_dftno()
+    scheduler = Scheduler(network, protocol, daemon=DistributedDaemon(), seed=seed)
+    result = scheduler.run_until_legitimate(
+        max_steps=120_000, confirm_steps=settle_window(network)
+    )
+    assert result.converged
+    specification = OrientationSpecification()
+    names_before = {node: scheduler.configuration.get(node, VAR_NAME) for node in network.nodes()}
+    for _ in range(10 * network.n):
+        if scheduler.step() is None:
+            break
+    names_after = {node: scheduler.configuration.get(node, VAR_NAME) for node in network.nodes()}
+    assert names_before == names_after
+    assert specification.holds(network, scheduler.configuration)
+
+
+# ----------------------------------------------------------------------
+# STNO (both substrates)
+# ----------------------------------------------------------------------
+@settings(**COMMON_SETTINGS)
+@given(small_networks(), st.integers(min_value=0, max_value=2 ** 16), daemons())
+def test_stno_bfs_orientation_from_any_state(network, seed, daemon_kind):
+    protocol = build_stno(tree="bfs")
+    scheduler = Scheduler(network, protocol, daemon=make_daemon(daemon_kind), seed=seed)
+    result = scheduler.run_until_legitimate(max_steps=80_000)
+    assert result.converged
+    assert OrientationSpecification().holds(network, result.configuration)
+
+
+@settings(**COMMON_SETTINGS)
+@given(small_networks(max_nodes=7), st.integers(min_value=0, max_value=2 ** 16))
+def test_stno_dfs_names_equal_dftno_names(network, seed):
+    stno = build_stno(tree="dfs")
+    scheduler = Scheduler(network, stno, daemon=DistributedDaemon(), seed=seed)
+    result = scheduler.run_until_legitimate(
+        max_steps=160_000, confirm_steps=settle_window(network)
+    )
+    assert result.converged
+    expected = {node: index for index, node in enumerate(dfs_preorder(network))}
+    names = {node: result.configuration.get(node, VAR_NAME) for node in network.nodes()}
+    assert names == expected

@@ -1,0 +1,170 @@
+"""Unit tests for configurations, processor views and guarded actions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.graphs import generators
+from repro.runtime.actions import Action
+from repro.runtime.configuration import Configuration
+from repro.runtime.processor import ProcessorView
+
+
+@pytest.fixture
+def config() -> Configuration:
+    return Configuration({0: {"x": 1, "m": {1: 5}}, 1: {"x": 2}, 2: {"x": 3}})
+
+
+def test_configuration_get_and_set(config):
+    assert config.get(0, "x") == 1
+    config.set(0, "x", 9)
+    assert config.get(0, "x") == 9
+    config.set(5, "fresh", "value")
+    assert config.get(5, "fresh") == "value"
+
+
+def test_configuration_get_missing_raises(config):
+    with pytest.raises(ProtocolError):
+        config.get(0, "missing")
+    with pytest.raises(ProtocolError):
+        config.get(99, "x")
+
+
+def test_configuration_has_and_variables(config):
+    assert config.has(0, "x")
+    assert not config.has(0, "zzz")
+    assert set(config.variables_of(0)) == {"x", "m"}
+    assert set(config.nodes()) == {0, 1, 2}
+
+
+def test_configuration_copy_is_deep(config):
+    copy = config.copy()
+    copy.get(0, "m")[1] = 99
+    assert config.get(0, "m")[1] == 5
+    copy.set(1, "x", 42)
+    assert config.get(1, "x") == 2
+
+
+def test_configuration_update_node_and_state_of(config):
+    config.update_node(1, {"x": 7, "y": 8})
+    assert config.get(1, "y") == 8
+    state = config.state_of(1)
+    state["x"] = 0
+    assert config.get(1, "x") == 7
+
+
+def test_configuration_equality_and_diff(config):
+    other = config.copy()
+    assert config == other
+    other.set(2, "x", 10)
+    assert config != other
+    diff = config.diff(other)
+    assert diff == {2: {"x": (3, 10)}}
+    assert config != "something else"
+
+
+def test_configuration_to_dict_and_format(config):
+    data = config.to_dict()
+    assert data[1]["x"] == 2
+    text = config.format()
+    assert "x=1" in text
+    restricted = config.format(variables=("x",))
+    assert "m=" not in restricted
+
+
+def test_configuration_repr(config):
+    assert "nodes=3" in repr(config)
+
+
+# ----------------------------------------------------------------------
+# ProcessorView
+# ----------------------------------------------------------------------
+def test_view_reads_own_and_neighbor_variables():
+    network = generators.path(3)
+    config = Configuration({node: {"v": node * 10} for node in network.nodes()})
+    view = ProcessorView(1, network, config)
+    assert view.read("v") == 10
+    assert view.read_neighbor(0, "v") == 0
+    assert view.read_neighbor(2, "v") == 20
+    assert view.neighbors == (0, 2)
+    assert view.degree == 2
+    assert view.port(2) == 1
+    assert not view.is_root
+    assert view.network is network
+    assert view.node == 1
+
+
+def test_view_rejects_non_neighbor_reads():
+    network = generators.path(4)
+    config = Configuration({node: {"v": 0} for node in network.nodes()})
+    view = ProcessorView(0, network, config)
+    with pytest.raises(ProtocolError):
+        view.read_neighbor(3, "v")
+    with pytest.raises(ProtocolError):
+        view.try_read_neighbor(3, "v")
+
+
+def test_view_try_read_neighbor_default():
+    network = generators.path(3)
+    config = Configuration({0: {"v": 1}, 1: {"v": 2}, 2: {}})
+    view = ProcessorView(1, network, config)
+    assert view.try_read_neighbor(2, "v", default=-1) == -1
+    assert view.try_read_neighbor(0, "v", default=-1) == 1
+
+
+def test_view_read_your_own_writes_and_read_pre():
+    network = generators.path(3)
+    config = Configuration({node: {"v": 5} for node in network.nodes()})
+    view = ProcessorView(1, network, config)
+    view.write("v", 9)
+    assert view.read("v") == 9          # sees its own write in the same step
+    assert view.read_pre("v") == 5      # pre-step value still accessible
+    assert config.get(1, "v") == 5      # nothing applied yet
+    assert view.pending_writes == {"v": 9}
+
+
+def test_view_write_copies_mutable_values():
+    network = generators.path(2)
+    config = Configuration({0: {"m": {}}, 1: {"m": {}}})
+    view = ProcessorView(0, network, config)
+    value = {1: 1}
+    view.write("m", value)
+    value[1] = 99
+    assert view.pending_writes["m"] == {1: 1}
+
+
+def test_view_is_root_flag():
+    network = generators.path(3)
+    config = Configuration({node: {} for node in network.nodes()})
+    assert ProcessorView(0, network, config).is_root
+    assert not ProcessorView(2, network, config).is_root
+
+
+# ----------------------------------------------------------------------
+# Action
+# ----------------------------------------------------------------------
+def test_action_enabled_and_execute():
+    network = generators.path(2)
+    config = Configuration({0: {"v": 0}, 1: {"v": 0}})
+    action = Action("bump", lambda view: view.read("v") < 3, lambda view: view.write("v", view.read("v") + 1))
+    view = ProcessorView(0, network, config)
+    assert action.enabled(view)
+    action.execute(view)
+    assert view.pending_writes == {"v": 1}
+
+
+def test_action_with_extra_statement_runs_both_and_sees_writes():
+    network = generators.path(2)
+    config = Configuration({0: {"v": 0, "copy": -1}, 1: {"v": 0}})
+    base = Action("set", lambda view: True, lambda view: view.write("v", 7))
+    hooked = base.with_extra_statement(lambda view: view.write("copy", view.read("v")), suffix="")
+    view = ProcessorView(0, network, config)
+    hooked.execute(view)
+    assert view.pending_writes == {"v": 7, "copy": 7}
+    assert hooked.name == "set"
+
+
+def test_action_with_extra_statement_suffix_changes_name():
+    base = Action("set", lambda view: True, lambda view: None)
+    assert base.with_extra_statement(lambda view: None).name == "set+hook"

@@ -1,0 +1,130 @@
+"""Unit tests for the daemon (scheduling adversary) implementations."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.runtime.daemon import (
+    AdversarialDaemon,
+    CentralDaemon,
+    DistributedDaemon,
+    SynchronousDaemon,
+    make_daemon,
+)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(7)
+
+
+def test_central_random_selects_exactly_one_enabled(rng):
+    daemon = CentralDaemon("random")
+    for step in range(50):
+        chosen = daemon.select((1, 4, 9), step, rng)
+        assert len(chosen) == 1
+        assert chosen[0] in (1, 4, 9)
+
+
+def test_central_round_robin_cycles(rng):
+    daemon = CentralDaemon("round_robin")
+    picks = [daemon.select((0, 1, 2), step, rng)[0] for step in range(6)]
+    assert picks == [0, 1, 2, 0, 1, 2]
+
+
+def test_central_round_robin_skips_disabled(rng):
+    daemon = CentralDaemon("round_robin")
+    assert daemon.select((3, 5), 0, rng) == [3]
+    assert daemon.select((3, 5), 1, rng) == [5]
+    assert daemon.select((3, 5), 2, rng) == [3]
+
+
+def test_central_rejects_unknown_policy():
+    with pytest.raises(SchedulingError):
+        CentralDaemon("fifo")
+
+
+def test_synchronous_selects_everyone(rng):
+    daemon = SynchronousDaemon()
+    assert daemon.select((2, 5, 8), 0, rng) == [2, 5, 8]
+
+
+def test_distributed_always_nonempty_subset(rng):
+    daemon = DistributedDaemon(activation_probability=0.3)
+    for step in range(100):
+        chosen = daemon.select((0, 1, 2, 3), step, rng)
+        assert chosen
+        assert set(chosen) <= {0, 1, 2, 3}
+
+
+def test_distributed_probability_one_selects_all(rng):
+    daemon = DistributedDaemon(activation_probability=1.0)
+    assert daemon.select((1, 2, 3), 0, rng) == [1, 2, 3]
+
+
+def test_distributed_rejects_bad_probability():
+    with pytest.raises(SchedulingError):
+        DistributedDaemon(0.0)
+    with pytest.raises(SchedulingError):
+        DistributedDaemon(1.5)
+
+
+def test_adversarial_prefers_most_recently_enabled(rng):
+    daemon = AdversarialDaemon(fairness_bound=100)
+    # Two processors become enabled at step 0; whichever is bypassed keeps its
+    # old timestamp, so a processor appearing later must be preferred over it.
+    first = daemon.select((0, 1), 0, rng)[0]
+    waiting = 1 - first
+    assert daemon.select((waiting, 2), 1, rng) == [2]
+    assert daemon.select((waiting, 3), 2, rng) == [3]
+
+
+def test_adversarial_is_weakly_fair(rng):
+    bound = 4
+    daemon = AdversarialDaemon(fairness_bound=bound)
+    picks = []
+    # Processor 0 stays enabled while new processors keep appearing; the
+    # fairness bound must force 0 to run within `bound` bypasses.
+    enabled_sets = [(0, step + 1) for step in range(20)]
+    for step, enabled in enumerate(enabled_sets):
+        picks.append(daemon.select(enabled, step, rng)[0])
+        if 0 in picks:
+            break
+    assert 0 in picks
+    assert len(picks) <= bound + 1
+
+
+def test_adversarial_rejects_bad_bound():
+    with pytest.raises(SchedulingError):
+        AdversarialDaemon(0)
+
+
+def test_adversarial_reset_clears_bookkeeping(rng):
+    daemon = AdversarialDaemon(fairness_bound=2)
+    daemon.select((0, 1), 0, rng)
+    daemon.reset()
+    assert daemon._enabled_since == {}
+    assert daemon._bypassed == {}
+
+
+def test_make_daemon_dispatch():
+    assert isinstance(make_daemon("central"), CentralDaemon)
+    assert isinstance(make_daemon("synchronous"), SynchronousDaemon)
+    assert isinstance(make_daemon("distributed"), DistributedDaemon)
+    assert isinstance(make_daemon("adversarial"), AdversarialDaemon)
+    assert make_daemon("central", policy="round_robin").policy == "round_robin"
+
+
+def test_make_daemon_unknown_kind():
+    with pytest.raises(SchedulingError):
+        make_daemon("quantum")
+
+
+def test_daemon_names_are_descriptive():
+    assert "central" in CentralDaemon("random").name
+    assert "distributed" in DistributedDaemon(0.25).name
+    assert "adversarial" in AdversarialDaemon(3).name
+    assert "Daemon" in repr(SynchronousDaemon())

@@ -1,0 +1,121 @@
+"""Unit tests for shared-variable declarations and bit accounting."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graphs import generators
+from repro.runtime.variables import (
+    VariableSpec,
+    bits_for_values,
+    enum_variable,
+    int_variable,
+    map_variable,
+    pointer_variable,
+)
+
+
+def test_bits_for_values():
+    assert bits_for_values(1) == 0
+    assert bits_for_values(2) == 1
+    assert bits_for_values(3) == 2
+    assert bits_for_values(8) == 3
+    assert bits_for_values(9) == 4
+    assert bits_for_values(0) == 0
+
+
+def test_int_variable_initial_and_bits():
+    network = generators.ring(8)
+    spec = int_variable("x", 0, lambda net, node: net.n - 1, initial=3)
+    assert spec.initial(network, 0) == 3
+    assert spec.bits(network, 0) == 3  # 8 values -> 3 bits
+    assert spec.space_bits(network, 0) == 3
+
+
+def test_int_variable_constant_high_and_callable_initial():
+    network = generators.ring(4)
+    spec = int_variable("x", 1, 4, initial=lambda net, node: node + 1)
+    assert spec.initial(network, 2) == 3
+    assert spec.bits(network, 2) == 2
+
+
+def test_int_variable_random_stays_in_domain():
+    network = generators.ring(8)
+    spec = int_variable("x", 0, lambda net, node: net.n - 1)
+    rng = random.Random(1)
+    values = {spec.random(network, 0, rng) for _ in range(200)}
+    assert values <= set(range(8))
+    assert len(values) > 1
+
+
+def test_enum_variable():
+    network = generators.ring(4)
+    spec = enum_variable("state", ("a", "b", "c"), initial="b")
+    assert spec.initial(network, 1) == "b"
+    assert spec.bits(network, 1) == 2
+    rng = random.Random(3)
+    assert {spec.random(network, 1, rng) for _ in range(100)} == {"a", "b", "c"}
+
+
+def test_enum_variable_default_initial_is_first_value():
+    spec = enum_variable("state", ("x", "y"))
+    assert spec.initial(generators.ring(3), 0) == "x"
+
+
+def test_enum_variable_requires_values():
+    with pytest.raises(ValueError):
+        enum_variable("state", ())
+
+
+def test_pointer_variable_domain_and_bits():
+    network = generators.star(5)  # hub has degree 4
+    spec = pointer_variable("par", allow_none=True)
+    assert spec.initial(network, 0) is None
+    assert spec.bits(network, 0) == bits_for_values(5)
+    assert spec.bits(network, 1) == 1  # one neighbor + None
+    rng = random.Random(5)
+    values = {spec.random(network, 0, rng) for _ in range(200)}
+    assert values <= {None, 1, 2, 3, 4}
+    assert None in values
+
+
+def test_pointer_variable_without_none():
+    network = generators.ring(5)
+    spec = pointer_variable("par", allow_none=False)
+    assert spec.initial(network, 0) in network.neighbors(0)
+    rng = random.Random(5)
+    assert None not in {spec.random(network, 0, rng) for _ in range(100)}
+
+
+def test_map_variable_initial_covers_all_neighbors():
+    network = generators.star(6)
+    spec = map_variable("pi", 0, lambda net, node: net.n - 1, initial_value=0)
+    labels = spec.initial(network, 0)
+    assert set(labels) == set(network.neighbors(0))
+    assert all(value == 0 for value in labels.values())
+
+
+def test_map_variable_bits_scale_with_degree():
+    network = generators.star(9)
+    spec = map_variable("pi", 0, lambda net, node: net.n - 1)
+    hub_bits = spec.bits(network, 0)
+    leaf_bits = spec.bits(network, 1)
+    assert hub_bits == network.degree(0) * bits_for_values(9)
+    assert leaf_bits == 1 * bits_for_values(9)
+
+
+def test_map_variable_random_keys_and_range():
+    network = generators.ring(6)
+    spec = map_variable("pi", 0, 5)
+    rng = random.Random(7)
+    labels = spec.random(network, 2, rng)
+    assert set(labels) == set(network.neighbors(2))
+    assert all(0 <= value <= 5 for value in labels.values())
+
+
+def test_variable_spec_is_frozen():
+    spec = VariableSpec("x", lambda n, p: 0, lambda n, p, r: 0, lambda n, p: 1)
+    with pytest.raises(AttributeError):
+        spec.name = "y"  # type: ignore[misc]

@@ -1,0 +1,166 @@
+"""Tests for ring leader election and chordal routing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baseline import centralized_orientation
+from repro.core.orientation import orient_with_dftno
+from repro.errors import RoutingError, SimulationError
+from repro.graphs import generators
+from repro.graphs.properties import bfs_distances
+from repro.sod.election import ring_election_oriented, ring_election_unoriented
+from repro.sod.routing import ChordalRouter
+
+
+# ----------------------------------------------------------------------
+# Leader election
+# ----------------------------------------------------------------------
+def test_oriented_election_elects_highest_name():
+    ring = generators.ring(9)
+    orientation = centralized_orientation(ring)
+    outcome = ring_election_oriented(ring, orientation)
+    assert outcome.leader_identifier == ring.n - 1
+    assert outcome.messages >= ring.n
+
+
+def test_unoriented_election_elects_highest_identifier():
+    ring = generators.ring(9)
+    outcome = ring_election_unoriented(ring)
+    assert outcome.leader_identifier == ring.n - 1
+
+
+def test_unoriented_election_with_custom_identifiers():
+    ring = generators.ring(6)
+    identifiers = {0: 17, 1: 3, 2: 99, 3: 8, 4: 25, 5: 41}
+    outcome = ring_election_unoriented(ring, identifiers)
+    assert outcome.leader_identifier == 99
+
+
+def test_unoriented_election_rejects_duplicate_identifiers():
+    ring = generators.ring(5)
+    with pytest.raises(SimulationError):
+        ring_election_unoriented(ring, {node: 1 for node in ring.nodes()})
+
+
+def test_orientation_reduces_election_messages():
+    for size in (8, 16, 32):
+        ring = generators.ring(size)
+        orientation = centralized_orientation(ring)
+        oriented = ring_election_oriented(ring, orientation)
+        unoriented = ring_election_unoriented(ring)
+        assert oriented.messages < unoriented.messages
+
+
+def test_election_requires_ring_topology():
+    network = generators.path(5)
+    with pytest.raises(SimulationError):
+        ring_election_unoriented(network)
+    with pytest.raises(SimulationError):
+        ring_election_oriented(network, centralized_orientation(network))
+
+
+def test_election_works_with_protocol_produced_orientation():
+    ring = generators.ring(10)
+    orientation = orient_with_dftno(ring, seed=4).orientation
+    outcome = ring_election_oriented(ring, orientation)
+    assert outcome.leader_identifier == ring.n - 1
+
+
+# ----------------------------------------------------------------------
+# Chordal routing
+# ----------------------------------------------------------------------
+@pytest.fixture
+def routed_network():
+    network = generators.random_connected(14, extra_edge_probability=0.3, seed=6)
+    orientation = centralized_orientation(network)
+    return network, ChordalRouter(network, orientation)
+
+
+def test_route_delivers_between_all_pairs(routed_network):
+    network, router = routed_network
+    for source in network.nodes():
+        for destination in network.nodes():
+            if source == destination:
+                continue
+            route = router.route(source, destination)
+            assert route.path[0] == source
+            assert route.path[-1] == destination
+            assert route.hops <= 2 * network.n
+
+
+def test_route_path_follows_existing_links(routed_network):
+    network, router = routed_network
+    route = router.route(0, network.n - 1)
+    for a, b in zip(route.path, route.path[1:]):
+        assert network.has_edge(a, b)
+
+
+def test_route_on_ring_follows_forward_direction():
+    ring = generators.ring(8)
+    router = ChordalRouter(ring, centralized_orientation(ring))
+    route = router.route(0, 3)
+    assert route.path == (0, 1, 2, 3)
+    assert route.backtrack_hops == 0
+    assert route.greedy_hops == 3
+
+
+def test_route_by_name(routed_network):
+    network, router = routed_network
+    destination_name = router.orientation.name_of(5)
+    route = router.route_by_name(2, destination_name)
+    assert route.destination == 5
+
+
+def test_route_hop_budget_enforced(routed_network):
+    network, router = routed_network
+    with pytest.raises(RoutingError):
+        router.route(0, network.n - 1, max_hops=0)
+
+
+def test_stretch_is_at_least_one(routed_network):
+    network, router = routed_network
+    for destination in list(network.nodes())[1:6]:
+        assert router.stretch(0, destination) >= 1.0
+    assert router.stretch(3, 3) == 1.0
+
+
+def test_average_stretch_reasonable_on_rings():
+    ring = generators.ring(10)
+    router = ChordalRouter(ring, centralized_orientation(ring))
+    # Forward-only greedy routing on a ring averages below 2x the shortest path.
+    assert router.average_stretch() < 2.2
+
+
+def test_average_stretch_with_sample(routed_network):
+    network, router = routed_network
+    sample = [(0, 5), (3, 9), (7, 1)]
+    assert router.average_stretch(sample) >= 1.0
+    assert router.average_stretch([]) == 1.0
+
+
+def test_router_rejects_invalid_orientation(routed_network):
+    network, _ = routed_network
+    broken = centralized_orientation(network)
+    broken.names[2] = broken.names[3]
+    from repro.errors import SpecificationError
+
+    with pytest.raises(SpecificationError):
+        ChordalRouter(network, broken)
+
+
+def test_preference_and_next_hop_are_local(routed_network):
+    network, router = routed_network
+    node = 0
+    destination_name = router.orientation.name_of(network.n - 1)
+    best = router.next_hop(node, destination_name)
+    assert best in network.neighbors(node)
+    assert router.next_hop(node, destination_name, excluded=frozenset(network.neighbors(node))) is None
+
+
+def test_routing_with_protocol_produced_orientation():
+    network = generators.random_connected(10, seed=11)
+    orientation = orient_with_dftno(network, seed=12).orientation
+    router = ChordalRouter(network, orientation)
+    route = router.route(0, 7)
+    assert route.path[-1] == 7

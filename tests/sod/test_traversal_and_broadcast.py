@@ -1,0 +1,101 @@
+"""Tests for DFS traversal and broadcast with/without a sense of direction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baseline import centralized_orientation
+from repro.errors import SpecificationError
+from repro.graphs import generators
+from repro.sod.traversal import (
+    broadcast_with_sod,
+    broadcast_without_sod,
+    dfs_traversal_with_sod,
+    dfs_traversal_without_sod,
+)
+
+
+@pytest.fixture
+def dense_network():
+    return generators.random_connected(12, extra_edge_probability=0.45, seed=9)
+
+
+def test_traversal_without_sod_completes_on_trees_and_graphs(dense_network):
+    for network in (generators.path(6), generators.kary_tree(7, 2), dense_network):
+        outcome = dfs_traversal_without_sod(network)
+        assert outcome.visited == network.n
+        assert outcome.messages >= 2 * (network.n - 1)
+
+
+def test_traversal_without_sod_costs_order_m(dense_network):
+    outcome = dfs_traversal_without_sod(dense_network)
+    assert outcome.messages >= dense_network.num_edges()
+    assert outcome.messages <= 4 * dense_network.num_edges()
+
+
+def test_traversal_with_sod_costs_exactly_two_tree_messages_per_edge(dense_network):
+    orientation = centralized_orientation(dense_network)
+    outcome = dfs_traversal_with_sod(dense_network, orientation)
+    assert outcome.visited == dense_network.n
+    assert outcome.messages == 2 * (dense_network.n - 1)
+
+
+def test_traversal_with_sod_beats_unoriented_on_dense_networks(dense_network):
+    orientation = centralized_orientation(dense_network)
+    with_sod = dfs_traversal_with_sod(dense_network, orientation)
+    without = dfs_traversal_without_sod(dense_network)
+    assert with_sod.messages < without.messages
+
+
+def test_traversal_with_sod_on_tree_matches_unoriented_tree_cost():
+    tree = generators.kary_tree(7, 2)
+    orientation = centralized_orientation(tree)
+    with_sod = dfs_traversal_with_sod(tree, orientation)
+    assert with_sod.messages == 2 * (tree.n - 1)
+
+
+def test_traversal_with_sod_rejects_invalid_orientation(dense_network):
+    orientation = centralized_orientation(dense_network)
+    orientation.names[0] = orientation.names[1]  # break SP1
+    with pytest.raises(SpecificationError):
+        dfs_traversal_with_sod(dense_network, orientation)
+
+
+def test_broadcast_without_sod_floods_all_edges(dense_network):
+    outcome = broadcast_without_sod(dense_network)
+    assert outcome.visited == dense_network.n
+    # Flooding: one message over the root's links plus one per direction on the
+    # rest, minus the ones suppressed at already-informed processors.
+    assert outcome.messages >= dense_network.n - 1
+    assert outcome.messages <= 2 * dense_network.num_edges()
+
+
+def test_broadcast_with_sod_reaches_everyone_with_fewer_messages(dense_network):
+    orientation = centralized_orientation(dense_network)
+    with_sod = broadcast_with_sod(dense_network, orientation)
+    without = broadcast_without_sod(dense_network)
+    assert with_sod.visited == dense_network.n
+    assert with_sod.messages <= without.messages
+
+
+def test_broadcast_with_sod_on_complete_network_is_linear():
+    network = generators.complete(10)
+    orientation = centralized_orientation(network)
+    outcome = broadcast_with_sod(network, orientation)
+    assert outcome.messages == network.n - 1
+    plain = broadcast_without_sod(network)
+    assert plain.messages >= (network.n - 1) ** 2 / 2
+
+
+def test_outcomes_report_rounds(dense_network):
+    orientation = centralized_orientation(dense_network)
+    assert dfs_traversal_with_sod(dense_network, orientation).rounds >= 2
+    assert broadcast_without_sod(dense_network).rounds >= 2
+    assert dfs_traversal_without_sod(dense_network).complete
+
+
+def test_traversal_works_on_ring_topologies():
+    ring = generators.ring(9)
+    orientation = centralized_orientation(ring)
+    assert dfs_traversal_with_sod(ring, orientation).messages == 2 * (ring.n - 1)
+    assert dfs_traversal_without_sod(ring).visited == ring.n
