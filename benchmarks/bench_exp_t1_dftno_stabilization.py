@@ -4,26 +4,44 @@ Regenerates the stabilization-versus-size series on two topology families and
 fits a line to the overlay stabilization steps; the thesis's claim corresponds
 to a positive slope with a good linear fit, and to the overlay cost staying a
 small multiple of ``n``.
+
+This benchmark drives the campaign engine directly: each series is a
+declarative :class:`repro.campaign.Grid`, executed by :func:`run_grid` and
+aggregated with :func:`campaign_summary` -- the same path
+``python -m repro.campaign run`` takes.
 """
 
 from __future__ import annotations
 
 from bench_utils import report
 
-from repro.analysis.experiments import exp_t1_dftno_stabilization
+from repro.campaign import Grid, campaign_summary, run_grid
 
 SIZES = (8, 16, 24, 32, 48)
 
 
+def _sweep(family: str, seed: int, jobs: int = 1) -> dict[str, object]:
+    grid = Grid(
+        sizes=SIZES,
+        protocols=("dftno",),
+        families=(family,),
+        trials=2,
+        seed=seed,
+        after_substrate=True,
+    )
+    result = run_grid(grid, jobs=jobs)
+    return campaign_summary(result.rows, key_name="n", fit_metric="overlay_steps_mean")
+
+
 def test_dftno_stabilization_scales_linearly_on_random_networks(benchmark):
     result = benchmark.pedantic(
-        lambda: exp_t1_dftno_stabilization(sizes=SIZES, family="random_connected", trials=2, seed=1),
+        lambda: _sweep("random_connected", seed=1, jobs=2),
         rounds=1,
         iterations=1,
     )
     rows, fit = result["rows"], result["fit"]
     report(
-        "EXP-T1: DFTNO stabilization vs n (random connected networks)",
+        "EXP-T1: DFTNO stabilization vs n (random connected networks, campaign engine)",
         rows,
         benchmark,
         fitted_slope=round(fit["slope"], 3),
@@ -39,13 +57,13 @@ def test_dftno_stabilization_scales_linearly_on_random_networks(benchmark):
 
 def test_dftno_stabilization_scales_linearly_on_rings(benchmark):
     result = benchmark.pedantic(
-        lambda: exp_t1_dftno_stabilization(sizes=SIZES, family="ring", trials=2, seed=2),
+        lambda: _sweep("ring", seed=2),
         rounds=1,
         iterations=1,
     )
     rows, fit = result["rows"], result["fit"]
     report(
-        "EXP-T1: DFTNO stabilization vs n (rings)",
+        "EXP-T1: DFTNO stabilization vs n (rings, campaign engine)",
         rows,
         benchmark,
         fitted_slope=round(fit["slope"], 3),

@@ -22,8 +22,8 @@ live runs:
 from __future__ import annotations
 
 from repro import generators, make_daemon, orient_with_dftno, orient_with_stno, space_summary
-from repro.analysis.convergence import measure_dftno, measure_stno
 from repro.analysis.reporting import format_table
+from repro.campaign import Grid, aggregate_rows, run_grid
 
 
 def main() -> None:
@@ -32,25 +32,24 @@ def main() -> None:
           f"Delta={network.max_degree})\n")
 
     # ------------------------------------------------------------------
-    # Stabilization time (measured relative to the substrate, like the theorems)
+    # Stabilization time (measured relative to the substrate, like the
+    # theorems), regenerated through the campaign engine: one declarative
+    # grid over the three protocols, executed on two worker processes.
     # ------------------------------------------------------------------
-    rows = []
-    for label, measure in (
-        ("dftno", lambda: measure_dftno(network, seed=1)),
-        ("stno[bfs]", lambda: measure_stno(network, tree="bfs", seed=2)),
-        ("stno[dfs]", lambda: measure_stno(network, tree="dfs", seed=3)),
-    ):
-        sample = measure()
-        rows.append(
-            {
-                "protocol": label,
-                "substrate steps": sample.substrate_steps,
-                "overlay steps": sample.overlay_steps,
-                "overlay rounds": sample.overlay_rounds,
-                "total steps": sample.full_steps,
-            }
-        )
-    print(format_table(rows, title="Stabilization from an arbitrary configuration"))
+    grid = Grid(sizes=(18,), protocols=("dftno", "stno-bfs", "stno-dfs"), trials=2, seed=21)
+    result = run_grid(grid, jobs=2)
+    rows = aggregate_rows(
+        result.rows,
+        by="protocol",
+        metrics=(
+            ("substrate_steps", "substrate steps"),
+            ("overlay_steps", "overlay steps"),
+            ("overlay_rounds", "overlay rounds"),
+            ("full_steps", "total steps"),
+        ),
+    )
+    print(format_table(rows, title="Stabilization from an arbitrary configuration "
+                                   f"({result.total} campaign tasks, 2 workers)"))
     print()
 
     # ------------------------------------------------------------------

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# End-to-end smoke: tier-1 tests plus a tiny campaign through the real CLI.
+#
+#   scripts/smoke.sh [extra pytest args...]
+#
+# Runs the full pytest suite, then a 4-task DFTNO campaign on 2 workers,
+# resumes it (must skip everything), and prints the aggregated report.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+python -m pytest -x -q "$@"
+
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+
+python -m repro.campaign run --protocol dftno --family ring \
+    --sizes 6,8 --trials 2 --jobs 2 --seed 1 --out "$out"
+
+resume_log="$(python -m repro.campaign run --protocol dftno --family ring \
+    --sizes 6,8 --trials 2 --jobs 2 --seed 1 --out "$out" --resume --quiet)"
+echo "$resume_log"
+case "$resume_log" in
+    *"0 executed, 4 skipped"*) ;;
+    *) echo "smoke FAILED: resume did not skip completed tasks" >&2; exit 1 ;;
+esac
+
+python -m repro.campaign report --out "$out"
+echo "smoke OK"

@@ -5,30 +5,27 @@ and returns them as a list of dictionaries (plus, where meaningful, a summary
 dictionary with fitted slopes or aggregate ratios).  The benchmark modules
 call these with small parameters and print the tables; EXPERIMENTS.md records
 a full run.
+
+The sweep-shaped experiments (EXP-T1, EXP-T2, EXP-R1, EXP-R2) build a
+declarative :class:`repro.campaign.Grid` and delegate execution to the
+campaign engine, so they share its hash-derived seeding and can be
+regenerated -- or scaled up, parallelized and resumed -- through
+``python -m repro.campaign`` with the same parameters.
 """
 
 from __future__ import annotations
 
-import random
 from typing import Sequence
 
-from repro.analysis.convergence import (
-    StabilizationSample,
-    measure_dftno,
-    measure_stno,
-    sweep_dftno_sizes,
-    sweep_stno_heights,
-)
-from repro.analysis.reporting import linear_fit, summarize
+from repro.analysis.reporting import summarize
 from repro.analysis.space import space_rows
 from repro.core.baseline import centralized_orientation
 from repro.core.dftno import VAR_MAX, build_dftno
-from repro.core.specification import VAR_NAME, OrientationSpecification
-from repro.core.stno import STNO, VAR_WEIGHT, build_stno
+from repro.core.specification import VAR_NAME
+from repro.core.stno import VAR_WEIGHT, build_stno
 from repro.graphs import generators
 from repro.graphs.network import RootedNetwork
-from repro.graphs.properties import radius_from_root
-from repro.runtime.daemon import Daemon, make_daemon
+from repro.runtime.daemon import make_daemon
 from repro.runtime.scheduler import Scheduler
 from repro.sod.election import ring_election_oriented, ring_election_unoriented
 from repro.sod.traversal import (
@@ -37,8 +34,18 @@ from repro.sod.traversal import (
     dfs_traversal_with_sod,
     dfs_traversal_without_sod,
 )
-from repro.substrates.spanning_tree import BFSSpanningTree
 from repro.substrates.token_circulation import dfs_preorder
+
+
+def _campaign():
+    # The campaign engine executes sweeps *for* this module but also depends
+    # on repro.analysis for its measurement harness; importing it lazily keeps
+    # that dependency one-directional at import time.
+    from repro.campaign.aggregate import campaign_summary
+    from repro.campaign.grid import Grid, normalize_protocol
+    from repro.campaign.runner import run_grid
+
+    return Grid, run_grid, campaign_summary, normalize_protocol
 
 
 # ----------------------------------------------------------------------
@@ -60,12 +67,17 @@ def exp_t1_dftno_stabilization(
     steps against ``n``, whose high R^2 is the measured counterpart of the
     O(n) theorem.
     """
-    samples = sweep_dftno_sizes(
-        sizes, family=family, trials=trials, seed=seed, after_substrate=after_substrate
+    Grid, run_grid, campaign_summary, _ = _campaign()
+    grid = Grid(
+        sizes=tuple(sizes),
+        protocols=("dftno",),
+        families=(family,),
+        trials=trials,
+        seed=seed,
+        after_substrate=after_substrate,
     )
-    rows = _aggregate_by_parameter(samples, parameter_name="n")
-    fit = _fit_if_possible([row["n"] for row in rows], [row["overlay_steps_mean"] for row in rows])
-    return {"rows": rows, "fit": fit, "samples": [sample.as_row() for sample in samples]}
+    result = run_grid(grid)
+    return campaign_summary(result.rows, key_name="n", fit_metric="overlay_steps_mean")
 
 
 # ----------------------------------------------------------------------
@@ -86,53 +98,17 @@ def exp_t2_stno_stabilization(
     orientation variables are arbitrary, so the reported rounds are exactly
     the O(h) quantity of the theorem.
     """
-    samples = sweep_stno_heights(
-        n, heights, trials=trials, seed=seed, tree=tree, after_substrate=after_substrate
+    Grid, run_grid, campaign_summary, _ = _campaign()
+    grid = Grid(
+        sizes=(n,),
+        protocols=(f"stno-{tree}",),
+        heights=tuple(heights),
+        trials=trials,
+        seed=seed,
+        after_substrate=after_substrate,
     )
-    rows = _aggregate_by_parameter(samples, parameter_name="height")
-    fit = _fit_if_possible(
-        [row["height"] for row in rows], [row["overlay_rounds_mean"] for row in rows]
-    )
-    return {"rows": rows, "fit": fit, "samples": [sample.as_row() for sample in samples]}
-
-
-def _fit_if_possible(xs: list[float], ys: list[float]) -> dict[str, float] | None:
-    """A linear fit, or ``None`` when the sweep has fewer than two distinct points."""
-    if len(set(xs)) < 2:
-        return None
-    return linear_fit(xs, ys)
-
-
-def _aggregate_by_parameter(
-    samples: Sequence[StabilizationSample], parameter_name: str
-) -> list[dict[str, object]]:
-    groups: dict[int, list[StabilizationSample]] = {}
-    for sample in samples:
-        groups.setdefault(sample.parameter, []).append(sample)
-    rows: list[dict[str, object]] = []
-    for parameter in sorted(groups):
-        bucket = groups[parameter]
-        converged = [sample for sample in bucket if sample.converged]
-        overlay_steps = summarize(
-            [sample.overlay_steps for sample in converged if sample.overlay_steps is not None]
-        )
-        overlay_rounds = summarize(
-            [sample.overlay_rounds for sample in converged if sample.overlay_rounds is not None]
-        )
-        full_steps = summarize(
-            [sample.full_steps for sample in converged if sample.full_steps is not None]
-        )
-        rows.append(
-            {
-                parameter_name: parameter,
-                "trials": len(bucket),
-                "converged": len(converged),
-                "overlay_steps_mean": overlay_steps["mean"],
-                "overlay_rounds_mean": overlay_rounds["mean"],
-                "total_steps_mean": full_steps["mean"],
-            }
-        )
-    return rows
+    result = run_grid(grid)
+    return campaign_summary(result.rows, key_name="height", fit_metric="overlay_rounds_mean")
 
 
 # ----------------------------------------------------------------------
@@ -390,40 +366,28 @@ def exp_r1_self_stabilization(
     protocols: Sequence[str] = ("dftno", "stno-bfs", "stno-dfs"),
 ) -> dict[str, object]:
     """Empirical convergence rate from random arbitrary configurations."""
-    rng = random.Random(seed)
+    Grid, run_grid, _, normalize_protocol = _campaign()
+    grid = Grid(sizes=(size,), protocols=tuple(protocols), trials=trials, seed=seed)
+    result = run_grid(grid)
     rows = []
     for protocol_name in protocols:
-        converged = 0
-        rounds: list[int] = []
-        for trial in range(trials):
-            network = generators.random_connected(size, seed=rng.randrange(1 << 30))
-            sample = _measure_by_name(protocol_name, network, seed=rng.randrange(1 << 30))
-            if sample.converged:
-                converged += 1
-                if sample.full_rounds is not None:
-                    rounds.append(sample.full_rounds)
-        stats = summarize(rounds)
+        resolved = normalize_protocol(protocol_name)
+        bucket = [row for row in result.rows if row["protocol"] == resolved]
+        converged = [row for row in bucket if row["converged"]]
+        stats = summarize(
+            [row["full_rounds"] for row in converged if row["full_rounds"] is not None]
+        )
         rows.append(
             {
                 "protocol": protocol_name,
                 "trials": trials,
-                "converged": converged,
-                "convergence_rate": converged / trials,
+                "converged": len(converged),
+                "convergence_rate": len(converged) / trials,
                 "rounds_to_stabilize_mean": stats["mean"],
                 "rounds_to_stabilize_max": stats["max"],
             }
         )
     return {"rows": rows, "all_converged": all(row["converged"] == trials for row in rows)}
-
-
-def _measure_by_name(name: str, network: RootedNetwork, seed: int) -> StabilizationSample:
-    if name == "dftno":
-        return measure_dftno(network, seed=seed)
-    if name == "stno-bfs":
-        return measure_stno(network, tree="bfs", seed=seed)
-    if name == "stno-dfs":
-        return measure_stno(network, tree="dfs", seed=seed)
-    raise ValueError(f"unknown protocol {name!r}")
 
 
 # ----------------------------------------------------------------------
@@ -436,41 +400,42 @@ def exp_r2_daemon_ablation(
     daemons: Sequence[str] = ("central", "distributed", "synchronous", "adversarial"),
 ) -> dict[str, object]:
     """Stabilization of both protocols under the standard daemon families."""
+    Grid, run_grid, _, _ = _campaign()
+    # pair_networks: every daemon/protocol cell of a trial runs on the same
+    # topology, so the ablation compares daemons, not random networks.
+    grid = Grid(
+        sizes=(size,),
+        protocols=("dftno", "stno-bfs"),
+        daemons=tuple(daemons),
+        trials=trials,
+        seed=seed,
+        pair_networks=True,
+    )
+    result = run_grid(grid)
     rows = []
     for daemon_kind in daemons:
         for protocol_name in ("dftno", "stno-bfs"):
-            steps: list[int] = []
-            rounds: list[int] = []
-            converged = 0
-            for trial in range(trials):
-                network = generators.random_connected(size, seed=seed + 11 * trial + size)
-                daemon = make_daemon(daemon_kind)
-                sample = _measure_with_daemon(protocol_name, network, daemon, seed + trial)
-                if sample.converged:
-                    converged += 1
-                    if sample.full_steps is not None:
-                        steps.append(sample.full_steps)
-                    if sample.full_rounds is not None:
-                        rounds.append(sample.full_rounds)
+            bucket = [
+                row
+                for row in result.rows
+                if row["daemon"] == daemon_kind and row["protocol"] == protocol_name
+            ]
+            converged = [row for row in bucket if row["converged"]]
             rows.append(
                 {
                     "daemon": daemon_kind,
                     "protocol": protocol_name,
-                    "trials": trials,
-                    "converged": converged,
-                    "steps_mean": summarize(steps)["mean"],
-                    "rounds_mean": summarize(rounds)["mean"],
+                    "trials": len(bucket),
+                    "converged": len(converged),
+                    "steps_mean": summarize(
+                        [row["full_steps"] for row in converged if row["full_steps"] is not None]
+                    )["mean"],
+                    "rounds_mean": summarize(
+                        [row["full_rounds"] for row in converged if row["full_rounds"] is not None]
+                    )["mean"],
                 }
             )
     return {"rows": rows, "all_converged": all(row["converged"] == row["trials"] for row in rows)}
-
-
-def _measure_with_daemon(
-    name: str, network: RootedNetwork, daemon: Daemon, seed: int
-) -> StabilizationSample:
-    if name == "dftno":
-        return measure_dftno(network, daemon=daemon, seed=seed)
-    return measure_stno(network, tree="bfs", daemon=daemon, seed=seed)
 
 
 __all__ = [

@@ -52,22 +52,31 @@ def format_table(
     return "\n".join(lines)
 
 
-def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> dict[str, float]:
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> dict[str, float | None]:
     """Least-squares fit ``y ~ slope * x + intercept`` with the R^2 of the fit.
 
     Used to confirm the *shape* of the complexity claims: stabilization steps
     of DFTNO against ``n`` (EXP-T1) and rounds of STNO against ``h`` (EXP-T2)
     should fit a line with high R^2.
+
+    Degenerate series -- fewer than 2 points, or zero variance in ``xs`` --
+    have no defined slope; they yield ``{"slope": None, ...}`` instead of
+    raising, so sweeps that collapse to a single point (e.g. a one-size
+    campaign) still aggregate cleanly.  Mismatched series lengths are a
+    programming error and still raise :class:`ValueError`.
     """
-    if len(xs) != len(ys) or len(xs) < 2:
-        raise ValueError("linear_fit needs two same-length series with at least 2 points")
+    if len(xs) != len(ys):
+        raise ValueError("linear_fit needs two series of the same length")
+    degenerate = {"slope": None, "intercept": None, "r_squared": None}
+    if len(xs) < 2:
+        return degenerate
     n = float(len(xs))
     mean_x = sum(xs) / n
     mean_y = sum(ys) / n
     sxx = sum((x - mean_x) ** 2 for x in xs)
     sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
     if sxx == 0:
-        raise ValueError("linear_fit needs at least two distinct x values")
+        return degenerate
     slope = sxy / sxx
     intercept = mean_y - slope * mean_x
     ss_res = sum((y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys))

@@ -1,0 +1,42 @@
+"""Experiment-campaign engine: declarative grids, parallel runs, persistent results.
+
+The subsystem has four layers, each usable on its own:
+
+* :mod:`repro.campaign.grid` -- declarative parameter grids that expand to
+  deterministic task specs with stable config hashes and hash-derived seeds;
+* :mod:`repro.campaign.runner` -- serial or ``multiprocessing`` execution that
+  streams rows as tasks complete;
+* :mod:`repro.campaign.store` -- a crash-safe, deduplicating JSONL result
+  store that powers ``--resume``;
+* :mod:`repro.campaign.aggregate` -- group-by/mean/fit summaries reusing
+  :mod:`repro.analysis.reporting`.
+
+``python -m repro.campaign`` (or the ``repro-campaign`` console script)
+exposes the whole pipeline on the command line.
+"""
+
+from repro.campaign.aggregate import (
+    aggregate_rows,
+    campaign_summary,
+    fit_aggregate,
+    fit_if_possible,
+)
+from repro.campaign.grid import Grid, TaskSpec, parse_axis
+from repro.campaign.runner import CampaignResult, CampaignRunner, run_grid, run_task
+from repro.campaign.store import ResultStore, resolve_store_path
+
+__all__ = [
+    "CampaignResult",
+    "CampaignRunner",
+    "Grid",
+    "ResultStore",
+    "TaskSpec",
+    "aggregate_rows",
+    "campaign_summary",
+    "fit_aggregate",
+    "fit_if_possible",
+    "parse_axis",
+    "resolve_store_path",
+    "run_grid",
+    "run_task",
+]

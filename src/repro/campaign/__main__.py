@@ -1,0 +1,10 @@
+"""``python -m repro.campaign`` entry point."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.campaign.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,107 @@
+"""Aggregation of campaign result rows into the tables the thesis reports.
+
+These helpers reproduce (and replace) the private group-by logic the
+``exp_*`` entry points used to hand-roll: group rows by a key, average each
+metric over the *converged* samples, and fit a line through the aggregated
+means -- reusing :func:`repro.analysis.reporting.summarize` and
+:func:`repro.analysis.reporting.linear_fit`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from repro.analysis.reporting import linear_fit, summarize
+
+Row = Mapping[str, object]
+
+#: (source column in a result row, name of the aggregated mean column).
+DEFAULT_METRICS: tuple[tuple[str, str], ...] = (
+    ("overlay_steps", "overlay_steps_mean"),
+    ("overlay_rounds", "overlay_rounds_mean"),
+    ("full_steps", "total_steps_mean"),
+)
+
+
+def aggregate_rows(
+    rows: Sequence[Row],
+    by: str = "parameter",
+    key_name: str | None = None,
+    metrics: Sequence[tuple[str, str]] = DEFAULT_METRICS,
+) -> list[dict[str, object]]:
+    """Group ``rows`` by ``rows[by]`` and average each metric over converged runs.
+
+    Returns one output row per distinct key (sorted), named ``key_name``
+    (default: ``by``), with ``trials`` (group size), ``converged`` (count) and
+    one ``*_mean`` column per metric.
+    """
+    key_name = key_name or by
+    groups: dict[object, list[Row]] = {}
+    for row in rows:
+        groups.setdefault(row[by], []).append(row)
+    out: list[dict[str, object]] = []
+    for key in sorted(groups, key=lambda value: (str(type(value)), value)):
+        bucket = groups[key]
+        converged = [row for row in bucket if row.get("converged")]
+        aggregated: dict[str, object] = {
+            key_name: key,
+            "trials": len(bucket),
+            "converged": len(converged),
+        }
+        for source, target in metrics:
+            values = [row[source] for row in converged if row.get(source) is not None]
+            aggregated[target] = summarize(values)["mean"]
+        out.append(aggregated)
+    return out
+
+
+def fit_if_possible(
+    xs: Sequence[float], ys: Sequence[float | None]
+) -> dict[str, float] | None:
+    """A linear fit of the finite (x, y) pairs, or ``None`` when degenerate.
+
+    Pairs whose y is ``None`` or NaN are dropped (unconverged groups); the fit
+    needs at least two distinct surviving x values.
+    """
+    pairs = [
+        (x, y)
+        for x, y in zip(xs, ys)
+        if y is not None and not (isinstance(y, float) and math.isnan(y))
+    ]
+    if len({x for x, _ in pairs}) < 2:
+        return None
+    fit = linear_fit([x for x, _ in pairs], [y for _, y in pairs])
+    if fit["slope"] is None:
+        return None
+    return fit
+
+
+def fit_aggregate(
+    aggregated: Sequence[Row], x: str, y: str
+) -> dict[str, float] | None:
+    """Fit ``y ~ x`` across already-aggregated rows (``None`` when degenerate)."""
+    return fit_if_possible(
+        [row[x] for row in aggregated],  # type: ignore[misc]
+        [row[y] for row in aggregated],  # type: ignore[misc]
+    )
+
+
+def campaign_summary(
+    rows: Sequence[Row],
+    key_name: str = "n",
+    fit_metric: str = "overlay_steps_mean",
+) -> dict[str, object]:
+    """The ``{"rows", "fit", "samples"}`` structure the ``exp_*`` functions return."""
+    aggregated = aggregate_rows(rows, by="parameter", key_name=key_name)
+    fit = fit_aggregate(aggregated, key_name, fit_metric)
+    return {"rows": aggregated, "fit": fit, "samples": [dict(row) for row in rows]}
+
+
+__all__ = [
+    "DEFAULT_METRICS",
+    "aggregate_rows",
+    "campaign_summary",
+    "fit_aggregate",
+    "fit_if_possible",
+]

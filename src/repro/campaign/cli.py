@@ -1,0 +1,198 @@
+"""Command-line interface for experiment campaigns.
+
+::
+
+    python -m repro.campaign run --protocol dftno --sizes 8:64 --jobs 4 --out results/
+    python -m repro.campaign run --protocol dftno --sizes 8:64 --jobs 4 --out results/ --resume
+    python -m repro.campaign status --out results/
+    python -m repro.campaign report --out results/ --metric overlay_steps_mean
+
+``run`` expands the declarative grid, skips tasks the JSONL store already
+holds (``--resume``), executes the rest on ``--jobs`` workers and streams one
+line per completed task.  ``status`` summarizes the store; ``report``
+aggregates it into the thesis-style table plus a linear fit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.reporting import format_table
+from repro.campaign.aggregate import aggregate_rows, fit_aggregate
+from repro.campaign.grid import DAEMONS, Grid, PROTOCOLS, parse_axis
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.store import ResultStore, resolve_store_path
+from repro.errors import ReproError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-campaign",
+        description="Parallel, resumable experiment campaigns for the orientation protocols.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="expand a grid and execute its tasks")
+    run.add_argument(
+        "--protocol",
+        action="append",
+        dest="protocols",
+        metavar="NAME",
+        help=f"protocol to sweep (repeatable; default dftno; choices: {', '.join(PROTOCOLS)})",
+    )
+    run.add_argument(
+        "--family",
+        action="append",
+        dest="families",
+        metavar="NAME",
+        help="topology family (repeatable; default random_connected)",
+    )
+    run.add_argument(
+        "--sizes",
+        default="8:32",
+        metavar="SPEC",
+        help="network sizes: '8,16,24' list, '8:64' doubling sweep, or '8:64:8' stepped (default 8:32)",
+    )
+    run.add_argument(
+        "--heights",
+        default=None,
+        metavar="SPEC",
+        help="tree heights (same spec syntax); switches the sweep to height-controlled trees",
+    )
+    run.add_argument(
+        "--daemon",
+        action="append",
+        dest="daemons",
+        metavar="KIND",
+        help=f"daemon kind (repeatable; default distributed; choices: {', '.join(DAEMONS)})",
+    )
+    run.add_argument("--trials", type=int, default=3, help="trials per configuration (default 3)")
+    run.add_argument("--seed", type=int, default=0, help="grid base seed (default 0)")
+    run.add_argument(
+        "--after-substrate",
+        action="store_true",
+        help="start from a configuration whose substrate layer is already stabilized",
+    )
+    run.add_argument("--jobs", type=int, default=1, help="worker processes (default 1)")
+    run.add_argument(
+        "--out",
+        default="results",
+        metavar="PATH",
+        help="store directory or .jsonl file (default results/)",
+    )
+    run.add_argument(
+        "--resume", action="store_true", help="skip tasks already completed in the store"
+    )
+    run.add_argument("--quiet", action="store_true", help="suppress per-task progress lines")
+
+    status = sub.add_parser("status", help="summarize a campaign store")
+    status.add_argument("--out", default="results", metavar="PATH", help="store path")
+
+    report = sub.add_parser("report", help="aggregate a store into a table and fit")
+    report.add_argument("--out", default="results", metavar="PATH", help="store path")
+    report.add_argument(
+        "--key", default="parameter", help="row column to group by (default parameter)"
+    )
+    report.add_argument(
+        "--metric",
+        default="overlay_steps_mean",
+        help="aggregated column to fit against the key (default overlay_steps_mean)",
+    )
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    grid = Grid(
+        sizes=parse_axis(args.sizes),
+        protocols=tuple(args.protocols or ("dftno",)),
+        families=tuple(args.families or ("random_connected",)),
+        daemons=tuple(args.daemons or ("distributed",)),
+        heights=parse_axis(args.heights) if args.heights else None,
+        trials=args.trials,
+        seed=args.seed,
+        after_substrate=args.after_substrate,
+    )
+    store = ResultStore(resolve_store_path(args.out))
+    runner = CampaignRunner(store=store, jobs=args.jobs)
+
+    def progress(row: dict[str, object]) -> None:
+        if not args.quiet:
+            status = "ok" if row.get("converged") else "DID NOT CONVERGE"
+            print(
+                f"[{row['task_index']}] {row['protocol']} {row['family']} "
+                f"n={row['size']} daemon={row['daemon']} trial={row['trial']} "
+                f"hash={row['config_hash']} ... {status}",
+                flush=True,
+            )
+
+    result = runner.run(grid, resume=args.resume, progress=progress)
+    print(
+        f"campaign: {result.total} tasks, {result.executed} executed, "
+        f"{result.skipped} skipped (resumed), {result.converged}/{result.total} converged "
+        f"-> {store.path}"
+    )
+    return 0 if result.converged == result.total else 1
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    path = resolve_store_path(args.out)
+    store = ResultStore(path)
+    rows = store.rows()
+    print(f"store: {path} ({len(rows)} rows)")
+    if not rows:
+        return 0
+    counts: dict[tuple[object, object], list[int]] = {}
+    for row in rows:
+        key = (row.get("protocol"), row.get("family"))
+        bucket = counts.setdefault(key, [0, 0])
+        bucket[0] += 1
+        bucket[1] += 1 if row.get("converged") else 0
+    table = [
+        {"protocol": protocol, "family": family, "rows": total, "converged": converged}
+        for (protocol, family), (total, converged) in sorted(counts.items(), key=str)
+    ]
+    print(format_table(table))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    store = ResultStore(resolve_store_path(args.out))
+    rows = sorted(store.rows(), key=lambda row: row.get("task_index", 0))
+    if not rows:
+        print("store is empty; run a campaign first")
+        return 1
+    if any(args.key not in row for row in rows):
+        raise ValueError(
+            f"column {args.key!r} missing from stored rows; "
+            f"available: {', '.join(sorted(rows[0]))}"
+        )
+    aggregated = aggregate_rows(rows, by=args.key)
+    print(format_table(aggregated, title=f"campaign aggregate by {args.key}"))
+    fit = fit_aggregate(aggregated, args.key, args.metric)
+    if fit is None:
+        print(f"fit of {args.metric} vs {args.key}: degenerate (fewer than 2 distinct points)")
+    else:
+        print(
+            f"fit of {args.metric} vs {args.key}: slope={fit['slope']:.3f} "
+            f"intercept={fit['intercept']:.3f} r_squared={fit['r_squared']:.3f}"
+        )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "status":
+            return _cmd_status(args)
+        return _cmd_report(args)
+    except (ValueError, OSError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

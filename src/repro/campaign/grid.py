@@ -1,0 +1,311 @@
+"""Declarative parameter grids for experiment campaigns.
+
+A :class:`Grid` is the declarative description of a sweep -- the cross
+product of protocols x topology families x sizes (x heights) x daemons x
+trials.  :meth:`Grid.expand` turns it into a deterministic, ordered list of
+:class:`TaskSpec` objects, one per run.
+
+Every task carries a **config hash**: a stable digest of the fields that
+identify the run (protocol, family, size, height, daemon, trial, grid seed,
+starting-configuration mode).  The hash is what the result store keys on for
+dedup and ``--resume``, and it is also the root of the task's seeds: the
+network seed and the scheduler seed are both derived from the hash, so a task
+produces the same rows no matter when, where, or on which worker it executes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field, fields
+from typing import Iterator, Sequence
+
+from repro.graphs.generators import FAMILY_NAMES
+
+#: Protocol names the runner knows how to execute.  ``stno`` is accepted as an
+#: alias for ``stno-bfs`` (the thesis's default spanning tree).
+PROTOCOLS = ("dftno", "stno-bfs", "stno-dfs")
+_PROTOCOL_ALIASES = {"stno": "stno-bfs"}
+
+#: Daemon kinds understood by :func:`repro.runtime.daemon.make_daemon`.
+DAEMONS = ("central", "distributed", "synchronous", "adversarial")
+
+#: The synthetic family used for height-controlled sweeps (EXP-T2).
+HEIGHT_TREE_FAMILY = "height_tree"
+
+#: Fields of :class:`TaskSpec` that identify a run (everything except the
+#: positional ``index``).  Order matters only for display; the hash
+#: canonicalizes with ``sort_keys``.
+IDENTITY_FIELDS = (
+    "protocol",
+    "family",
+    "size",
+    "height",
+    "daemon",
+    "trial",
+    "grid_seed",
+    "after_substrate",
+    "pair_networks",
+)
+
+#: The identity subset that defines a task's *topology*: with
+#: ``pair_networks`` the network seed derives from these fields only, so every
+#: protocol/daemon cell of a trial runs on the same network.
+NETWORK_IDENTITY_FIELDS = ("family", "size", "height", "trial", "grid_seed")
+
+
+def normalize_protocol(name: str) -> str:
+    """Resolve aliases and validate a protocol name."""
+    resolved = _PROTOCOL_ALIASES.get(name, name)
+    if resolved not in PROTOCOLS:
+        raise ValueError(
+            f"unknown protocol {name!r}; choose from {sorted(PROTOCOLS + tuple(_PROTOCOL_ALIASES))}"
+        )
+    return resolved
+
+
+def normalize_daemon(kind: str) -> str:
+    """Validate a daemon kind."""
+    if kind not in DAEMONS:
+        raise ValueError(f"unknown daemon kind {kind!r}; choose from {sorted(DAEMONS)}")
+    return kind
+
+
+def normalize_family(name: str) -> str:
+    """Validate a sweepable topology family name."""
+    if name not in FAMILY_NAMES:
+        raise ValueError(
+            f"unknown topology family {name!r}; choose from {sorted(FAMILY_NAMES)}"
+        )
+    return name
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One fully-specified campaign run.
+
+    ``index`` is the task's position in the expanded grid; it is *not* part of
+    the identity (two grids that share a configuration share its hash even if
+    the configuration sits at different positions).
+    """
+
+    protocol: str
+    family: str
+    size: int
+    daemon: str
+    trial: int
+    grid_seed: int
+    after_substrate: bool = False
+    height: int | None = None
+    pair_networks: bool = False
+    index: int = field(default=0, compare=False)
+
+    def identity(self) -> dict[str, object]:
+        """The fields that define this configuration (hash input)."""
+        return {name: getattr(self, name) for name in IDENTITY_FIELDS}
+
+    @property
+    def config_hash(self) -> str:
+        """Stable 16-hex-digit digest of the task's identity."""
+        blob = json.dumps(self.identity(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+    def _derived_seed(self, salt: str) -> int:
+        digest = hashlib.sha256(f"{salt}:{self.config_hash}".encode("utf-8")).digest()
+        return int.from_bytes(digest[:4], "big")
+
+    @property
+    def task_seed(self) -> int:
+        """The root per-task seed (derived from the config hash)."""
+        return self._derived_seed("task")
+
+    @property
+    def network_seed(self) -> int:
+        """Seed for the topology generator.
+
+        With ``pair_networks`` the seed depends only on the topology identity
+        (family, size, height, trial, grid seed), so every protocol/daemon
+        combination of a trial is measured on the *same* network -- the
+        paired design the daemon-ablation experiment (EXP-R2) relies on.
+        """
+        if self.pair_networks:
+            blob = json.dumps(
+                {name: getattr(self, name) for name in NETWORK_IDENTITY_FIELDS},
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+            digest = hashlib.sha256(f"network:{blob}".encode("utf-8")).digest()
+            return int.from_bytes(digest[:4], "big")
+        return self._derived_seed("network")
+
+    @property
+    def run_seed(self) -> int:
+        """Seed for the scheduler / starting configuration."""
+        return self._derived_seed("run")
+
+    @property
+    def parameter(self) -> int:
+        """The swept quantity this task contributes to (height or size)."""
+        return self.height if self.height is not None else self.size
+
+
+def _as_int_tuple(values: Sequence[int] | None, what: str) -> tuple[int, ...] | None:
+    if values is None:
+        return None
+    out = tuple(int(value) for value in values)
+    if not out:
+        raise ValueError(f"{what} must not be empty")
+    return out
+
+
+def _dedup(values: tuple | None) -> tuple | None:
+    if values is None:
+        return None
+    return tuple(dict.fromkeys(values))
+
+
+@dataclass(frozen=True)
+class Grid:
+    """A declarative experiment sweep: the cross product of its axes.
+
+    ``heights`` switches the grid to height-controlled trees (EXP-T2 style):
+    each task then runs on a tree with ``size`` processors and exactly the
+    requested root-to-leaf height, and the ``families`` axis is replaced by
+    the synthetic ``height_tree`` family.
+    """
+
+    sizes: tuple[int, ...] = (8, 16, 32)
+    protocols: tuple[str, ...] = ("dftno",)
+    families: tuple[str, ...] = ("random_connected",)
+    daemons: tuple[str, ...] = ("distributed",)
+    heights: tuple[int, ...] | None = None
+    trials: int = 1
+    seed: int = 0
+    after_substrate: bool = False
+    pair_networks: bool = False
+
+    def __post_init__(self) -> None:
+        # Axes are deduplicated order-preservingly: aliases ("stno" and
+        # "stno-bfs") or repeated values would otherwise expand to tasks with
+        # identical config hashes, double-counting their rows.
+        object.__setattr__(self, "sizes", _dedup(_as_int_tuple(self.sizes, "sizes")))
+        object.__setattr__(self, "heights", _dedup(_as_int_tuple(self.heights, "heights")))
+        object.__setattr__(
+            self, "protocols", _dedup(tuple(normalize_protocol(name) for name in self.protocols))
+        )
+        object.__setattr__(
+            self, "daemons", _dedup(tuple(normalize_daemon(kind) for kind in self.daemons))
+        )
+        if self.heights is not None:
+            object.__setattr__(self, "families", (HEIGHT_TREE_FAMILY,))
+        else:
+            object.__setattr__(
+                self, "families", _dedup(tuple(normalize_family(name) for name in self.families))
+            )
+        if not self.protocols:
+            raise ValueError("protocols must not be empty")
+        if not self.families:
+            raise ValueError("families must not be empty")
+        if not self.daemons:
+            raise ValueError("daemons must not be empty")
+        if self.trials < 1:
+            raise ValueError("trials must be >= 1")
+        if self.heights is not None:
+            for size in self.sizes:
+                for height in self.heights:
+                    if not 1 <= height <= size - 1:
+                        raise ValueError(
+                            f"height {height} out of range 1..{size - 1} for size {size}"
+                        )
+
+    def __len__(self) -> int:
+        heights = len(self.heights) if self.heights is not None else 1
+        return (
+            len(self.protocols)
+            * len(self.families)
+            * len(self.sizes)
+            * heights
+            * len(self.daemons)
+            * self.trials
+        )
+
+    def __iter__(self) -> Iterator[TaskSpec]:
+        return iter(self.expand())
+
+    def expand(self) -> list[TaskSpec]:
+        """The grid's tasks, in deterministic axis-major order."""
+        tasks: list[TaskSpec] = []
+        height_axis: tuple[int | None, ...] = self.heights if self.heights is not None else (None,)
+        for protocol in self.protocols:
+            for family in self.families:
+                for size in self.sizes:
+                    for height in height_axis:
+                        for daemon in self.daemons:
+                            for trial in range(self.trials):
+                                tasks.append(
+                                    TaskSpec(
+                                        protocol=protocol,
+                                        family=family,
+                                        size=size,
+                                        daemon=daemon,
+                                        trial=trial,
+                                        grid_seed=self.seed,
+                                        after_substrate=self.after_substrate,
+                                        height=height,
+                                        pair_networks=self.pair_networks,
+                                        index=len(tasks),
+                                    )
+                                )
+        return tasks
+
+    def as_dict(self) -> dict[str, object]:
+        """JSON-friendly description of the grid (for store metadata / logs)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+def parse_axis(text: str) -> tuple[int, ...]:
+    """Parse a CLI axis spec into a tuple of integers.
+
+    Three forms are accepted:
+
+    * ``"8,16,24"`` -- an explicit comma-separated list;
+    * ``"8:64"`` -- a doubling sweep from 8 up to 64 (``8, 16, 32, 64``);
+    * ``"8:64:8"`` -- an arithmetic sweep with the given step.
+    """
+    text = text.strip()
+    if not text:
+        raise ValueError("empty axis spec")
+    if ":" in text:
+        parts = text.split(":")
+        if len(parts) not in (2, 3):
+            raise ValueError(f"bad range spec {text!r}; use start:stop or start:stop:step")
+        start, stop = int(parts[0]), int(parts[1])
+        if start < 1 or stop < start:
+            raise ValueError(f"bad range spec {text!r}; need 1 <= start <= stop")
+        if len(parts) == 3:
+            step = int(parts[2])
+            if step < 1:
+                raise ValueError(f"bad range spec {text!r}; step must be >= 1")
+            return tuple(range(start, stop + 1, step))
+        values = []
+        value = start
+        while value <= stop:
+            values.append(value)
+            value *= 2
+        return tuple(values)
+    return tuple(int(part) for part in text.split(","))
+
+
+__all__ = [
+    "DAEMONS",
+    "Grid",
+    "HEIGHT_TREE_FAMILY",
+    "IDENTITY_FIELDS",
+    "NETWORK_IDENTITY_FIELDS",
+    "PROTOCOLS",
+    "TaskSpec",
+    "normalize_daemon",
+    "normalize_family",
+    "normalize_protocol",
+    "parse_axis",
+]

@@ -1,0 +1,159 @@
+"""Campaign execution: run grid tasks serially or across a process pool.
+
+:func:`run_task` is the single unit of work -- it rebuilds the task's network
+and daemon from the spec's hash-derived seeds, measures stabilization with the
+existing :mod:`repro.analysis.convergence` harness and returns one flat result
+row.  Because everything a task needs is derived from its config hash, a row
+is identical whether it ran serially, on a pool worker, or in a resumed
+campaign -- which is what makes ``--jobs 1`` and ``--jobs 4`` equivalent.
+
+:class:`CampaignRunner` drives a whole :class:`~repro.campaign.grid.Grid`:
+it skips tasks the store has already completed (``resume=True``), streams the
+remaining ones through ``multiprocessing.Pool.imap`` (ordered, so the store's
+line order matches the grid order regardless of worker count) and appends
+each row to the store the moment it completes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from repro.analysis.convergence import height_controlled_tree, measure_dftno, measure_stno
+from repro.campaign.grid import Grid, TaskSpec
+from repro.campaign.store import ResultStore
+from repro.graphs import generators
+from repro.runtime.daemon import make_daemon
+
+ProgressCallback = Callable[[dict[str, object]], None]
+
+
+def run_task(spec: TaskSpec) -> dict[str, object]:
+    """Execute one campaign task and return its flat result row.
+
+    The row merges the stabilization sample (``n``, ``converged``,
+    ``overlay_steps``, ...) with the task's identity fields and hash, so a
+    store row is self-describing and can be re-aggregated without the grid.
+    """
+    if spec.height is not None:
+        network = height_controlled_tree(spec.size, spec.height, seed=spec.network_seed)
+    else:
+        network = generators.family(spec.family, spec.size, seed=spec.network_seed)
+    daemon = make_daemon(spec.daemon)
+    if spec.protocol == "dftno":
+        sample = measure_dftno(
+            network,
+            daemon=daemon,
+            seed=spec.run_seed,
+            parameter=spec.parameter,
+            after_substrate=spec.after_substrate,
+        )
+    else:
+        tree = spec.protocol.split("-", 1)[1]
+        sample = measure_stno(
+            network,
+            tree=tree,
+            daemon=daemon,
+            seed=spec.run_seed,
+            parameter=spec.parameter,
+            after_substrate=spec.after_substrate,
+        )
+    row = sample.as_row()
+    row.update(spec.identity())
+    row["config_hash"] = spec.config_hash
+    row["task_index"] = spec.index
+    return row
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Outcome of one :meth:`CampaignRunner.run` call."""
+
+    total: int
+    executed: int
+    skipped: int
+    rows: list[dict[str, object]]
+
+    @property
+    def converged(self) -> int:
+        return sum(1 for row in self.rows if row.get("converged"))
+
+
+class CampaignRunner:
+    """Execute grids against an optional persistent store.
+
+    ``jobs <= 1`` runs in-process; ``jobs > 1`` fans tasks out to a
+    ``multiprocessing`` pool.  Results stream back in grid order either way.
+    """
+
+    def __init__(self, store: ResultStore | None = None, jobs: int = 1):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.store = store
+        self.jobs = jobs
+
+    def iter_results(
+        self, pending: list[TaskSpec]
+    ) -> Iterator[dict[str, object]]:
+        """Yield result rows for ``pending`` tasks as they complete, in order."""
+        if self.jobs <= 1 or len(pending) <= 1:
+            for spec in pending:
+                yield run_task(spec)
+            return
+        with multiprocessing.Pool(processes=self.jobs) as pool:
+            # Ordered imap (not imap_unordered): rows still stream as workers
+            # finish, but the store's line order stays the grid order, making
+            # the JSONL file byte-identical for any --jobs value.
+            yield from pool.imap(run_task, pending, chunksize=1)
+
+    def run(
+        self,
+        grid: Grid,
+        resume: bool = False,
+        progress: ProgressCallback | None = None,
+    ) -> CampaignResult:
+        """Run every task of ``grid`` that the store has not already completed.
+
+        With ``resume=True`` (and a store) completed tasks are skipped and
+        their stored rows are spliced into the returned ``rows`` list, which
+        is always in grid order and always covers the whole grid.
+        """
+        tasks = grid.expand()
+        existing: dict[str, dict[str, object]] = {}
+        if resume and self.store is not None:
+            existing = self.store.rows_by_hash()
+        pending = [task for task in tasks if task.config_hash not in existing]
+
+        fresh: dict[str, dict[str, object]] = {}
+        for row in self.iter_results(pending):
+            if self.store is not None:
+                self.store.append(row)
+            fresh[str(row["config_hash"])] = row
+            if progress is not None:
+                progress(row)
+
+        rows = [
+            fresh.get(task.config_hash, existing.get(task.config_hash))
+            for task in tasks
+        ]
+        return CampaignResult(
+            total=len(tasks),
+            executed=len(pending),
+            skipped=len(tasks) - len(pending),
+            rows=[row for row in rows if row is not None],
+        )
+
+
+def run_grid(
+    grid: Grid,
+    store: ResultStore | None = None,
+    jobs: int = 1,
+    resume: bool = False,
+    progress: ProgressCallback | None = None,
+) -> CampaignResult:
+    """Convenience wrapper: ``CampaignRunner(store, jobs).run(grid, ...)``."""
+    return CampaignRunner(store=store, jobs=jobs).run(grid, resume=resume, progress=progress)
+
+
+__all__ = ["CampaignResult", "CampaignRunner", "ProgressCallback", "run_grid", "run_task"]

@@ -1,0 +1,134 @@
+"""JSONL-backed persistent result store keyed by config hash.
+
+The store is a plain append-only JSON-lines file: one result row per line,
+each carrying the ``config_hash`` of the task that produced it.  That gives
+
+* **crash-safe appends** -- every row is written, flushed and fsynced as one
+  line, so a killed campaign loses at most the row being written;
+* **tolerant reads** -- a truncated final line (the signature of a crash) is
+  skipped instead of poisoning the file;
+* **dedup** -- rows are keyed by config hash; re-appending a completed
+  configuration is a no-op and duplicate lines collapse on read;
+* **resume** -- :meth:`ResultStore.completed_hashes` is exactly the skip set
+  a resumed campaign needs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterable
+
+#: Default store filename when a campaign is pointed at a directory.
+DEFAULT_STORE_NAME = "campaign.jsonl"
+
+
+def resolve_store_path(out: str | os.PathLike[str]) -> Path:
+    """Map a CLI ``--out`` value to a concrete JSONL file path.
+
+    A path ending in ``.jsonl`` is used as-is; anything else is treated as a
+    directory that will contain :data:`DEFAULT_STORE_NAME`.
+    """
+    path = Path(out)
+    if path.suffix == ".jsonl":
+        return path
+    return path / DEFAULT_STORE_NAME
+
+
+class ResultStore:
+    """Append-only JSONL result store with hash-based dedup."""
+
+    def __init__(self, path: str | os.PathLike[str]):
+        self.path = Path(path)
+        self._hashes: set[str] = {
+            row["config_hash"] for row in self.rows() if "config_hash" in row
+        }
+        self._needs_newline = self._missing_trailing_newline()
+
+    def _missing_trailing_newline(self) -> bool:
+        # A file left by a crash mid-write may end without a newline; the next
+        # append must not concatenate onto that torn line.
+        try:
+            with open(self.path, "rb") as handle:
+                handle.seek(-1, os.SEEK_END)
+                return handle.read(1) != b"\n"
+        except (FileNotFoundError, OSError):
+            return False
+
+    def __len__(self) -> int:
+        return len(self._hashes)
+
+    def __contains__(self, config_hash: str) -> bool:
+        return config_hash in self._hashes
+
+    def completed_hashes(self) -> set[str]:
+        """Config hashes with a completed row in the store."""
+        return set(self._hashes)
+
+    def append(self, row: dict[str, object]) -> bool:
+        """Append one result row; returns ``False`` if its hash is already stored.
+
+        The line is flushed and fsynced before returning so that a crash right
+        after :meth:`append` cannot lose the row.
+        """
+        config_hash = row.get("config_hash")
+        if not isinstance(config_hash, str) or not config_hash:
+            raise ValueError("result rows must carry a non-empty 'config_hash'")
+        if config_hash in self._hashes:
+            return False
+        line = json.dumps(row, sort_keys=True, separators=(",", ":"), default=str)
+        # Created lazily so that read-only uses (status/report on a mistyped
+        # path) do not leave empty directories behind.
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            if self._needs_newline:
+                handle.write("\n")
+                self._needs_newline = False
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._hashes.add(config_hash)
+        return True
+
+    def extend(self, rows: Iterable[dict[str, object]]) -> int:
+        """Append many rows; returns how many were new."""
+        return sum(1 for row in rows if self.append(row))
+
+    def rows(self) -> list[dict[str, object]]:
+        """All stored rows in file order, deduplicated by config hash.
+
+        Lines that do not parse as JSON objects (e.g. a line truncated by a
+        crash) are skipped; for duplicated hashes the first row wins.
+        """
+        if not self.path.exists():
+            return []
+        out: list[dict[str, object]] = []
+        seen: set[str] = set()
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if not isinstance(row, dict):
+                    continue
+                config_hash = row.get("config_hash")
+                if isinstance(config_hash, str):
+                    if config_hash in seen:
+                        continue
+                    seen.add(config_hash)
+                out.append(row)
+        return out
+
+    def rows_by_hash(self) -> dict[str, dict[str, object]]:
+        """Stored rows indexed by config hash."""
+        return {
+            row["config_hash"]: row for row in self.rows() if isinstance(row.get("config_hash"), str)
+        }
+
+
+__all__ = ["DEFAULT_STORE_NAME", "ResultStore", "resolve_store_path"]

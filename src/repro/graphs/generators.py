@@ -275,6 +275,19 @@ def figure_2_2_1_network() -> RootedNetwork:
     return RootedNetwork(5, edges, root=0, name="figure-2.2.1")
 
 
+#: Topology family names :func:`family` can build (the sweepable families).
+FAMILY_NAMES = (
+    "ring",
+    "path",
+    "star",
+    "complete",
+    "binary_tree",
+    "random_tree",
+    "random_connected",
+    "grid",
+)
+
+
 def family(name: str, n: int, seed: int | None = None) -> RootedNetwork:
     """Dispatch helper used by sweeps: build family ``name`` with ``n`` processors."""
     builders = {
@@ -311,5 +324,6 @@ __all__ = [
     "figure_4_1_1_network",
     "figure_2_2_1_network",
     "FIGURE_3_1_1_LABELS",
+    "FAMILY_NAMES",
     "family",
 ]

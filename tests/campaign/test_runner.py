@@ -1,0 +1,77 @@
+"""Campaign execution: determinism, serial/parallel equivalence, resume."""
+
+from __future__ import annotations
+
+from repro.campaign.grid import Grid
+from repro.campaign.runner import CampaignRunner, run_grid, run_task
+from repro.campaign.store import ResultStore
+
+TINY_GRID = Grid(sizes=(5, 6), protocols=("dftno",), families=("ring",), trials=1, seed=11)
+
+
+def test_run_task_is_reproducible():
+    spec = TINY_GRID.expand()[0]
+    first = run_task(spec)
+    second = run_task(spec)
+    assert first == second
+    assert first["converged"]
+    assert first["config_hash"] == spec.config_hash
+    assert first["protocol"] == "dftno"
+    assert first["family"] == "ring"
+
+
+def test_serial_and_parallel_runs_produce_identical_rows(tmp_path):
+    serial = run_grid(TINY_GRID, store=ResultStore(tmp_path / "serial.jsonl"), jobs=1)
+    parallel = run_grid(TINY_GRID, store=ResultStore(tmp_path / "parallel.jsonl"), jobs=2)
+    assert serial.rows == parallel.rows
+    assert (tmp_path / "serial.jsonl").read_bytes() == (tmp_path / "parallel.jsonl").read_bytes()
+
+
+def test_resume_skips_completed_tasks_without_duplicates(tmp_path):
+    path = tmp_path / "campaign.jsonl"
+    tasks = TINY_GRID.expand()
+
+    # Simulate a campaign killed after the first task: its row is stored,
+    # plus a half-written line from the crash itself.
+    store = ResultStore(path)
+    store.append(run_task(tasks[0]))
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"config_hash": "dead')
+
+    resumed = run_grid(TINY_GRID, store=ResultStore(path), jobs=1, resume=True)
+    assert resumed.total == len(tasks)
+    assert resumed.skipped == 1
+    assert resumed.executed == len(tasks) - 1
+
+    final = ResultStore(path).rows()
+    assert len(final) == len(tasks)
+    assert len({row["config_hash"] for row in final}) == len(tasks)
+
+    # A second resume is a pure no-op.
+    again = run_grid(TINY_GRID, store=ResultStore(path), jobs=1, resume=True)
+    assert again.executed == 0
+    assert again.skipped == len(tasks)
+    assert again.rows == resumed.rows
+
+
+def test_resumed_rows_match_a_fresh_run(tmp_path):
+    fresh = run_grid(TINY_GRID, jobs=1)
+    store = ResultStore(tmp_path / "campaign.jsonl")
+    for row in fresh.rows[:1]:
+        store.append(row)
+    resumed = run_grid(TINY_GRID, store=store, jobs=1, resume=True)
+    assert resumed.rows == fresh.rows
+
+
+def test_runner_streams_progress_in_grid_order(tmp_path):
+    seen: list[int] = []
+    CampaignRunner(jobs=2).run(TINY_GRID, progress=lambda row: seen.append(row["task_index"]))
+    assert seen == [0, 1]
+
+
+def test_stno_and_height_grids_execute():
+    grid = Grid(sizes=(8,), protocols=("stno-bfs",), heights=(2, 4), trials=1, seed=3)
+    result = run_grid(grid, jobs=1)
+    assert result.total == 2
+    assert all(row["converged"] for row in result.rows)
+    assert [row["parameter"] for row in result.rows] == [2, 4]

@@ -1,0 +1,62 @@
+"""Result-store persistence: dedup, crash-tolerance, resume bookkeeping."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign.store import ResultStore, resolve_store_path
+
+
+def _row(config_hash: str, **extra: object) -> dict[str, object]:
+    return {"config_hash": config_hash, "converged": True, **extra}
+
+
+def test_append_and_roundtrip(tmp_path):
+    store = ResultStore(tmp_path / "campaign.jsonl")
+    assert store.append(_row("aaaa", n=6))
+    assert store.append(_row("bbbb", n=8))
+    assert len(store) == 2
+    assert store.completed_hashes() == {"aaaa", "bbbb"}
+    reloaded = ResultStore(tmp_path / "campaign.jsonl")
+    assert [row["config_hash"] for row in reloaded.rows()] == ["aaaa", "bbbb"]
+    assert reloaded.rows_by_hash()["bbbb"]["n"] == 8
+
+
+def test_duplicate_hash_is_a_noop(tmp_path):
+    store = ResultStore(tmp_path / "campaign.jsonl")
+    assert store.append(_row("aaaa", n=6))
+    assert not store.append(_row("aaaa", n=999))
+    assert len(store.rows()) == 1
+    assert store.rows()[0]["n"] == 6
+
+
+def test_rows_skip_truncated_final_line(tmp_path):
+    path = tmp_path / "campaign.jsonl"
+    store = ResultStore(path)
+    store.append(_row("aaaa", n=6))
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"config_hash": "bbbb", "n": 8')  # crash mid-write
+    reloaded = ResultStore(path)
+    assert reloaded.completed_hashes() == {"aaaa"}
+    assert len(reloaded.rows()) == 1
+
+
+def test_duplicate_lines_collapse_on_read(tmp_path):
+    path = tmp_path / "campaign.jsonl"
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(_row("aaaa", n=1)) + "\n")
+        handle.write(json.dumps(_row("aaaa", n=2)) + "\n")
+    assert len(ResultStore(path).rows()) == 1
+
+
+def test_append_requires_config_hash(tmp_path):
+    store = ResultStore(tmp_path / "campaign.jsonl")
+    with pytest.raises(ValueError):
+        store.append({"n": 6})
+
+
+def test_resolve_store_path(tmp_path):
+    assert resolve_store_path(tmp_path / "x.jsonl") == tmp_path / "x.jsonl"
+    assert resolve_store_path(tmp_path / "results") == tmp_path / "results" / "campaign.jsonl"
