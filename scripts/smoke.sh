@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
-# End-to-end smoke: tier-1 tests plus a tiny campaign through the real CLI.
+# End-to-end smoke: tier-1 tests plus tiny campaigns through the real CLI.
 #
 #   scripts/smoke.sh [extra pytest args...]
 #
 # Runs the full pytest suite, then a 4-task DFTNO campaign on 2 workers,
 # resumes it (must skip everything), and prints the aggregated report.
+# Finally exercises the scenario task type end to end: a 2-task scenario
+# campaign, a merge with the stabilization store, and a status round-trip
+# that must show the merged rows as stale against the scenario grid.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
@@ -26,4 +29,27 @@ case "$resume_log" in
 esac
 
 python -m repro.campaign report --out "$out"
+
+# --- scenario task type: run + merge + status round-trip -------------------
+scen="$(mktemp -d)"
+trap 'rm -rf "$out" "$scen"' EXIT
+
+python -m repro.campaign run --task-type scenario --scenario single_burst \
+    --protocol dftno --protocol stno-bfs --sizes 8 --trials 1 --seed 2 \
+    --out "$scen/scenario.jsonl"
+
+python -m repro.campaign merge "$out" "$scen/scenario.jsonl" \
+    --out "$scen/merged.jsonl"
+
+status_log="$(python -m repro.campaign status --out "$scen/merged.jsonl" \
+    --task-type scenario --scenario single_burst \
+    --protocol dftno --protocol stno-bfs --sizes 8 --trials 1 --seed 2)"
+echo "$status_log"
+case "$status_log" in
+    *"2 tasks, 2 completed, 0 pending, 4 stale"*) ;;
+    *) echo "smoke FAILED: merged store status mismatch" >&2; exit 1 ;;
+esac
+
+python -m repro.campaign report --out "$scen/scenario.jsonl" --key scenario \
+    --metric recovery_steps_mean
 echo "smoke OK"

@@ -7,6 +7,9 @@ This package turns each of them into a measured experiment:
 * :mod:`~repro.analysis.convergence` -- stabilization-time measurements for
   layered protocols (time for the substrate, time for the orientation layer on
   top of it), with sweep drivers over topology families;
+* :mod:`~repro.analysis.recovery` -- per-event recovery metrics (disturbance,
+  re-stabilization time, closure violations) for the fault-injection
+  scenarios of :mod:`repro.scenarios`;
 * :mod:`~repro.analysis.space` -- per-processor space accounting against the
   O(Delta log N) bound;
 * :mod:`~repro.analysis.reporting` -- plain-text tables and least-squares fits
@@ -17,6 +20,13 @@ This package turns each of them into a measured experiment:
 """
 
 from repro.analysis.reporting import format_table, linear_fit, summarize
+from repro.analysis.recovery import (
+    EventRecovery,
+    ScenarioReport,
+    aggregate_event_recoveries,
+    disturbed_fraction,
+    disturbed_nodes,
+)
 from repro.analysis.convergence import (
     StabilizationSample,
     measure_layered_stabilization,
@@ -32,6 +42,11 @@ __all__ = [
     "format_table",
     "linear_fit",
     "summarize",
+    "EventRecovery",
+    "ScenarioReport",
+    "aggregate_event_recoveries",
+    "disturbed_fraction",
+    "disturbed_nodes",
     "StabilizationSample",
     "measure_layered_stabilization",
     "measure_dftno",

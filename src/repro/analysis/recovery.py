@@ -1,0 +1,251 @@
+"""Recovery metrics for fault-injection scenarios.
+
+Self-stabilization (Definition 2.1.2) is a *recovery* property: after any
+transient fault the system returns to a legitimate configuration (convergence)
+and stays there (closure).  The scenario engine
+(:mod:`repro.scenarios`) exercises that claim event by event; this module
+defines what is measured per event and how a whole scenario execution is
+condensed into one flat result row:
+
+* :func:`disturbed_nodes` / :func:`disturbed_fraction` -- which processors an
+  event actually touched, optionally restricted to the orientation variables
+  (``no_eta`` / ``no_pi``) the specification is stated over;
+* :class:`EventRecovery` -- one event's outcome: disturbance, steps/rounds to
+  re-stabilize, closure violations observed while waiting for the next event;
+* :class:`ScenarioReport` -- the whole execution, with :meth:`ScenarioReport.as_row`
+  producing the flat dictionary the campaign store persists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.analysis.reporting import summarize
+from repro.runtime.configuration import Configuration
+
+
+def disturbed_nodes(
+    before: Configuration,
+    after: Configuration,
+    variables: Iterable[str] | None = None,
+) -> tuple[int, ...]:
+    """Processors whose (watched) variables differ between two configurations.
+
+    ``variables`` restricts the comparison (e.g. to the orientation variables
+    ``no_eta`` and ``no_pi``); ``None`` compares every variable.  Variables
+    present on only one side count as disturbed -- a topology change can alter
+    which variables a processor even declares.
+    """
+    watched = set(variables) if variables is not None else None
+    touched: list[int] = []
+    for node, changes in sorted(before.diff(after).items()):
+        if watched is None or watched.intersection(changes):
+            touched.append(node)
+    return tuple(touched)
+
+
+def disturbed_fraction(
+    before: Configuration,
+    after: Configuration,
+    n: int,
+    variables: Iterable[str] | None = None,
+) -> float:
+    """Fraction of the ``n`` processors whose (watched) variables changed."""
+    if n <= 0:
+        return 0.0
+    return len(disturbed_nodes(before, after, variables)) / n
+
+
+@dataclass(frozen=True)
+class EventRecovery:
+    """What one scenario event did and how the system recovered from it.
+
+    Attributes
+    ----------
+    index / kind / description:
+        Position of the event in the scenario and what it was.
+    applied:
+        ``False`` when the event had no legal target (e.g. a link removal on a
+        tree, where every link is a bridge) and was skipped.
+    disturbed / disturbed_fraction:
+        Processors whose orientation variables the event changed, as a count
+        and as a fraction of ``n``.
+    broke_legitimacy:
+        Whether the configuration right after the event violated the
+        specification (small bursts can leave it intact).
+    recovered:
+        Whether the protocol re-stabilized within the step budget.
+    deadlocked:
+        ``True`` when the recovery attempt *terminated* -- no processor had
+        an enabled action -- while still illegitimate.  Distinguishes "the
+        system is provably stuck" from "the step budget ran out"; a genuine
+        self-stabilizing protocol should never exhibit it.
+    recovery_steps / recovery_rounds:
+        Computation steps / asynchronous rounds from the event to the first
+        step after which legitimacy held for good (``None`` if it never did).
+    closure_violations:
+        Steps *before* this event (since the previous recovery) at which the
+        legitimacy predicate did not hold -- the empirical closure check;
+        anything above zero means the protocol left the legitimate set without
+        being faulted.  Counted only when the previous phase actually
+        re-stabilized (an unrecovered fault is a convergence failure, not a
+        closure one).
+    """
+
+    index: int
+    kind: str
+    description: str
+    applied: bool
+    disturbed: int
+    disturbed_fraction: float
+    broke_legitimacy: bool
+    recovered: bool
+    recovery_steps: int | None
+    recovery_rounds: int | None
+    closure_violations: int
+    deadlocked: bool = False
+
+    def as_row(self) -> dict[str, object]:
+        """Flat per-event dictionary (used by reports and the walkthrough)."""
+        return {
+            "event": self.index,
+            "kind": self.kind,
+            "description": self.description,
+            "applied": self.applied,
+            "disturbed": self.disturbed,
+            "disturbed_fraction": round(self.disturbed_fraction, 4),
+            "broke_legitimacy": self.broke_legitimacy,
+            "recovered": self.recovered,
+            "deadlocked": self.deadlocked,
+            "recovery_steps": self.recovery_steps,
+            "recovery_rounds": self.recovery_rounds,
+            "closure_violations": self.closure_violations,
+        }
+
+
+@dataclass(frozen=True)
+class ScenarioReport:
+    """Outcome of one scenario execution.
+
+    ``converged`` requires the initial stabilization *and* every applied
+    event's recovery to have succeeded -- the scenario-level analogue of a
+    stabilization run's ``converged`` flag, so campaign aggregation treats
+    both task types uniformly.
+    """
+
+    scenario: str
+    protocol: str
+    network: str
+    n: int
+    edges: int
+    daemon: str
+    seed: int
+    initial_converged: bool
+    initial_steps: int | None
+    initial_rounds: int | None
+    events: tuple[EventRecovery, ...] = field(default_factory=tuple)
+    total_steps: int = 0
+    total_rounds: int = 0
+
+    @property
+    def applied_events(self) -> tuple[EventRecovery, ...]:
+        """The events that found a legal target and actually fired."""
+        return tuple(event for event in self.events if event.applied)
+
+    @property
+    def recovered_events(self) -> int:
+        """How many applied events the protocol recovered from."""
+        return sum(1 for event in self.applied_events if event.recovered)
+
+    @property
+    def converged(self) -> bool:
+        """Initial stabilization succeeded and every applied event recovered."""
+        return self.initial_converged and all(
+            event.recovered for event in self.applied_events
+        )
+
+    def as_row(self) -> dict[str, object]:
+        """One flat result row summarizing the execution across its events.
+
+        ``recovery_steps`` / ``recovery_rounds`` are means over the recovered
+        events (plus an explicit ``recovery_steps_max``), ``disturbed_fraction``
+        the mean disturbance of the applied events, and ``closure_violations``
+        the total across all inter-event windows.
+        """
+        recovered = [event for event in self.applied_events if event.recovered]
+        steps = [e.recovery_steps for e in recovered if e.recovery_steps is not None]
+        rounds = [e.recovery_rounds for e in recovered if e.recovery_rounds is not None]
+        disturbed = [e.disturbed_fraction for e in self.applied_events]
+        summary = summarize(steps)
+        return {
+            "scenario": self.scenario,
+            "protocol": self.protocol,
+            "network": self.network,
+            "n": self.n,
+            "edges": self.edges,
+            "parameter": self.n,
+            "daemon": self.daemon,
+            "seed": self.seed,
+            "converged": self.converged,
+            "initial_steps": self.initial_steps,
+            "initial_rounds": self.initial_rounds,
+            "events": len(self.events),
+            "events_applied": len(self.applied_events),
+            "events_recovered": self.recovered_events,
+            "events_deadlocked": sum(1 for e in self.events if e.deadlocked),
+            "recovery_steps": summary["mean"] if steps else None,
+            "recovery_steps_max": summary["max"] if steps else None,
+            "recovery_rounds": summarize(rounds)["mean"] if rounds else None,
+            "disturbed_fraction": (
+                summarize(disturbed)["mean"] if disturbed else None
+            ),
+            "closure_violations": sum(e.closure_violations for e in self.events),
+            "total_steps": self.total_steps,
+            "total_rounds": self.total_rounds,
+        }
+
+    def event_rows(self) -> list[dict[str, object]]:
+        """Per-event table (what the walkthrough example and benchmark print)."""
+        return [event.as_row() for event in self.events]
+
+
+def aggregate_event_recoveries(
+    reports: Sequence[ScenarioReport],
+) -> list[dict[str, object]]:
+    """Per-event-kind aggregation across many scenario executions.
+
+    Groups every applied event of every report by its ``kind`` and averages
+    the recovery metrics -- the "per-event recovery-time aggregates" view.
+    """
+    groups: dict[str, list[EventRecovery]] = {}
+    for report in reports:
+        for event in report.applied_events:
+            groups.setdefault(event.kind, []).append(event)
+    out: list[dict[str, object]] = []
+    for kind in sorted(groups):
+        bucket = groups[kind]
+        recovered = [e for e in bucket if e.recovered]
+        steps = [e.recovery_steps for e in recovered if e.recovery_steps is not None]
+        out.append(
+            {
+                "kind": kind,
+                "events": len(bucket),
+                "recovered": len(recovered),
+                "recovery_steps_mean": summarize(steps)["mean"] if steps else None,
+                "recovery_steps_max": summarize(steps)["max"] if steps else None,
+                "disturbed_fraction_mean": summarize(
+                    [e.disturbed_fraction for e in bucket]
+                )["mean"],
+            }
+        )
+    return out
+
+
+__all__ = [
+    "EventRecovery",
+    "ScenarioReport",
+    "aggregate_event_recoveries",
+    "disturbed_fraction",
+    "disturbed_nodes",
+]

@@ -1,15 +1,18 @@
 """Experiment-campaign engine: declarative grids, parallel runs, persistent results.
 
-The subsystem has four layers, each usable on its own:
+The subsystem has five layers, each usable on its own:
 
 * :mod:`repro.campaign.grid` -- declarative parameter grids that expand to
   deterministic task specs with stable config hashes and hash-derived seeds;
+* :mod:`repro.campaign.registry` / :mod:`repro.campaign.tasks` -- the
+  task-type registry and the built-in task kinds (``stabilize`` runs,
+  fault-injection ``scenario`` executions, ``msgpass`` workloads);
 * :mod:`repro.campaign.runner` -- serial or ``multiprocessing`` execution that
   streams rows as tasks complete;
 * :mod:`repro.campaign.store` -- a crash-safe, deduplicating JSONL result
-  store that powers ``--resume``;
+  store that powers ``--resume`` and cross-machine merges;
 * :mod:`repro.campaign.aggregate` -- group-by/mean/fit summaries reusing
-  :mod:`repro.analysis.reporting`.
+  :mod:`repro.analysis.reporting`, with per-task-type metric sets.
 
 ``python -m repro.campaign`` (or the ``repro-campaign`` console script)
 exposes the whole pipeline on the command line.
@@ -20,14 +23,22 @@ from repro.campaign.aggregate import (
     campaign_summary,
     fit_aggregate,
     fit_if_possible,
+    metrics_for_rows,
 )
 from repro.campaign.grid import Grid, TaskSpec, parse_axis
+from repro.campaign.registry import (
+    DEFAULT_TASK_TYPE,
+    get_task_handler,
+    register_task_type,
+    task_type_names,
+)
 from repro.campaign.runner import CampaignResult, CampaignRunner, run_grid, run_task
 from repro.campaign.store import ResultStore, resolve_store_path
 
 __all__ = [
     "CampaignResult",
     "CampaignRunner",
+    "DEFAULT_TASK_TYPE",
     "Grid",
     "ResultStore",
     "TaskSpec",
@@ -35,8 +46,12 @@ __all__ = [
     "campaign_summary",
     "fit_aggregate",
     "fit_if_possible",
+    "get_task_handler",
+    "metrics_for_rows",
     "parse_axis",
+    "register_task_type",
     "resolve_store_path",
     "run_grid",
     "run_task",
+    "task_type_names",
 ]

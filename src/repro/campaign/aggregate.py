@@ -23,6 +23,41 @@ DEFAULT_METRICS: tuple[tuple[str, str], ...] = (
     ("full_steps", "total_steps_mean"),
 )
 
+#: Metrics of ``task_type="scenario"`` rows: per-event recovery aggregates.
+SCENARIO_METRICS: tuple[tuple[str, str], ...] = (
+    ("recovery_steps", "recovery_steps_mean"),
+    ("recovery_rounds", "recovery_rounds_mean"),
+    ("disturbed_fraction", "disturbed_fraction_mean"),
+    ("closure_violations", "closure_violations_mean"),
+)
+
+#: Metrics of ``task_type="msgpass"`` rows: message-complexity comparisons.
+MSGPASS_METRICS: tuple[tuple[str, str], ...] = (
+    ("messages_unoriented", "messages_unoriented_mean"),
+    ("messages_oriented", "messages_oriented_mean"),
+    ("message_savings", "message_savings_mean"),
+)
+
+
+def metrics_for_rows(rows: Sequence[Row]) -> tuple[tuple[str, str], ...]:
+    """The metric columns that actually occur in ``rows``.
+
+    Lets ``repro-campaign report`` aggregate any mix of task types: each
+    known metric set contributes the pairs whose source column some row
+    carries.  Falls back to :data:`DEFAULT_METRICS` when nothing matches, so
+    legacy stores keep their exact pre-registry report shape.
+    """
+    present: set[str] = set()
+    for row in rows:
+        present.update(row.keys())
+    chosen = tuple(
+        pair
+        for metric_set in (DEFAULT_METRICS, SCENARIO_METRICS, MSGPASS_METRICS)
+        for pair in metric_set
+        if pair[0] in present
+    )
+    return chosen or DEFAULT_METRICS
+
 
 def aggregate_rows(
     rows: Sequence[Row],
@@ -61,14 +96,20 @@ def fit_if_possible(
 ) -> dict[str, float] | None:
     """A linear fit of the finite (x, y) pairs, or ``None`` when degenerate.
 
-    Pairs whose y is ``None`` or NaN are dropped (unconverged groups); the fit
-    needs at least two distinct surviving x values.
+    Pairs whose y is ``None`` or NaN are dropped (unconverged groups), as are
+    pairs whose x is not numeric (grouping by a categorical key such as
+    ``daemon`` or ``scenario`` has no line to fit); the fit needs at least two
+    distinct surviving x values.
     """
-    pairs = [
-        (x, y)
-        for x, y in zip(xs, ys)
-        if y is not None and not (isinstance(y, float) and math.isnan(y))
-    ]
+
+    def _finite_number(value: object) -> bool:
+        return (
+            isinstance(value, (int, float))
+            and not isinstance(value, bool)
+            and not (isinstance(value, float) and math.isnan(value))
+        )
+
+    pairs = [(x, y) for x, y in zip(xs, ys) if _finite_number(x) and _finite_number(y)]
     if len({x for x, _ in pairs}) < 2:
         return None
     fit = linear_fit([x for x, _ in pairs], [y for _, y in pairs])
@@ -100,8 +141,11 @@ def campaign_summary(
 
 __all__ = [
     "DEFAULT_METRICS",
+    "MSGPASS_METRICS",
+    "SCENARIO_METRICS",
     "aggregate_rows",
     "campaign_summary",
     "fit_aggregate",
     "fit_if_possible",
+    "metrics_for_rows",
 ]

@@ -3,14 +3,22 @@
 ::
 
     python -m repro.campaign run --protocol dftno --sizes 8:64 --jobs 4 --out results/
-    python -m repro.campaign run --protocol dftno --sizes 8:64 --jobs 4 --out results/ --resume
+    python -m repro.campaign run --task-type scenario --scenario cascade \\
+        --protocol dftno --protocol stno-bfs --daemon central --daemon distributed \\
+        --sizes 10 --out results/
     python -m repro.campaign status --out results/
-    python -m repro.campaign report --out results/ --metric overlay_steps_mean
+    python -m repro.campaign status --out results/ --protocol dftno --sizes 8:64
+    python -m repro.campaign merge shard-a/ shard-b/ --out merged.jsonl
+    python -m repro.campaign report --out results/ --metric recovery_steps_mean
 
 ``run`` expands the declarative grid, skips tasks the JSONL store already
 holds (``--resume``), executes the rest on ``--jobs`` workers and streams one
-line per completed task.  ``status`` summarizes the store; ``report``
-aggregates it into the thesis-style table plus a linear fit.
+line per completed task.  ``status`` summarizes the store; given grid options
+it also reports completed/pending counts and *stale* rows (hashes the edited
+grid no longer produces).  ``merge`` unions several stores by config hash --
+the distributed-execution path: shard one grid across machines, then merge
+the JSONL files.  ``report`` aggregates a store into a table plus a linear
+fit, picking metric columns that match the stored task types.
 """
 
 from __future__ import annotations
@@ -20,11 +28,113 @@ import sys
 from typing import Sequence
 
 from repro.analysis.reporting import format_table
-from repro.campaign.aggregate import aggregate_rows, fit_aggregate
+from repro.campaign.aggregate import aggregate_rows, fit_aggregate, metrics_for_rows
 from repro.campaign.grid import DAEMONS, Grid, PROTOCOLS, parse_axis
+from repro.campaign.registry import DEFAULT_TASK_TYPE, task_type_names
 from repro.campaign.runner import CampaignRunner
 from repro.campaign.store import ResultStore, resolve_store_path
 from repro.errors import ReproError
+
+#: Grid-defining options shared by ``run`` and ``status``; used to detect
+#: whether a ``status`` invocation asked for a grid comparison at all.
+_GRID_ARGS = (
+    "task_type",
+    "scenarios",
+    "protocols",
+    "families",
+    "sizes",
+    "heights",
+    "daemons",
+    "trials",
+    "seed",
+    "after_substrate",
+)
+
+
+def _add_grid_options(parser: argparse.ArgumentParser) -> None:
+    """The options that define a grid (defaults resolved in :func:`_build_grid`)."""
+    parser.add_argument(
+        "--task-type",
+        dest="task_type",
+        default=None,
+        metavar="NAME",
+        help="what each task computes "
+        f"(default {DEFAULT_TASK_TYPE}; built-ins: {', '.join(task_type_names())})",
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        dest="scenarios",
+        metavar="NAME",
+        help="library scenario to sweep (repeatable; requires --task-type scenario)",
+    )
+    parser.add_argument(
+        "--protocol",
+        action="append",
+        dest="protocols",
+        metavar="NAME",
+        help=f"protocol to sweep (repeatable; default dftno; choices: {', '.join(PROTOCOLS)})",
+    )
+    parser.add_argument(
+        "--family",
+        action="append",
+        dest="families",
+        metavar="NAME",
+        help="topology family (repeatable; default random_connected)",
+    )
+    parser.add_argument(
+        "--sizes",
+        default=None,
+        metavar="SPEC",
+        help="network sizes: '8,16,24' list, '8:64' doubling sweep, or '8:64:8' stepped (default 8:32)",
+    )
+    parser.add_argument(
+        "--heights",
+        default=None,
+        metavar="SPEC",
+        help="tree heights (same spec syntax); switches the sweep to height-controlled trees",
+    )
+    parser.add_argument(
+        "--daemon",
+        action="append",
+        dest="daemons",
+        metavar="KIND",
+        help=f"daemon kind (repeatable; default distributed; choices: {', '.join(DAEMONS)})",
+    )
+    parser.add_argument(
+        "--trials", type=int, default=None, help="trials per configuration (default 3)"
+    )
+    parser.add_argument("--seed", type=int, default=None, help="grid base seed (default 0)")
+    parser.add_argument(
+        "--after-substrate",
+        action="store_true",
+        help="start from a configuration whose substrate layer is already stabilized",
+    )
+
+
+def _grid_requested(args: argparse.Namespace) -> bool:
+    """Whether any grid-defining option was given (``status`` comparison mode)."""
+    if args.after_substrate:
+        return True
+    return any(
+        getattr(args, name) is not None for name in _GRID_ARGS if name != "after_substrate"
+    )
+
+
+def _build_grid(args: argparse.Namespace) -> Grid:
+    """Resolve the shared grid options (with their documented defaults)."""
+    return Grid(
+        sizes=parse_axis(args.sizes if args.sizes is not None else "8:32"),
+        protocols=tuple(args.protocols or ("dftno",)),
+        families=tuple(args.families or ("random_connected",)),
+        daemons=tuple(args.daemons or ("distributed",)),
+        heights=parse_axis(args.heights) if args.heights else None,
+        trials=args.trials if args.trials is not None else 3,
+        seed=args.seed if args.seed is not None else 0,
+        after_substrate=args.after_substrate,
+        task_type=args.task_type or DEFAULT_TASK_TYPE,
+        scenarios=tuple(args.scenarios) if args.scenarios else None,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -35,46 +145,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="expand a grid and execute its tasks")
-    run.add_argument(
-        "--protocol",
-        action="append",
-        dest="protocols",
-        metavar="NAME",
-        help=f"protocol to sweep (repeatable; default dftno; choices: {', '.join(PROTOCOLS)})",
-    )
-    run.add_argument(
-        "--family",
-        action="append",
-        dest="families",
-        metavar="NAME",
-        help="topology family (repeatable; default random_connected)",
-    )
-    run.add_argument(
-        "--sizes",
-        default="8:32",
-        metavar="SPEC",
-        help="network sizes: '8,16,24' list, '8:64' doubling sweep, or '8:64:8' stepped (default 8:32)",
-    )
-    run.add_argument(
-        "--heights",
-        default=None,
-        metavar="SPEC",
-        help="tree heights (same spec syntax); switches the sweep to height-controlled trees",
-    )
-    run.add_argument(
-        "--daemon",
-        action="append",
-        dest="daemons",
-        metavar="KIND",
-        help=f"daemon kind (repeatable; default distributed; choices: {', '.join(DAEMONS)})",
-    )
-    run.add_argument("--trials", type=int, default=3, help="trials per configuration (default 3)")
-    run.add_argument("--seed", type=int, default=0, help="grid base seed (default 0)")
-    run.add_argument(
-        "--after-substrate",
-        action="store_true",
-        help="start from a configuration whose substrate layer is already stabilized",
-    )
+    _add_grid_options(run)
     run.add_argument("--jobs", type=int, default=1, help="worker processes (default 1)")
     run.add_argument(
         "--out",
@@ -87,8 +158,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--quiet", action="store_true", help="suppress per-task progress lines")
 
-    status = sub.add_parser("status", help="summarize a campaign store")
+    status = sub.add_parser(
+        "status",
+        help="summarize a campaign store (add grid options to check it against a grid)",
+    )
     status.add_argument("--out", default="results", metavar="PATH", help="store path")
+    _add_grid_options(status)
+
+    merge = sub.add_parser("merge", help="union campaign stores by config hash")
+    merge.add_argument(
+        "inputs",
+        nargs="+",
+        metavar="STORE",
+        help="source stores (.jsonl files or directories) to merge in order",
+    )
+    merge.add_argument(
+        "--out",
+        required=True,
+        metavar="PATH",
+        help="target store; existing rows win over merged duplicates",
+    )
 
     report = sub.add_parser("report", help="aggregate a store into a table and fit")
     report.add_argument("--out", default="results", metavar="PATH", help="store path")
@@ -97,32 +186,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument(
         "--metric",
-        default="overlay_steps_mean",
-        help="aggregated column to fit against the key (default overlay_steps_mean)",
+        default=None,
+        help="aggregated column to fit against the key "
+        "(default: first metric present, e.g. overlay_steps_mean)",
     )
     return parser
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    grid = Grid(
-        sizes=parse_axis(args.sizes),
-        protocols=tuple(args.protocols or ("dftno",)),
-        families=tuple(args.families or ("random_connected",)),
-        daemons=tuple(args.daemons or ("distributed",)),
-        heights=parse_axis(args.heights) if args.heights else None,
-        trials=args.trials,
-        seed=args.seed,
-        after_substrate=args.after_substrate,
-    )
+    grid = _build_grid(args)
     store = ResultStore(resolve_store_path(args.out))
     runner = CampaignRunner(store=store, jobs=args.jobs)
 
     def progress(row: dict[str, object]) -> None:
         if not args.quiet:
             status = "ok" if row.get("converged") else "DID NOT CONVERGE"
+            extra = f" scenario={row['scenario']}" if row.get("scenario") else ""
             print(
                 f"[{row['task_index']}] {row['protocol']} {row['family']} "
-                f"n={row['size']} daemon={row['daemon']} trial={row['trial']} "
+                f"n={row['size']} daemon={row['daemon']}{extra} trial={row['trial']} "
                 f"hash={row['config_hash']} ... {status}",
                 flush=True,
             )
@@ -133,6 +215,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"{result.skipped} skipped (resumed), {result.converged}/{result.total} converged "
         f"-> {store.path}"
     )
+    if result.stale:
+        print(
+            f"note: {result.stale} stale row(s) in the store are not part of this "
+            f"grid (see 'repro-campaign status' with the same grid options)"
+        )
     return 0 if result.converged == result.total else 1
 
 
@@ -141,19 +228,82 @@ def _cmd_status(args: argparse.Namespace) -> int:
     store = ResultStore(path)
     rows = store.rows()
     print(f"store: {path} ({len(rows)} rows)")
-    if not rows:
-        return 0
-    counts: dict[tuple[object, object], list[int]] = {}
-    for row in rows:
-        key = (row.get("protocol"), row.get("family"))
-        bucket = counts.setdefault(key, [0, 0])
-        bucket[0] += 1
-        bucket[1] += 1 if row.get("converged") else 0
-    table = [
-        {"protocol": protocol, "family": family, "rows": total, "converged": converged}
-        for (protocol, family), (total, converged) in sorted(counts.items(), key=str)
-    ]
-    print(format_table(table))
+    if rows:
+        counts: dict[tuple[object, object, object], list[int]] = {}
+        for row in rows:
+            key = (
+                row.get("task_type", DEFAULT_TASK_TYPE),
+                row.get("protocol"),
+                row.get("family"),
+            )
+            bucket = counts.setdefault(key, [0, 0])
+            bucket[0] += 1
+            bucket[1] += 1 if row.get("converged") else 0
+        table = [
+            {
+                "task_type": task_type,
+                "protocol": protocol,
+                "family": family,
+                "rows": total,
+                "converged": converged,
+            }
+            for (task_type, protocol, family), (total, converged) in sorted(
+                counts.items(), key=str
+            )
+        ]
+        print(format_table(table))
+
+    if _grid_requested(args):
+        grid = _build_grid(args)
+        grid_hashes = {task.config_hash for task in grid.expand()}
+        stored = store.completed_hashes()
+        completed = grid_hashes & stored
+        pending = grid_hashes - stored
+        stale = sorted(stored - grid_hashes)
+        print(
+            f"against grid: {len(grid_hashes)} tasks, {len(completed)} completed, "
+            f"{len(pending)} pending, {len(stale)} stale"
+        )
+        if stale:
+            print(
+                "stale rows (in the store but not in this grid -- the grid "
+                "changed since they ran):"
+            )
+            shown = stale[:20]
+            for config_hash in shown:
+                print(f"  {config_hash}")
+            if len(stale) > len(shown):
+                print(f"  ... and {len(stale) - len(shown)} more")
+    return 0
+
+
+def _cmd_merge(args: argparse.Namespace) -> int:
+    source_paths = [resolve_store_path(source) for source in args.inputs]
+    # Read and validate every source before touching the target, so neither a
+    # typo'd path nor a bad row in a later source can leave a half-merged
+    # store behind.
+    sources: list[tuple[object, list[dict[str, object]]]] = []
+    for source_path in source_paths:
+        if not source_path.exists():
+            raise ValueError(f"source store {source_path} does not exist")
+        source_rows = ResultStore(source_path).rows()
+        for row in source_rows:
+            if not isinstance(row.get("config_hash"), str) or not row["config_hash"]:
+                raise ValueError(
+                    f"source store {source_path} has a row without a config_hash"
+                )
+        sources.append((source_path, source_rows))
+    target = ResultStore(resolve_store_path(args.out))
+    before = len(target)
+    total_rows = 0
+    for source_path, source_rows in sources:
+        added = target.extend(source_rows)
+        total_rows += len(source_rows)
+        print(f"merged {source_path}: {len(source_rows)} rows, {added} new")
+    print(
+        f"merge: {total_rows} rows from {len(args.inputs)} store(s), "
+        f"{len(target) - before} new, {len(target)} total -> {target.path}"
+    )
     return 0
 
 
@@ -164,18 +314,33 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print("store is empty; run a campaign first")
         return 1
     if any(args.key not in row for row in rows):
+        # Grouping needs the key in *every* row, so offer only the columns
+        # every row shares (a mixed-task-type store has per-type extras).
+        common = set(rows[0])
+        for row in rows:
+            common &= set(row)
         raise ValueError(
-            f"column {args.key!r} missing from stored rows; "
-            f"available: {', '.join(sorted(rows[0]))}"
+            f"column {args.key!r} missing from some stored rows; "
+            f"columns present in every row: {', '.join(sorted(common))}"
         )
-    aggregated = aggregate_rows(rows, by=args.key)
+    metrics = metrics_for_rows(rows)
+    aggregated = aggregate_rows(rows, by=args.key, metrics=metrics)
     print(format_table(aggregated, title=f"campaign aggregate by {args.key}"))
-    fit = fit_aggregate(aggregated, args.key, args.metric)
+    metric = args.metric
+    if metric is None or metric not in aggregated[0]:
+        fallback = metrics[0][1]
+        if metric is not None:
+            print(f"metric {metric!r} not in this store's aggregates; using {fallback!r}")
+        metric = fallback
+    fit = fit_aggregate(aggregated, args.key, metric)
     if fit is None:
-        print(f"fit of {args.metric} vs {args.key}: degenerate (fewer than 2 distinct points)")
+        print(
+            f"fit of {metric} vs {args.key}: not available "
+            f"(needs >= 2 distinct numeric key points)"
+        )
     else:
         print(
-            f"fit of {args.metric} vs {args.key}: slope={fit['slope']:.3f} "
+            f"fit of {metric} vs {args.key}: slope={fit['slope']:.3f} "
             f"intercept={fit['intercept']:.3f} r_squared={fit['r_squared']:.3f}"
         )
     return 0
@@ -188,6 +353,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_run(args)
         if args.command == "status":
             return _cmd_status(args)
+        if args.command == "merge":
+            return _cmd_merge(args)
         return _cmd_report(args)
     except (ValueError, OSError, ReproError) as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -11,6 +11,12 @@ starting-configuration mode).  The hash is what the result store keys on for
 dedup and ``--resume``, and it is also the root of the task's seeds: the
 network seed and the scheduler seed are both derived from the hash, so a task
 produces the same rows no matter when, where, or on which worker it executes.
+
+Grids also carry a **task type** (see :mod:`repro.campaign.registry`):
+``stabilize`` is the default and hashes exactly as before the registry
+existed, so pre-existing stores resume unchanged; ``scenario`` adds the
+scenario name as an extra axis; any registered type can define its own
+workload.
 """
 
 from __future__ import annotations
@@ -20,6 +26,7 @@ import json
 from dataclasses import dataclass, field, fields
 from typing import Iterator, Sequence
 
+from repro.campaign.registry import DEFAULT_TASK_TYPE, normalize_task_type
 from repro.graphs.generators import FAMILY_NAMES
 
 #: Protocol names the runner knows how to execute.  ``stno`` is accepted as an
@@ -33,9 +40,11 @@ DAEMONS = ("central", "distributed", "synchronous", "adversarial")
 #: The synthetic family used for height-controlled sweeps (EXP-T2).
 HEIGHT_TREE_FAMILY = "height_tree"
 
-#: Fields of :class:`TaskSpec` that identify a run (everything except the
-#: positional ``index``).  Order matters only for display; the hash
-#: canonicalizes with ``sort_keys``.
+#: Fields of :class:`TaskSpec` that identify a *default-task-type* run.
+#: ``task_type`` and ``scenario`` join the identity only for non-default
+#: types, so the hashes (and stores) of existing stabilization grids stay
+#: byte-identical.  Order matters only for display; the hash canonicalizes
+#: with ``sort_keys``.
 IDENTITY_FIELDS = (
     "protocol",
     "family",
@@ -98,11 +107,26 @@ class TaskSpec:
     after_substrate: bool = False
     height: int | None = None
     pair_networks: bool = False
+    task_type: str = DEFAULT_TASK_TYPE
+    scenario: str | None = None
     index: int = field(default=0, compare=False)
 
     def identity(self) -> dict[str, object]:
-        """The fields that define this configuration (hash input)."""
-        return {name: getattr(self, name) for name in IDENTITY_FIELDS}
+        """The fields that define this configuration (hash input).
+
+        For the default task type this is exactly the pre-registry identity,
+        keeping hashes (and therefore stores, resumes and dedup) stable; other
+        task types additionally carry ``task_type`` and, when set, the
+        ``scenario`` name.
+        """
+        identity: dict[str, object] = {
+            name: getattr(self, name) for name in IDENTITY_FIELDS
+        }
+        if self.task_type != DEFAULT_TASK_TYPE:
+            identity["task_type"] = self.task_type
+            if self.scenario is not None:
+                identity["scenario"] = self.scenario
+        return identity
 
     @property
     def config_hash(self) -> str:
@@ -172,6 +196,10 @@ class Grid:
     each task then runs on a tree with ``size`` processors and exactly the
     requested root-to-leaf height, and the ``families`` axis is replaced by
     the synthetic ``height_tree`` family.
+
+    ``task_type`` selects what each task computes (see
+    :mod:`repro.campaign.registry`); with ``task_type="scenario"`` the
+    ``scenarios`` tuple of library scenario names becomes an additional axis.
     """
 
     sizes: tuple[int, ...] = (8, 16, 32)
@@ -183,8 +211,27 @@ class Grid:
     seed: int = 0
     after_substrate: bool = False
     pair_networks: bool = False
+    task_type: str = DEFAULT_TASK_TYPE
+    scenarios: tuple[str, ...] | None = None
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "task_type", normalize_task_type(self.task_type))
+        if self.task_type == "scenario":
+            if not self.scenarios:
+                raise ValueError('task_type="scenario" needs a non-empty scenarios tuple')
+            from repro.scenarios.library import normalize_scenario
+
+            object.__setattr__(
+                self,
+                "scenarios",
+                _dedup(tuple(normalize_scenario(name) for name in self.scenarios)),
+            )
+        elif self.scenarios:
+            raise ValueError(
+                f"scenarios only apply to task_type='scenario' (got {self.task_type!r})"
+            )
+        else:
+            object.__setattr__(self, "scenarios", None)
         # Axes are deduplicated order-preservingly: aliases ("stno" and
         # "stno-bfs") or repeated values would otherwise expand to tasks with
         # identical config hashes, double-counting their rows.
@@ -220,12 +267,14 @@ class Grid:
 
     def __len__(self) -> int:
         heights = len(self.heights) if self.heights is not None else 1
+        scenarios = len(self.scenarios) if self.scenarios is not None else 1
         return (
             len(self.protocols)
             * len(self.families)
             * len(self.sizes)
             * heights
             * len(self.daemons)
+            * scenarios
             * self.trials
         )
 
@@ -236,26 +285,32 @@ class Grid:
         """The grid's tasks, in deterministic axis-major order."""
         tasks: list[TaskSpec] = []
         height_axis: tuple[int | None, ...] = self.heights if self.heights is not None else (None,)
+        scenario_axis: tuple[str | None, ...] = (
+            self.scenarios if self.scenarios is not None else (None,)
+        )
         for protocol in self.protocols:
             for family in self.families:
                 for size in self.sizes:
                     for height in height_axis:
                         for daemon in self.daemons:
-                            for trial in range(self.trials):
-                                tasks.append(
-                                    TaskSpec(
-                                        protocol=protocol,
-                                        family=family,
-                                        size=size,
-                                        daemon=daemon,
-                                        trial=trial,
-                                        grid_seed=self.seed,
-                                        after_substrate=self.after_substrate,
-                                        height=height,
-                                        pair_networks=self.pair_networks,
-                                        index=len(tasks),
+                            for scenario in scenario_axis:
+                                for trial in range(self.trials):
+                                    tasks.append(
+                                        TaskSpec(
+                                            protocol=protocol,
+                                            family=family,
+                                            size=size,
+                                            daemon=daemon,
+                                            trial=trial,
+                                            grid_seed=self.seed,
+                                            after_substrate=self.after_substrate,
+                                            height=height,
+                                            pair_networks=self.pair_networks,
+                                            task_type=self.task_type,
+                                            scenario=scenario,
+                                            index=len(tasks),
+                                        )
                                     )
-                                )
         return tasks
 
     def as_dict(self) -> dict[str, object]:

@@ -1,0 +1,99 @@
+"""The task-type registry: how campaigns learn new kinds of work.
+
+A *task type* maps a fully-specified :class:`~repro.campaign.grid.TaskSpec`
+to one flat result row.  The registry decouples the campaign machinery
+(grids, stores, resume, aggregation) from what a task actually computes, so
+new workloads plug in without touching the runner:
+
+>>> from repro.campaign.registry import register_task_type
+>>> @register_task_type("my_workload")
+... def run_my_workload(spec):
+...     return {"converged": True, "n": spec.size}
+
+The built-in types live in :mod:`repro.campaign.tasks` (``stabilize`` --
+today's stabilization runs, ``scenario`` -- fault-injection scenarios,
+``msgpass`` -- message-passing workloads) and are registered lazily the
+first time any registry lookup happens, so importing the grid module alone
+stays cheap.
+
+Registration is per-process.  When running with ``jobs > 1`` on a platform
+whose ``multiprocessing`` start method is *spawn* (macOS, Windows), define
+custom task types at module level in a module the workers import (anything
+imported as a side effect of unpickling :func:`repro.campaign.runner.run_task`
+works); a handler registered only inside ``if __name__ == "__main__"`` exists
+in the parent process alone and workers will reject its task type.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+#: The task type existing grids implicitly use; its rows and config hashes
+#: are guaranteed to stay byte-identical to the pre-registry behavior.
+DEFAULT_TASK_TYPE = "stabilize"
+
+TaskHandler = Callable[..., dict]
+
+_TASK_TYPES: Dict[str, TaskHandler] = {}
+
+
+def register_task_type(name: str) -> Callable[[TaskHandler], TaskHandler]:
+    """Register ``handler`` as the executor for task type ``name`` (decorator)."""
+    if not name:
+        raise ValueError("a task type needs a non-empty name")
+
+    def decorate(handler: TaskHandler) -> TaskHandler:
+        if name in _TASK_TYPES and _TASK_TYPES[name] is not handler:
+            raise ValueError(f"task type {name!r} is already registered")
+        _TASK_TYPES[name] = handler
+        return handler
+
+    return decorate
+
+
+def _ensure_builtin_types() -> None:
+    # Imported lazily: tasks.py pulls in the measurement harness and the
+    # scenario engine, which themselves import the grid module this registry
+    # serves -- a module-level import would be circular.
+    if DEFAULT_TASK_TYPE not in _TASK_TYPES:
+        import repro.campaign.tasks  # noqa: F401  (registers the built-ins)
+
+
+def task_type_names() -> tuple[str, ...]:
+    """All registered task type names, sorted."""
+    _ensure_builtin_types()
+    return tuple(sorted(_TASK_TYPES))
+
+
+def normalize_task_type(name: str) -> str:
+    """Validate a task type name against the registry."""
+    if name == DEFAULT_TASK_TYPE:
+        # Short-circuit: default grids (and pool workers expanding them) must
+        # not pay the full measurement/scenario import the built-ins pull in.
+        return name
+    _ensure_builtin_types()
+    if name not in _TASK_TYPES:
+        raise ValueError(
+            f"unknown task type {name!r}; choose from {', '.join(task_type_names())}"
+        )
+    return name
+
+
+def get_task_handler(name: str) -> TaskHandler:
+    """The handler registered for task type ``name``."""
+    _ensure_builtin_types()
+    if name not in _TASK_TYPES:
+        raise ValueError(
+            f"unknown task type {name!r}; choose from {', '.join(task_type_names())}"
+        )
+    return _TASK_TYPES[name]
+
+
+__all__ = [
+    "DEFAULT_TASK_TYPE",
+    "TaskHandler",
+    "get_task_handler",
+    "normalize_task_type",
+    "register_task_type",
+    "task_type_names",
+]

@@ -1,9 +1,10 @@
 """Campaign execution: run grid tasks serially or across a process pool.
 
-:func:`run_task` is the single unit of work -- it rebuilds the task's network
-and daemon from the spec's hash-derived seeds, measures stabilization with the
-existing :mod:`repro.analysis.convergence` harness and returns one flat result
-row.  Because everything a task needs is derived from its config hash, a row
+:func:`run_task` is the single unit of work -- it looks the task's type up in
+the registry (:mod:`repro.campaign.registry`), lets the handler rebuild the
+network/protocol/daemon from the spec's hash-derived seeds and compute one
+flat result row, then stamps the spec's identity fields and config hash onto
+it.  Because everything a task needs is derived from its config hash, a row
 is identical whether it ran serially, on a pool worker, or in a resumed
 campaign -- which is what makes ``--jobs 1`` and ``--jobs 4`` equivalent.
 
@@ -11,20 +12,20 @@ campaign -- which is what makes ``--jobs 1`` and ``--jobs 4`` equivalent.
 it skips tasks the store has already completed (``resume=True``), streams the
 remaining ones through ``multiprocessing.Pool.imap`` (ordered, so the store's
 line order matches the grid order regardless of worker count) and appends
-each row to the store the moment it completes.
+each row to the store the moment it completes.  Rows in the store whose hash
+the grid no longer produces (the grid was edited since they ran) are counted
+as *stale* and reported instead of silently ignored.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
 
-from repro.analysis.convergence import height_controlled_tree, measure_dftno, measure_stno
 from repro.campaign.grid import Grid, TaskSpec
+from repro.campaign.registry import get_task_handler
 from repro.campaign.store import ResultStore
-from repro.graphs import generators
-from repro.runtime.daemon import make_daemon
 
 ProgressCallback = Callable[[dict[str, object]], None]
 
@@ -32,34 +33,12 @@ ProgressCallback = Callable[[dict[str, object]], None]
 def run_task(spec: TaskSpec) -> dict[str, object]:
     """Execute one campaign task and return its flat result row.
 
-    The row merges the stabilization sample (``n``, ``converged``,
-    ``overlay_steps``, ...) with the task's identity fields and hash, so a
-    store row is self-describing and can be re-aggregated without the grid.
+    The row merges the handler's measurement (``n``, ``converged``, and the
+    task-type-specific metrics) with the task's identity fields and hash, so
+    a store row is self-describing and can be re-aggregated without the grid.
     """
-    if spec.height is not None:
-        network = height_controlled_tree(spec.size, spec.height, seed=spec.network_seed)
-    else:
-        network = generators.family(spec.family, spec.size, seed=spec.network_seed)
-    daemon = make_daemon(spec.daemon)
-    if spec.protocol == "dftno":
-        sample = measure_dftno(
-            network,
-            daemon=daemon,
-            seed=spec.run_seed,
-            parameter=spec.parameter,
-            after_substrate=spec.after_substrate,
-        )
-    else:
-        tree = spec.protocol.split("-", 1)[1]
-        sample = measure_stno(
-            network,
-            tree=tree,
-            daemon=daemon,
-            seed=spec.run_seed,
-            parameter=spec.parameter,
-            after_substrate=spec.after_substrate,
-        )
-    row = sample.as_row()
+    handler = get_task_handler(spec.task_type)
+    row = handler(spec)
     row.update(spec.identity())
     row["config_hash"] = spec.config_hash
     row["task_index"] = spec.index
@@ -68,16 +47,27 @@ def run_task(spec: TaskSpec) -> dict[str, object]:
 
 @dataclass(frozen=True)
 class CampaignResult:
-    """Outcome of one :meth:`CampaignRunner.run` call."""
+    """Outcome of one :meth:`CampaignRunner.run` call.
+
+    ``stale_hashes`` are config hashes found in the store that the grid no
+    longer contains -- the signature of a grid edited since those rows ran.
+    They are never deleted (another shard's grid may still own them) but are
+    surfaced so ``--resume`` cannot silently orphan results.
+    """
 
     total: int
     executed: int
     skipped: int
     rows: list[dict[str, object]]
+    stale_hashes: tuple[str, ...] = field(default_factory=tuple)
 
     @property
     def converged(self) -> int:
         return sum(1 for row in self.rows if row.get("converged"))
+
+    @property
+    def stale(self) -> int:
+        return len(self.stale_hashes)
 
 
 class CampaignRunner:
@@ -124,6 +114,8 @@ class CampaignRunner:
         if resume and self.store is not None:
             existing = self.store.rows_by_hash()
         pending = [task for task in tasks if task.config_hash not in existing]
+        grid_hashes = {task.config_hash for task in tasks}
+        stale = tuple(sorted(h for h in existing if h not in grid_hashes))
 
         fresh: dict[str, dict[str, object]] = {}
         for row in self.iter_results(pending):
@@ -142,6 +134,7 @@ class CampaignRunner:
             executed=len(pending),
             skipped=len(tasks) - len(pending),
             rows=[row for row in rows if row is not None],
+            stale_hashes=stale,
         )
 
 

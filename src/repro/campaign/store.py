@@ -92,8 +92,35 @@ class ResultStore:
         return True
 
     def extend(self, rows: Iterable[dict[str, object]]) -> int:
-        """Append many rows; returns how many were new."""
-        return sum(1 for row in rows if self.append(row))
+        """Append many rows in one buffered write; returns how many were new.
+
+        Unlike per-row :meth:`append` (whose per-line fsync is what makes a
+        long-running campaign crash-safe between tasks), a bulk extend --
+        store merges, shard imports -- writes every new line in one go and
+        fsyncs once.
+        """
+        lines: list[str] = []
+        seen: set[str] = set()
+        for row in rows:
+            config_hash = row.get("config_hash")
+            if not isinstance(config_hash, str) or not config_hash:
+                raise ValueError("result rows must carry a non-empty 'config_hash'")
+            if config_hash in self._hashes or config_hash in seen:
+                continue
+            seen.add(config_hash)
+            lines.append(json.dumps(row, sort_keys=True, separators=(",", ":"), default=str))
+        if not lines:
+            return 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            if self._needs_newline:
+                handle.write("\n")
+                self._needs_newline = False
+            handle.write("\n".join(lines) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._hashes.update(seen)
+        return len(lines)
 
     def rows(self) -> list[dict[str, object]]:
         """All stored rows in file order, deduplicated by config hash.

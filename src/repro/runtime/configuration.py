@@ -66,6 +66,15 @@ class Configuration:
         """Apply several writes at ``node`` at once."""
         self._states.setdefault(node, {}).update(values)
 
+    def replace_node(self, node: int, values: Mapping[str, Any]) -> None:
+        """Replace the *whole* local state of ``node``.
+
+        Unlike :meth:`update_node` this drops variables absent from
+        ``values`` -- needed when a topology change alters which variables a
+        processor's program declares (e.g. per-neighbor maps).
+        """
+        self._states[node] = dict(values)
+
     # ------------------------------------------------------------------
     # Whole-configuration operations
     # ------------------------------------------------------------------

@@ -46,9 +46,12 @@ def corrupt_configuration(
 ) -> Configuration:
     """A copy of ``configuration`` with some variables replaced by arbitrary values.
 
-    ``node_fraction`` of the processors are hit (at least one, chosen at
-    random); at each hit processor, ``variable_fraction`` of its variables are
-    replaced by fresh arbitrary values from their domains.
+    ``node_fraction`` of the processors are hit, chosen at random; at each hit
+    processor, ``variable_fraction`` of its variables are replaced by fresh
+    arbitrary values from their domains.  A *positive* fraction always hits at
+    least one processor / variable (so tiny bursts are not silently rounded
+    away), while a fraction of exactly ``0.0`` means **zero**: the returned
+    configuration is an identical copy.
     """
     if not 0.0 <= node_fraction <= 1.0:
         raise ValueError("node_fraction must lie in [0, 1]")
@@ -58,17 +61,24 @@ def corrupt_configuration(
     corrupted = configuration.copy()
 
     nodes = list(network.nodes())
-    hit_count = max(1, round(node_fraction * len(nodes))) if node_fraction > 0 else 0
+    hit_count = _fraction_count(node_fraction, len(nodes))
     hit_nodes = rng.sample(nodes, hit_count) if hit_count else []
 
     for node in hit_nodes:
         arbitrary = protocol.random_state(network, node, rng)
         names = list(arbitrary)
-        keep = max(1, round(variable_fraction * len(names))) if variable_fraction > 0 else 0
-        chosen = rng.sample(names, keep) if keep else []
+        chosen_count = _fraction_count(variable_fraction, len(names))
+        chosen = rng.sample(names, chosen_count) if chosen_count else []
         for name in chosen:
             corrupted.set(node, name, arbitrary[name])
     return corrupted
+
+
+def _fraction_count(fraction: float, total: int) -> int:
+    """How many of ``total`` items a fraction selects: 0.0 -> 0, else >= 1."""
+    if fraction <= 0.0:
+        return 0
+    return max(1, round(fraction * total))
 
 
 @dataclass

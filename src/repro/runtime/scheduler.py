@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.errors import ConvergenceError, SchedulingError
 from repro.graphs.network import RootedNetwork
@@ -122,6 +122,9 @@ class Scheduler:
         self.network = network
         self.protocol = protocol
         self.daemon = daemon or DistributedDaemon()
+        #: The daemon the run was configured with; :meth:`set_daemon` does not
+        #: touch it, so scenario events can restore it after a switch.
+        self.initial_daemon = self.daemon
         self.rng = rng or random.Random(seed)
         protocol.validate(network)
         self.daemon.reset()
@@ -139,14 +142,21 @@ class Scheduler:
         self._step_index = 0
         self._round_index = 0
         self._round_pending: set[int] | None = None
+        self._frozen: set[int] = set()
 
     # ------------------------------------------------------------------
     # Enabled actions
     # ------------------------------------------------------------------
     def enabled_actions(self) -> dict[int, Action]:
-        """The first enabled action of every enabled processor."""
+        """The first enabled action of every enabled processor.
+
+        Frozen (crashed) processors are treated as disabled: whatever their
+        guards evaluate to, the daemon never sees them.
+        """
         enabled: dict[int, Action] = {}
         for node in self.network.nodes():
+            if node in self._frozen:
+                continue
             action = self._first_enabled(node)
             if action is not None:
                 enabled[node] = action
@@ -157,8 +167,12 @@ class Scheduler:
         return tuple(sorted(self.enabled_actions()))
 
     def is_enabled(self, node: int) -> bool:
-        """Whether ``node`` has an enabled action in the current configuration."""
-        return self._first_enabled(node) is not None
+        """Whether ``node`` has an enabled action in the current configuration.
+
+        Frozen (crashed) processors are never enabled, matching
+        :meth:`enabled_actions`.
+        """
+        return node not in self._frozen and self._first_enabled(node) is not None
 
     def _first_enabled(self, node: int) -> Action | None:
         view = ProcessorView(node, self.network, self.configuration)
@@ -340,10 +354,12 @@ class Scheduler:
         if confirm_steps > 0:
             stabilization_step = result.first_legitimate_step
             stabilization_round = result.first_legitimate_round
+            terminated = result.terminated
             confirmed = 0
             while confirmed < confirm_steps and self._step_index < max_steps:
                 record = self.step()
                 if record is None:
+                    terminated = True
                     break
                 confirmed += 1
                 if not self.protocol.legitimate(self.network, self.configuration):
@@ -356,6 +372,7 @@ class Scheduler:
                     )
                     stabilization_step = inner.first_legitimate_step
                     stabilization_round = inner.first_legitimate_round
+                    terminated = terminated or inner.terminated
                     confirmed = 0
                     if not inner.converged:
                         if raise_on_failure:
@@ -368,7 +385,7 @@ class Scheduler:
                 steps=self._step_index,
                 moves=self.metrics.moves,
                 rounds=self._round_index,
-                terminated=result.terminated,
+                terminated=terminated,
                 converged=self.protocol.legitimate(self.network, self.configuration),
                 first_legitimate_step=stabilization_step,
                 first_legitimate_round=stabilization_round,
@@ -379,12 +396,73 @@ class Scheduler:
         return result
 
     # ------------------------------------------------------------------
-    # State manipulation (fault injection)
+    # State manipulation (fault injection, dynamic networks)
     # ------------------------------------------------------------------
     def set_configuration(self, configuration: Configuration) -> None:
         """Replace the current configuration (e.g. after injecting faults)."""
         self.configuration = configuration.copy()
         self._round_pending = None
+
+    def set_daemon(self, daemon: Daemon) -> None:
+        """Switch the scheduling adversary mid-run (daemon-switch scenarios).
+
+        The new daemon starts with fresh bookkeeping; steps, rounds, metrics
+        and the configuration are untouched.
+        """
+        daemon.reset()
+        self.daemon = daemon
+
+    def set_network(
+        self, network: RootedNetwork, reinitialize: Iterable[int] = ()
+    ) -> None:
+        """Replace the topology mid-run (dynamic-network scenarios).
+
+        The new network must keep the processor count and the root: the
+        processors survive, only links change.  Per-node action tables are
+        rebuilt (guards capture port orders, which a link change shifts) and
+        the processors in ``reinitialize`` -- typically the endpoints of the
+        changed link -- have their whole local state redrawn arbitrarily from
+        the protocol's domains on the *new* network, modelling the transient
+        disruption a topology change inflicts on the processors that feel it.
+        """
+        if network.n != self.network.n:
+            raise SchedulingError(
+                f"dynamic network change cannot alter the processor count "
+                f"({self.network.n} -> {network.n})"
+            )
+        if network.root != self.network.root:
+            raise SchedulingError(
+                f"dynamic network change cannot move the root "
+                f"({self.network.root} -> {network.root})"
+            )
+        self.protocol.validate(network)
+        self.network = network
+        self._actions = {
+            node: tuple(self.protocol.actions(network, node)) for node in network.nodes()
+        }
+        for node in reinitialize:
+            self.configuration.replace_node(
+                node, self.protocol.random_state(network, node, self.rng)
+            )
+        self._round_pending = None
+
+    def freeze(self, nodes: Iterable[int]) -> None:
+        """Crash ``nodes``: they stay disabled until :meth:`unfreeze`."""
+        for node in nodes:
+            if not 0 <= node < self.network.n:
+                raise SchedulingError(f"cannot freeze unknown processor {node}")
+            self._frozen.add(node)
+        self._round_pending = None
+
+    def unfreeze(self, nodes: Iterable[int]) -> None:
+        """Let crashed ``nodes`` rejoin the computation."""
+        self._frozen.difference_update(nodes)
+        self._round_pending = None
+
+    @property
+    def frozen_nodes(self) -> frozenset[int]:
+        """Processors currently crashed (excluded from daemon selection)."""
+        return frozenset(self._frozen)
 
     @property
     def steps_executed(self) -> int:

@@ -1,0 +1,58 @@
+"""Declarative fault-injection and dynamic-network scenarios.
+
+Self-stabilization quantifies over *every* transient fault; this package
+makes the recovery claim measurable.  It has four layers, mirroring the
+campaign engine's structure:
+
+* :mod:`repro.scenarios.events` -- the event vocabulary: corruption bursts,
+  crash/rejoin, link add/remove with endpoint re-randomization, daemon
+  switches;
+* :mod:`repro.scenarios.scenario` -- :class:`Scenario` /
+  :class:`TimedEvent`: named, ordered, delay-separated compositions of
+  events, declarative enough to sweep in campaign grids;
+* :mod:`repro.scenarios.runner` -- :class:`ScenarioRunner`: executes a
+  scenario against any protocol/daemon/topology through the existing
+  :class:`~repro.runtime.scheduler.Scheduler` and reports per-event recovery
+  metrics (:mod:`repro.analysis.recovery`);
+* :mod:`repro.scenarios.library` -- the shipped named scenarios
+  (``single_burst``, ``periodic_burst``, ``cascade``, ``churn``) behind a
+  name registry.
+
+Campaigns reach all of this through the ``scenario`` task type
+(:mod:`repro.campaign.tasks`).
+"""
+
+from repro.scenarios.events import (
+    CorruptionBurst,
+    CrashRejoin,
+    DaemonSwitch,
+    EventOutcome,
+    LinkChange,
+    ScenarioEvent,
+)
+from repro.scenarios.library import (
+    build_scenario,
+    normalize_scenario,
+    register_scenario,
+    scenario_names,
+)
+from repro.scenarios.runner import ORIENTATION_VARIABLES, ScenarioRunner, run_scenario
+from repro.scenarios.scenario import Scenario, TimedEvent
+
+__all__ = [
+    "ORIENTATION_VARIABLES",
+    "CorruptionBurst",
+    "CrashRejoin",
+    "DaemonSwitch",
+    "EventOutcome",
+    "LinkChange",
+    "Scenario",
+    "ScenarioEvent",
+    "ScenarioRunner",
+    "TimedEvent",
+    "build_scenario",
+    "normalize_scenario",
+    "register_scenario",
+    "run_scenario",
+    "scenario_names",
+]

@@ -1,0 +1,135 @@
+"""Named, ready-to-sweep scenarios.
+
+Each entry is a builder registered under a stable name, so campaign grids can
+reference scenarios declaratively (``task_type="scenario"``,
+``scenarios=("cascade",)``) and the CLI can validate names early.  The four
+shipped scenarios cover the recovery story's main axes:
+
+* ``single_burst`` -- the classic EXP-R1 shape: one total corruption burst
+  after stabilization;
+* ``periodic_burst`` -- three partial bursts with closure windows between
+  them (convergence *and* closure, repeatedly);
+* ``cascade`` -- escalating bursts while the daemon turns adversarial
+  mid-run, the worst case short of continuous faults;
+* ``churn`` -- dynamic-network churn: link add/remove with endpoint
+  re-randomization plus leaf and root crash/rejoin.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.scenarios.events import (
+    CorruptionBurst,
+    CrashRejoin,
+    DaemonSwitch,
+    LinkChange,
+)
+from repro.scenarios.scenario import Scenario, TimedEvent
+
+_LIBRARY: dict[str, Callable[[], Scenario]] = {}
+
+
+def register_scenario(name: str) -> Callable[[Callable[[], Scenario]], Callable[[], Scenario]]:
+    """Register a scenario builder under ``name`` (decorator)."""
+
+    def decorate(builder: Callable[[], Scenario]) -> Callable[[], Scenario]:
+        if name in _LIBRARY:
+            raise ValueError(f"scenario {name!r} is already registered")
+        _LIBRARY[name] = builder
+        return builder
+
+    return decorate
+
+
+def scenario_names() -> tuple[str, ...]:
+    """The registered scenario names, sorted."""
+    return tuple(sorted(_LIBRARY))
+
+
+def normalize_scenario(name: str) -> str:
+    """Validate a scenario name against the library."""
+    if name not in _LIBRARY:
+        raise ValueError(
+            f"unknown scenario {name!r}; choose from {', '.join(scenario_names())}"
+        )
+    return name
+
+
+def build_scenario(name: str) -> Scenario:
+    """Build the library scenario registered under ``name``."""
+    return _LIBRARY[normalize_scenario(name)]()
+
+
+@register_scenario("single_burst")
+def single_burst() -> Scenario:
+    """One total corruption burst -- the sharpest single transient fault."""
+    return Scenario.of(
+        "single_burst",
+        CorruptionBurst(node_fraction=1.0, variable_fraction=1.0),
+        description="one total corruption burst after stabilization",
+        spacing_steps=10,
+    )
+
+
+@register_scenario("periodic_burst")
+def periodic_burst() -> Scenario:
+    """Three half-size bursts separated by closure windows."""
+    burst = CorruptionBurst(node_fraction=0.5, variable_fraction=0.5)
+    return Scenario(
+        name="periodic_burst",
+        events=(
+            TimedEvent(burst, delay_steps=25),
+            TimedEvent(burst, delay_steps=25),
+            TimedEvent(burst, delay_steps=25),
+        ),
+        description="three partial bursts with closure windows between them",
+    )
+
+
+@register_scenario("cascade")
+def cascade() -> Scenario:
+    """Escalating bursts while the daemon turns adversarial mid-run.
+
+    The second switch restores the run's *configured* daemon (``None``), so a
+    campaign's daemon axis stays meaningful: only the middle burst runs under
+    the adversary, the final one under the cell's own daemon.
+    """
+    return Scenario(
+        name="cascade",
+        events=(
+            TimedEvent(CorruptionBurst(node_fraction=0.25, variable_fraction=0.5), delay_steps=10),
+            TimedEvent(DaemonSwitch(daemon="adversarial")),
+            TimedEvent(CorruptionBurst(node_fraction=0.5, variable_fraction=1.0), delay_steps=10),
+            TimedEvent(DaemonSwitch(daemon=None)),
+            TimedEvent(CorruptionBurst(node_fraction=1.0, variable_fraction=1.0), delay_steps=10),
+        ),
+        description="escalating corruption under a mid-run adversarial daemon",
+    )
+
+
+@register_scenario("churn")
+def churn() -> Scenario:
+    """Dynamic-network churn: link add/remove plus leaf and root crashes."""
+    return Scenario(
+        name="churn",
+        events=(
+            TimedEvent(LinkChange(mode="add"), delay_steps=10),
+            TimedEvent(CrashRejoin(target="leaf", downtime_steps=15), delay_steps=10),
+            TimedEvent(LinkChange(mode="remove"), delay_steps=10),
+            TimedEvent(CrashRejoin(target="root", downtime_steps=15), delay_steps=10),
+        ),
+        description="link add/remove with endpoint re-randomization, leaf and root crash/rejoin",
+    )
+
+
+__all__ = [
+    "build_scenario",
+    "cascade",
+    "churn",
+    "normalize_scenario",
+    "periodic_burst",
+    "register_scenario",
+    "scenario_names",
+    "single_burst",
+]

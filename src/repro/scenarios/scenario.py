@@ -1,0 +1,77 @@
+"""Declarative scenarios: named, ordered compositions of timed events."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.scenarios.events import ScenarioEvent
+
+
+@dataclass(frozen=True)
+class TimedEvent:
+    """One scenario step: wait ``delay_steps``, then fire ``event``.
+
+    The delay is measured from the previous event's recovery (or from the
+    initial stabilization); during it the system keeps executing and the
+    runner counts *closure violations* -- steps at which legitimacy does not
+    hold even though no fault occurred since the last recovery.
+    """
+
+    event: ScenarioEvent
+    delay_steps: int = 0
+
+    def __post_init__(self) -> None:
+        if self.delay_steps < 0:
+            raise ValueError("delay_steps must be >= 0")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named fault/dynamics schedule, executable against any protocol.
+
+    Scenarios are purely declarative: they name no processors, links or
+    networks.  Concrete targets are resolved at run time from the run's
+    random stream, so the same scenario object sweeps across every cell of a
+    campaign grid.
+    """
+
+    name: str
+    events: tuple[TimedEvent, ...] = field(default_factory=tuple)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a scenario needs a non-empty name")
+        if not self.events:
+            raise ValueError(f"scenario {self.name!r} has no events")
+        normalized = tuple(
+            timed if isinstance(timed, TimedEvent) else TimedEvent(timed)
+            for timed in self.events
+        )
+        object.__setattr__(self, "events", normalized)
+
+    @classmethod
+    def of(
+        cls,
+        name: str,
+        *events: ScenarioEvent | TimedEvent,
+        description: str = "",
+        spacing_steps: int = 0,
+    ) -> "Scenario":
+        """Build a scenario from bare events, giving each the same delay."""
+        return cls(
+            name=name,
+            events=tuple(
+                event
+                if isinstance(event, TimedEvent)
+                else TimedEvent(event, delay_steps=spacing_steps)
+                for event in events
+            ),
+            description=description,
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+__all__ = ["Scenario", "TimedEvent"]

@@ -36,10 +36,13 @@ one may start immediately.
 
 Self-stabilization is by local checking: an active non-root processor whose
 parent pointer, parent's child pointer, wave parity or level (``lvl =
-lvl_parent + 1 <= n - 1``) are inconsistent resets to ``WAIT``.  Spurious
-active segments therefore erode from their top (a parent cycle can never have
-consistent strictly increasing levels), and can only recruit boundedly many
-processors before hitting the level bound; once they are gone, every wave
+lvl_parent + 1 <= n - 1``) are inconsistent -- or whose *delegated child* is
+active under a different parent (a delegation that was never accepted, the
+signature of a corrupted child pointer aiming back into the stack) -- resets
+to ``WAIT``.  Spurious active segments therefore erode from their top (a
+parent cycle can never have consistent strictly increasing levels, and a
+child-pointer cycle always contains a never-accepted delegation), and can
+only recruit boundedly many processors before hitting the level bound; once they are gone, every wave
 started by the root visits every processor exactly once and the composed
 system satisfies the interface the thesis assumes of [10].  The construction
 matches the *interface and complexity class* of [10] (O(log N) bits per
@@ -125,6 +128,7 @@ class DepthFirstTokenCirculation(Protocol):
     ACTION_ROOT_START = "TC-RootStart"
     ACTION_ROOT_DELEGATE = "TC-RootDelegate"
     ACTION_ROOT_FINISH = "TC-RootFinish"
+    ACTION_ROOT_ERROR = "TC-RootError"
     ACTION_ERROR = "TC-Error"
     ACTION_FORWARD = "TC-Forward"
     ACTION_DELEGATE = "TC-Delegate"
@@ -204,7 +208,7 @@ class DepthFirstTokenCirculation(Protocol):
         )
 
     def _valid_active(self, view: ProcessorView) -> bool:
-        """Consistency of an ACTIVE non-root processor with its parent."""
+        """Consistency of an ACTIVE non-root processor with its parent and child."""
         parent = view.read(VAR_PARENT)
         if parent is None or parent not in view.network.neighbor_set(view.node):
             return False
@@ -217,7 +221,27 @@ class DepthFirstTokenCirculation(Protocol):
             return False
         if view.read_neighbor(parent, VAR_WAVE) != view.read(VAR_WAVE):
             return False
-        return level == view.read_neighbor(parent, VAR_LEVEL) + 1
+        if level != view.read_neighbor(parent, VAR_LEVEL) + 1:
+            return False
+        return self._valid_delegation(view)
+
+    @staticmethod
+    def _valid_delegation(view: ProcessorView) -> bool:
+        """The current delegation, if accepted, was accepted *from us*.
+
+        A processor only ever delegates to an unvisited (waiting) neighbor,
+        and a neighbor that accepts becomes active with its parent pointer set
+        to the delegator.  A child that is active under a *different* parent
+        can therefore never settle for us -- it is the local signature of a
+        corrupted child pointer aiming back into the active stack (e.g. a
+        child/parent 2-cycle), which would otherwise deadlock the wave.
+        """
+        child = view.read(VAR_CHILD)
+        if child is None or child not in view.network.neighbor_set(view.node):
+            return True
+        if view.read_neighbor(child, VAR_STATE) != ACTIVE:
+            return True
+        return view.read_neighbor(child, VAR_PARENT) == view.node
 
     @staticmethod
     def holds_token(view: ProcessorView) -> bool:
@@ -274,6 +298,14 @@ class DepthFirstTokenCirculation(Protocol):
             view.write(VAR_PARENT, None)
             view.write(VAR_LEVEL, 0)
 
+        def delegation_error_guard(view: ProcessorView) -> bool:
+            return view.read(VAR_STATE) == ACTIVE and not self._valid_delegation(view)
+
+        def delegation_error(view: ProcessorView) -> None:
+            # The root never abandons its wave; it only forgets the bogus
+            # delegation and re-delegates (or finishes) normally.
+            view.write(VAR_CHILD, None)
+
         def delegate_guard(view: ProcessorView) -> bool:
             return (
                 view.read(VAR_STATE) == ACTIVE
@@ -290,9 +322,10 @@ class DepthFirstTokenCirculation(Protocol):
 
         return [
             Action(self.ACTION_ROOT_NORMALIZE, normalize_guard, normalize, layer=self.name, priority=0),
-            Action(self.ACTION_ROOT_DELEGATE, delegate_guard, self._delegate, layer=self.name, priority=1),
-            Action(self.ACTION_ROOT_FINISH, finish_guard, self._retire, layer=self.name, priority=2),
-            Action(self.ACTION_ROOT_START, start_guard, start, layer=self.name, priority=3),
+            Action(self.ACTION_ROOT_ERROR, delegation_error_guard, delegation_error, layer=self.name, priority=1),
+            Action(self.ACTION_ROOT_DELEGATE, delegate_guard, self._delegate, layer=self.name, priority=2),
+            Action(self.ACTION_ROOT_FINISH, finish_guard, self._retire, layer=self.name, priority=3),
+            Action(self.ACTION_ROOT_START, start_guard, start, layer=self.name, priority=4),
         ]
 
     def _non_root_actions(self) -> list[Action]:
@@ -363,7 +396,9 @@ class DepthFirstTokenCirculation(Protocol):
         The root carries no parent pointer and level 0, every active non-root
         processor is consistently stacked under an active parent of the same
         wave (hence the active processors form a single DFS stack starting at
-        the root), and there is at most one token holder.
+        the root), every accepted delegation was accepted from its delegator
+        (no child pointer aims back into the stack), and there is at most one
+        token holder.
         """
         root = network.root
         if configuration.get(root, VAR_PARENT) is not None:
@@ -375,6 +410,15 @@ class DepthFirstTokenCirculation(Protocol):
         for node in network.nodes():
             if configuration.get(node, VAR_LEVEL) > network.n - 1:
                 return False
+            if configuration.get(node, VAR_STATE) == ACTIVE:
+                child = configuration.get(node, VAR_CHILD)
+                if (
+                    child is not None
+                    and child in network.neighbor_set(node)
+                    and configuration.get(child, VAR_STATE) == ACTIVE
+                    and configuration.get(child, VAR_PARENT) != node
+                ):
+                    return False
             if node == root:
                 continue
             if configuration.get(node, VAR_STATE) != ACTIVE:

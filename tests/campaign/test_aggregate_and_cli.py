@@ -87,7 +87,8 @@ def test_cli_report_rejects_unknown_key(tmp_path, capsys):
     capsys.readouterr()
     assert main(["report", "--out", out, "--key", "sizes"]) == 2
     err = capsys.readouterr().err
-    assert "column 'sizes' missing" in err and "available:" in err
+    assert "column 'sizes' missing" in err and "present in every row:" in err
+    assert "'sizes'" not in err.split("present in every row:")[1]  # not offered back
 
 
 def test_cli_read_only_commands_do_not_create_directories(tmp_path, capsys):

@@ -1,0 +1,113 @@
+"""Store merging across shards and stale-row reporting across grid edits."""
+
+from __future__ import annotations
+
+from repro.campaign.cli import main
+from repro.campaign.grid import Grid
+from repro.campaign.runner import run_grid
+from repro.campaign.store import ResultStore
+
+
+def _shard_grid(protocol: str) -> Grid:
+    return Grid(
+        sizes=(5,), protocols=(protocol,), families=("ring",), trials=1, seed=1
+    )
+
+
+def test_merge_unions_two_disjoint_shard_stores(tmp_path, capsys):
+    # Two shards of one logical campaign: each machine ran one protocol.
+    store_a = ResultStore(tmp_path / "shard-a.jsonl")
+    store_b = ResultStore(tmp_path / "shard-b.jsonl")
+    result_a = run_grid(_shard_grid("dftno"), store=store_a)
+    result_b = run_grid(_shard_grid("stno-bfs"), store=store_b)
+    assert result_a.executed == result_b.executed == 1
+
+    target = tmp_path / "merged.jsonl"
+    exit_code = main(
+        ["merge", str(tmp_path / "shard-a.jsonl"), str(tmp_path / "shard-b.jsonl"), "--out", str(target)]
+    )
+    assert exit_code == 0
+    merged = ResultStore(target)
+    assert merged.completed_hashes() == (
+        store_a.completed_hashes() | store_b.completed_hashes()
+    )
+
+    # Merging again is a no-op: dedup by config hash.
+    assert main(["merge", str(tmp_path / "shard-a.jsonl"), "--out", str(target)]) == 0
+    out = capsys.readouterr().out
+    assert "0 new" in out
+    assert len(ResultStore(target)) == 2
+
+
+def test_merged_store_resumes_the_union_grid(tmp_path):
+    store_a = ResultStore(tmp_path / "a.jsonl")
+    store_b = ResultStore(tmp_path / "b.jsonl")
+    run_grid(_shard_grid("dftno"), store=store_a)
+    run_grid(_shard_grid("stno-bfs"), store=store_b)
+    merged = ResultStore(tmp_path / "merged.jsonl")
+    merged.extend(store_a.rows())
+    merged.extend(store_b.rows())
+
+    union = Grid(
+        sizes=(5,), protocols=("dftno", "stno-bfs"), families=("ring",), trials=1, seed=1
+    )
+    result = run_grid(union, store=merged, resume=True)
+    assert result.executed == 0
+    assert result.skipped == 2
+    assert result.stale == 0
+
+
+def test_merge_rejects_missing_source(tmp_path, capsys):
+    assert main(["merge", str(tmp_path / "nope.jsonl"), "--out", str(tmp_path / "out.jsonl")]) == 2
+    assert "does not exist" in capsys.readouterr().err
+
+
+def test_resume_counts_stale_rows_after_grid_edit(tmp_path):
+    store = ResultStore(tmp_path / "campaign.jsonl")
+    run_grid(_shard_grid("dftno"), store=store)
+
+    edited = Grid(sizes=(6,), protocols=("dftno",), families=("ring",), trials=1, seed=1)
+    result = run_grid(edited, store=store, resume=True)
+    assert result.executed == 1  # the new size runs
+    assert result.stale == 1  # the old size's row is reported, not dropped
+    assert result.stale_hashes == (_shard_grid("dftno").expand()[0].config_hash,)
+
+
+def test_status_reports_pending_and_stale_against_a_grid(tmp_path, capsys):
+    store_path = tmp_path / "campaign.jsonl"
+    run_grid(_shard_grid("dftno"), store=ResultStore(store_path))
+    capsys.readouterr()
+
+    # Same grid: everything completed, nothing stale.
+    assert (
+        main(
+            ["status", "--out", str(store_path), "--protocol", "dftno",
+             "--family", "ring", "--sizes", "5", "--trials", "1", "--seed", "1"]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "1 tasks, 1 completed, 0 pending, 0 stale" in out
+
+    # Edited grid (new size): the stored row is stale and listed by hash.
+    assert (
+        main(
+            ["status", "--out", str(store_path), "--protocol", "dftno",
+             "--family", "ring", "--sizes", "6", "--trials", "1", "--seed", "1"]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "1 tasks, 0 completed, 1 pending, 1 stale" in out
+    stale_hash = _shard_grid("dftno").expand()[0].config_hash
+    assert stale_hash in out
+
+
+def test_status_without_grid_options_keeps_the_plain_summary(tmp_path, capsys):
+    store_path = tmp_path / "campaign.jsonl"
+    run_grid(_shard_grid("dftno"), store=ResultStore(store_path))
+    capsys.readouterr()
+    assert main(["status", "--out", str(store_path)]) == 0
+    out = capsys.readouterr().out
+    assert "1 rows" in out
+    assert "stale" not in out

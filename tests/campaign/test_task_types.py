@@ -1,0 +1,224 @@
+"""Task-type registry: dispatch, new axes, and hash backward compatibility."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro.campaign.grid import Grid, TaskSpec
+from repro.campaign.registry import (
+    DEFAULT_TASK_TYPE,
+    get_task_handler,
+    normalize_task_type,
+    register_task_type,
+    task_type_names,
+)
+from repro.campaign.runner import run_task
+
+
+def test_builtin_task_types_are_registered():
+    names = task_type_names()
+    for expected in ("stabilize", "scenario", "msgpass"):
+        assert expected in names
+    assert DEFAULT_TASK_TYPE == "stabilize"
+
+
+def test_unknown_task_type_is_rejected_with_choices():
+    with pytest.raises(ValueError, match="stabilize"):
+        normalize_task_type("quantum")
+    with pytest.raises(ValueError):
+        Grid(sizes=(6,), task_type="quantum")
+
+
+def test_custom_task_types_plug_into_run_task():
+    @register_task_type("test_echo")
+    def run_echo(spec):
+        return {"echo": spec.size, "converged": True}
+
+    spec = TaskSpec(
+        protocol="dftno",
+        family="ring",
+        size=6,
+        daemon="central",
+        trial=0,
+        grid_seed=0,
+        task_type="test_echo",
+    )
+    row = run_task(spec)
+    assert row["echo"] == 6
+    assert row["task_type"] == "test_echo"
+    assert row["config_hash"] == spec.config_hash
+    # Re-registering a different handler under the same name is an error.
+    with pytest.raises(ValueError):
+        register_task_type("test_echo")(lambda spec: {})
+
+
+def test_default_task_type_hashes_are_byte_identical_to_pre_registry():
+    # Golden values captured from the campaign engine before the task-type
+    # registry existed; default-type grids must never re-hash (stores would
+    # silently re-run on resume).
+    spec = TaskSpec(
+        protocol="dftno", family="ring", size=8, daemon="central", trial=1, grid_seed=3
+    )
+    assert spec.config_hash == "d0e967fcae134ce0"
+    grid = Grid(
+        sizes=(6, 8),
+        protocols=("dftno", "stno-bfs"),
+        daemons=("central", "distributed"),
+        trials=2,
+        seed=7,
+    )
+    digest = hashlib.sha256(
+        ",".join(task.config_hash for task in grid.expand()).encode()
+    ).hexdigest()
+    assert digest == "2174652d739d6568377cc39b9072a27aceeae887c30e411fc3ad92712b528c36"
+
+
+def test_default_task_type_rows_carry_no_new_columns():
+    grid = Grid(sizes=(6,), protocols=("dftno",), families=("ring",), trials=1, seed=1)
+    row = run_task(grid.expand()[0])
+    assert "task_type" not in row
+    assert "scenario" not in row
+    json.dumps(row)  # rows stay JSON-serializable
+
+
+def test_scenario_identity_extends_the_hash():
+    base = dict(
+        protocol="dftno", family="ring", size=8, daemon="central", trial=0, grid_seed=0
+    )
+    plain = TaskSpec(**base)
+    cascade = TaskSpec(**base, task_type="scenario", scenario="cascade")
+    churn = TaskSpec(**base, task_type="scenario", scenario="churn")
+    assert plain.config_hash != cascade.config_hash
+    assert cascade.config_hash != churn.config_hash
+    assert cascade.identity()["task_type"] == "scenario"
+    assert cascade.identity()["scenario"] == "cascade"
+    assert "task_type" not in plain.identity()
+
+
+def test_scenario_grid_expands_the_scenario_axis():
+    grid = Grid(
+        sizes=(8,),
+        protocols=("dftno", "stno-bfs"),
+        daemons=("central", "distributed"),
+        trials=1,
+        seed=3,
+        task_type="scenario",
+        scenarios=("cascade", "single_burst", "cascade"),  # dedup preserves order
+    )
+    assert grid.scenarios == ("cascade", "single_burst")
+    tasks = grid.expand()
+    assert len(tasks) == len(grid) == 2 * 2 * 2
+    assert {task.scenario for task in tasks} == {"cascade", "single_burst"}
+    assert len({task.config_hash for task in tasks}) == len(tasks)
+
+
+def test_scenario_grid_validates_scenario_names_and_presence():
+    with pytest.raises(ValueError):
+        Grid(sizes=(8,), task_type="scenario")
+    with pytest.raises(ValueError):
+        Grid(sizes=(8,), task_type="scenario", scenarios=("meteor",))
+    with pytest.raises(ValueError):
+        Grid(sizes=(8,), scenarios=("cascade",))  # scenarios without the type
+
+
+def test_run_task_scenario_row_reports_recovery_metrics():
+    grid = Grid(
+        sizes=(8,),
+        protocols=("dftno",),
+        families=("random_connected",),
+        daemons=("distributed",),
+        trials=1,
+        seed=2,
+        task_type="scenario",
+        scenarios=("single_burst",),
+    )
+    row = run_task(grid.expand()[0])
+    assert row["task_type"] == "scenario"
+    assert row["scenario"] == "single_burst"
+    assert row["events_applied"] == 1
+    assert row["converged"] is True
+    assert row["recovery_steps"] is not None
+    assert row["config_hash"] == grid.expand()[0].config_hash
+
+
+def test_run_task_msgpass_row_reports_message_savings():
+    grid = Grid(
+        sizes=(8,),
+        protocols=("dftno",),
+        families=("complete",),
+        daemons=("distributed",),
+        trials=1,
+        seed=2,
+        task_type="msgpass",
+    )
+    row = run_task(grid.expand()[0])
+    assert row["task_type"] == "msgpass"
+    assert row["converged"] is True
+    assert row["messages_oriented"] < row["messages_unoriented"]
+    assert row["message_savings"] > 1.0
+
+
+def test_scenario_and_msgpass_reject_after_substrate():
+    # after_substrate is hashed into the identity; ignoring it would store
+    # mislabeled duplicate measurements, so the handlers reject it outright.
+    for task_type, extra in (("scenario", {"scenario": "cascade"}), ("msgpass", {})):
+        spec = TaskSpec(
+            protocol="dftno",
+            family="ring",
+            size=6,
+            daemon="central",
+            trial=0,
+            grid_seed=0,
+            after_substrate=True,
+            task_type=task_type,
+            **extra,
+        )
+        with pytest.raises(ValueError, match="after_substrate"):
+            run_task(spec)
+
+
+def test_get_task_handler_returns_the_registered_callable():
+    handler = get_task_handler("stabilize")
+    assert callable(handler)
+
+
+def test_cascade_campaign_resumes_after_simulated_crash_and_reports(tmp_path, capsys):
+    # The acceptance path: cascade from the library over 2 protocols x 2
+    # daemons, crash mid-campaign, resume, and aggregate recovery times.
+    from repro.campaign.cli import main
+    from repro.campaign.runner import run_grid
+    from repro.campaign.store import ResultStore
+
+    grid = Grid(
+        sizes=(8,),
+        protocols=("dftno", "stno-bfs"),
+        daemons=("central", "distributed"),
+        trials=1,
+        seed=11,
+        task_type="scenario",
+        scenarios=("cascade",),
+        pair_networks=True,
+    )
+    assert len(grid) == 4
+    store_path = tmp_path / "cascade.jsonl"
+
+    # "Crash" after two tasks: only their rows made it to the store.
+    crashed = ResultStore(store_path)
+    for spec in grid.expand()[:2]:
+        crashed.append(run_task(spec))
+
+    resumed = run_grid(grid, store=ResultStore(store_path), resume=True)
+    assert resumed.skipped == 2
+    assert resumed.executed == 2
+    assert len(resumed.rows) == 4
+    assert {row["daemon"] for row in resumed.rows} == {"central", "distributed"}
+    assert {row["protocol"] for row in resumed.rows} == {"dftno", "stno-bfs"}
+
+    capsys.readouterr()
+    assert main(["report", "--out", str(store_path), "--key", "daemon"]) == 0
+    out = capsys.readouterr().out
+    assert "recovery_steps_mean" in out
+    assert "recovery_rounds_mean" in out

@@ -168,3 +168,13 @@ def test_action_with_extra_statement_runs_both_and_sees_writes():
 def test_action_with_extra_statement_suffix_changes_name():
     base = Action("set", lambda view: True, lambda view: None)
     assert base.with_extra_statement(lambda view: None).name == "set+hook"
+
+
+def test_replace_node_drops_stale_variables():
+    config = Configuration({0: {"a": 1, "b": 2}})
+    config.replace_node(0, {"a": 7})
+    assert config.variables_of(0) == ("a",)
+    assert config.get(0, "a") == 7
+    assert not config.has(0, "b")
+    config.replace_node(1, {"c": 3})  # creating a node works too
+    assert config.get(1, "c") == 3

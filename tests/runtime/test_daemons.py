@@ -97,6 +97,27 @@ def test_adversarial_is_weakly_fair(rng):
     assert len(picks) <= bound + 1
 
 
+def test_adversarial_bounded_bypass_holds_continuously(rng):
+    # Stronger than eventual selection: over a long adversarial schedule with
+    # perpetual churn, a continuously enabled processor is *never* bypassed
+    # more than fairness_bound consecutive times -- the bounded-bypass form
+    # of weak fairness.
+    bound = 3
+    daemon = AdversarialDaemon(fairness_bound=bound)
+    bypassed_streak = 0
+    selections_of_zero = 0
+    for step in range(200):
+        enabled = (0, (step % 5) + 1, (step % 7) + 10)  # 0 stays enabled forever
+        chosen = daemon.select(enabled, step, rng)[0]
+        if chosen == 0:
+            selections_of_zero += 1
+            bypassed_streak = 0
+        else:
+            bypassed_streak += 1
+            assert bypassed_streak <= bound + 1
+    assert selections_of_zero >= 200 // (bound + 2)
+
+
 def test_adversarial_rejects_bad_bound():
     with pytest.raises(SchedulingError):
         AdversarialDaemon(0)

@@ -55,6 +55,34 @@ def test_corrupt_configuration_zero_fraction_is_identity(small_ring):
     assert corrupted == base
 
 
+def test_corrupt_configuration_zero_variable_fraction_is_identity(small_ring):
+    # Regression: variable_fraction=0.0 must corrupt *zero* variables even at
+    # hit processors (a "hit at least one variable" floor only applies to
+    # positive fractions).
+    protocol = DijkstraTokenRing()
+    base = protocol.initial_configuration(small_ring)
+    corrupted = corrupt_configuration(
+        base, protocol, small_ring, node_fraction=1.0, variable_fraction=0.0, seed=3
+    )
+    assert corrupted == base
+
+
+def test_corrupt_configuration_tiny_positive_fractions_hit_at_least_one(small_ring):
+    # The other bound: any positive fraction rounds up to one processor /
+    # one variable rather than silently down to none.
+    protocol = DijkstraTokenRing(k=10_000)
+    base = protocol.initial_configuration(small_ring)
+    changed = 0
+    for seed in range(8):
+        corrupted = corrupt_configuration(
+            base, protocol, small_ring, node_fraction=0.01, variable_fraction=0.01, seed=seed
+        )
+        diff = base.diff(corrupted)
+        assert len(diff) <= 1
+        changed += len(diff)
+    assert changed > 0  # with k=10000 a redraw virtually never collides
+
+
 def test_corrupt_configuration_rejects_bad_fractions(small_ring):
     protocol = DijkstraTokenRing()
     base = protocol.initial_configuration(small_ring)
@@ -84,6 +112,27 @@ def test_fault_injector_ignores_unscheduled_steps(small_ring):
     scheduler = Scheduler(small_ring, protocol, seed=6)
     injector = FaultInjector(protocol, small_ring, schedule={5: (1.0, 1.0)})
     assert not injector.maybe_inject(scheduler)
+
+
+def test_fault_injector_double_fire_protection_across_a_run(small_ring):
+    # Even when maybe_inject is polled many times per step (as a nested
+    # experiment loop might), each scheduled burst fires exactly once.
+    protocol = DijkstraTokenRing(k=100)
+    scheduler = Scheduler(
+        small_ring,
+        protocol,
+        daemon=SynchronousDaemon(),
+        configuration=protocol.initial_configuration(small_ring),
+        seed=4,
+    )
+    injector = FaultInjector(protocol, small_ring, schedule={0: (1.0, 1.0), 3: (0.5, 1.0)}, seed=5)
+    fired = 0
+    for _ in range(6):
+        for _ in range(3):  # repeated polls at the same step
+            fired += injector.maybe_inject(scheduler)
+        scheduler.step()
+    assert fired == 2
+    assert injector.injected_at == [0, 3]
 
 
 # ----------------------------------------------------------------------

@@ -325,3 +325,97 @@ def test_scheduler_repr(small_ring):
     protocol = CountdownProtocol()
     scheduler = Scheduler(small_ring, protocol, seed=0)
     assert "countdown" in repr(scheduler)
+
+
+class TransientLegitimacyProtocol(CountdownProtocol):
+    """Legitimate only while every counter is exactly 1; terminates at 0."""
+
+    name = "transient"
+
+    def legitimate(self, network: RootedNetwork, configuration: Configuration) -> bool:
+        return all(configuration.get(node, "c") == 1 for node in network.nodes())
+
+
+def test_confirm_window_reports_termination_of_the_inner_run(small_ring):
+    # Legitimacy holds transiently at c == 1, is violated at c == 0, and the
+    # system then terminates illegitimate: the confirmation machinery must
+    # report terminated=True (the "provably stuck" signal scenarios rely on),
+    # not a mere budget exhaustion.
+    protocol = TransientLegitimacyProtocol(start=2)
+    scheduler = Scheduler(
+        small_ring,
+        protocol,
+        daemon=SynchronousDaemon(),
+        configuration=protocol.initial_configuration(small_ring),
+    )
+    result = scheduler.run_until_legitimate(max_steps=1_000, confirm_steps=5)
+    assert not result.converged
+    assert result.terminated
+
+
+def test_set_daemon_switches_adversary_mid_run(small_ring):
+    protocol = CountdownProtocol(start=4)
+    scheduler = Scheduler(
+        small_ring,
+        protocol,
+        daemon=CentralDaemon(policy="round_robin"),
+        configuration=protocol.initial_configuration(small_ring),
+        seed=0,
+    )
+    scheduler.step()
+    scheduler.set_daemon(SynchronousDaemon())
+    record = scheduler.step()
+    assert scheduler.daemon.name == "synchronous"
+    assert len(record.executed) == small_ring.n  # everyone fires at once now
+
+
+def test_frozen_nodes_are_excluded_until_unfrozen(small_ring):
+    protocol = CountdownProtocol(start=2)
+    scheduler = Scheduler(
+        small_ring,
+        protocol,
+        daemon=SynchronousDaemon(),
+        configuration=protocol.initial_configuration(small_ring),
+    )
+    scheduler.freeze((0, 1))
+    assert scheduler.frozen_nodes == frozenset({0, 1})
+    assert not scheduler.is_enabled(0)  # consistent with enabled_actions()
+    assert 0 not in scheduler.enabled_nodes()
+    record = scheduler.step()
+    executed = {node for node, _ in record.executed}
+    assert executed.isdisjoint({0, 1})
+    scheduler.unfreeze((0,))
+    record = scheduler.step()
+    assert 0 in {node for node, _ in record.executed}
+    with pytest.raises(SchedulingError):
+        scheduler.freeze((99,))
+
+
+def test_set_network_rebuilds_actions_and_reinitializes(small_ring):
+    protocol = CountdownProtocol(start=3)
+    scheduler = Scheduler(
+        small_ring,
+        protocol,
+        daemon=SynchronousDaemon(),
+        configuration=protocol.initial_configuration(small_ring),
+        seed=5,
+    )
+    edges = set(small_ring.edges()) | {(0, 3)}
+    chord = RootedNetwork(small_ring.n, edges, root=small_ring.root, name="ring+chord")
+    scheduler.set_network(chord, reinitialize=(0, 3))
+    assert scheduler.network is chord
+    # Reinitialized nodes carry domain-valid states for the new network.
+    for node in (0, 3):
+        assert 0 <= scheduler.configuration.get(node, "c") <= 3
+    assert scheduler.run(max_steps=100).terminated
+
+
+def test_set_network_rejects_resizing_or_rerooting(small_ring):
+    protocol = CountdownProtocol()
+    scheduler = Scheduler(small_ring, protocol, seed=0)
+    bigger = generators.ring(small_ring.n + 2)
+    with pytest.raises(SchedulingError):
+        scheduler.set_network(bigger)
+    rerooted = small_ring.with_root(1)
+    with pytest.raises(SchedulingError):
+        scheduler.set_network(rerooted)

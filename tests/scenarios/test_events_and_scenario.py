@@ -1,0 +1,196 @@
+"""Event vocabulary: each event perturbs a running scheduler as declared."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.dftno import build_dftno
+from repro.graphs import generators
+from repro.runtime.daemon import AdversarialDaemon, make_daemon
+from repro.runtime.scheduler import Scheduler
+from repro.scenarios.events import (
+    CorruptionBurst,
+    CrashRejoin,
+    DaemonSwitch,
+    LinkChange,
+)
+from repro.scenarios.scenario import Scenario, TimedEvent
+
+
+@pytest.fixture
+def stabilized_scheduler():
+    network = generators.random_connected(8, extra_edge_probability=0.3, seed=11)
+    protocol = build_dftno()
+    scheduler = Scheduler(network, protocol, daemon=make_daemon("central"), seed=3)
+    result = scheduler.run_until_legitimate(max_steps=50_000)
+    assert result.converged
+    return scheduler
+
+
+def test_corruption_burst_disturbs_and_reports_nodes(stabilized_scheduler):
+    rng = random.Random(5)
+    before = stabilized_scheduler.configuration.copy()
+    outcome = CorruptionBurst(node_fraction=0.5, variable_fraction=1.0).apply(
+        stabilized_scheduler, rng
+    )
+    assert outcome.kind == "corruption"
+    assert outcome.applied
+    diff = before.diff(stabilized_scheduler.configuration)
+    assert tuple(sorted(diff)) == outcome.affected_nodes
+    assert 1 <= len(outcome.affected_nodes) <= stabilized_scheduler.network.n
+
+
+def test_corruption_burst_zero_fractions_touch_nothing(stabilized_scheduler):
+    rng = random.Random(5)
+    before = stabilized_scheduler.configuration.copy()
+    outcome = CorruptionBurst(node_fraction=0.0, variable_fraction=0.0).apply(
+        stabilized_scheduler, rng
+    )
+    assert outcome.affected_nodes == ()
+    assert before == stabilized_scheduler.configuration
+
+
+def test_crash_rejoin_freezes_then_releases(stabilized_scheduler):
+    rng = random.Random(7)
+    outcome = CrashRejoin(target="root", downtime_steps=5).apply(
+        stabilized_scheduler, rng
+    )
+    assert outcome.kind == "crash"
+    assert outcome.affected_nodes == (stabilized_scheduler.network.root,)
+    assert outcome.steps_consumed <= 5
+    assert stabilized_scheduler.frozen_nodes == frozenset()
+
+
+def test_crash_rejoin_leaf_picks_degree_one_when_available():
+    network = generators.star(6)  # hub 0 (root), leaves 1..5
+    event = CrashRejoin(target="leaf")
+    victim = event._pick_victim(network, random.Random(1))
+    assert network.degree(victim) == 1
+    assert victim != network.root
+
+
+def test_crash_rejoin_validates_arguments():
+    with pytest.raises(ValueError):
+        CrashRejoin(target="hub")
+    with pytest.raises(ValueError):
+        CrashRejoin(downtime_steps=-1)
+
+
+def test_frozen_node_is_never_selected(stabilized_scheduler):
+    scheduler = stabilized_scheduler
+    victim = scheduler.network.root
+    scheduler.freeze((victim,))
+    for _ in range(20):
+        record = scheduler.step()
+        if record is None:
+            break
+        assert victim not in [node for node, _ in record.executed]
+    scheduler.unfreeze((victim,))
+    assert scheduler.frozen_nodes == frozenset()
+
+
+def test_link_change_add_and_remove_keep_connectivity(stabilized_scheduler):
+    scheduler = stabilized_scheduler
+    rng = random.Random(9)
+    edges_before = scheduler.network.num_edges()
+
+    added = LinkChange(mode="add").apply(scheduler, rng)
+    assert added.applied
+    assert scheduler.network.num_edges() == edges_before + 1
+
+    removed = LinkChange(mode="remove").apply(scheduler, rng)
+    assert removed.applied
+    assert scheduler.network.num_edges() == edges_before
+    # The constructor of RootedNetwork validates connectivity; reaching here
+    # means both changed networks were connected.
+    assert len(removed.affected_nodes) == 2
+
+
+def test_link_change_endpoints_get_domain_valid_states(stabilized_scheduler):
+    scheduler = stabilized_scheduler
+    rng = random.Random(13)
+    outcome = LinkChange(mode="add").apply(scheduler, rng)
+    protocol = scheduler.protocol
+    for node in outcome.affected_nodes:
+        declared = set(protocol.variable_names(scheduler.network, node))
+        assert set(scheduler.configuration.variables_of(node)) == declared
+
+
+def test_link_change_preserves_unaffected_port_orders():
+    # Port orders are protocol semantics; a link change must only touch the
+    # two endpoints' port lists, keeping every custom order verbatim.
+    base = generators.ring(6)
+    custom = base.with_port_orders({node: tuple(reversed(base.neighbors(node))) for node in base.nodes()})
+    protocol = build_dftno()
+    scheduler = Scheduler(custom, protocol, seed=1)
+    outcome = LinkChange(mode="add").apply(scheduler, random.Random(4))
+    assert outcome.applied
+    u, v = outcome.affected_nodes
+    changed = scheduler.network
+    for node in changed.nodes():
+        if node in (u, v):
+            other = v if node == u else u
+            assert changed.neighbors(node) == custom.neighbors(node) + (other,)
+        else:
+            assert changed.neighbors(node) == custom.neighbors(node)
+
+
+def test_link_change_remove_on_tree_reports_not_applied():
+    network = generators.kary_tree(7, 2)
+    protocol = build_dftno()
+    scheduler = Scheduler(network, protocol, seed=1)
+    outcome = LinkChange(mode="remove").apply(scheduler, random.Random(2))
+    assert not outcome.applied
+    assert scheduler.network is network
+
+
+def test_link_change_add_on_clique_reports_not_applied():
+    network = generators.complete(5)
+    protocol = build_dftno()
+    scheduler = Scheduler(network, protocol, seed=1)
+    outcome = LinkChange(mode="add").apply(scheduler, random.Random(2))
+    assert not outcome.applied
+
+
+def test_link_change_validates_mode():
+    with pytest.raises(ValueError):
+        LinkChange(mode="rewire")
+
+
+def test_daemon_switch_swaps_the_adversary(stabilized_scheduler):
+    outcome = DaemonSwitch(daemon="adversarial").apply(
+        stabilized_scheduler, random.Random(3)
+    )
+    assert outcome.kind == "daemon_switch"
+    assert isinstance(stabilized_scheduler.daemon, AdversarialDaemon)
+
+
+def test_daemon_switch_none_restores_the_configured_daemon(stabilized_scheduler):
+    original = stabilized_scheduler.daemon
+    rng = random.Random(3)
+    DaemonSwitch(daemon="adversarial").apply(stabilized_scheduler, rng)
+    assert stabilized_scheduler.daemon is not original
+    outcome = DaemonSwitch(daemon=None).apply(stabilized_scheduler, rng)
+    assert stabilized_scheduler.daemon is original
+    assert original.name in outcome.description
+
+
+def test_scenario_validates_and_wraps_bare_events():
+    scenario = Scenario(name="s", events=(CorruptionBurst(),))
+    assert isinstance(scenario.events[0], TimedEvent)
+    assert len(scenario) == 1
+    with pytest.raises(ValueError):
+        Scenario(name="", events=(CorruptionBurst(),))
+    with pytest.raises(ValueError):
+        Scenario(name="empty", events=())
+    with pytest.raises(ValueError):
+        TimedEvent(CorruptionBurst(), delay_steps=-1)
+
+
+def test_scenario_of_applies_uniform_spacing():
+    scenario = Scenario.of(
+        "spaced", CorruptionBurst(), DaemonSwitch(), spacing_steps=7
+    )
+    assert [timed.delay_steps for timed in scenario.events] == [7, 7]

@@ -213,6 +213,57 @@ def test_legitimacy_rejects_level_overflow(small_ring):
     assert not protocol.legitimate(small_ring, config)
 
 
+def _child_parent_cycle_configuration(protocol, network):
+    """The corrupted state that used to deadlock the wave: the root delegates
+    to processor 1, whose own child pointer aims back at the root."""
+    config = protocol.initial_configuration(network)
+    config.set(network.root, tc.VAR_STATE, ACTIVE)
+    config.set(network.root, tc.VAR_CHILD, 1)
+    config.set(1, tc.VAR_STATE, ACTIVE)
+    config.set(1, tc.VAR_PARENT, network.root)
+    config.set(1, tc.VAR_LEVEL, 1)
+    config.set(1, tc.VAR_CHILD, network.root)
+    return config
+
+
+def test_legitimacy_rejects_child_pointer_cycle(small_ring):
+    protocol = DepthFirstTokenCirculation()
+    config = _child_parent_cycle_configuration(protocol, small_ring)
+    assert not protocol.legitimate(small_ring, config)
+
+
+def test_recovers_from_child_pointer_cycle(small_ring):
+    # Regression (found by the scenario engine): a delegation aiming back
+    # into the active stack deadlocked the wave -- both endpoints waited for
+    # each other forever and no guard was enabled.
+    protocol = DepthFirstTokenCirculation()
+    config = _child_parent_cycle_configuration(protocol, small_ring)
+    scheduler = Scheduler(
+        small_ring, protocol, daemon=CentralDaemon(policy="round_robin"), configuration=config, seed=1
+    )
+    assert scheduler.enabled_nodes() != ()  # the cycle must be locally detectable
+    result = scheduler.run_until_legitimate(max_steps=10_000)
+    assert result.converged
+
+
+def test_root_clears_bogus_delegation_without_ending_the_wave(small_ring):
+    # Root active, delegating to a processor that is active under a different
+    # parent: the root's delegation-error action forgets the child pointer.
+    protocol = DepthFirstTokenCirculation()
+    config = protocol.initial_configuration(small_ring)
+    config.set(0, tc.VAR_STATE, ACTIVE)
+    config.set(0, tc.VAR_CHILD, 1)
+    config.set(1, tc.VAR_STATE, ACTIVE)
+    config.set(1, tc.VAR_PARENT, 2)
+    config.set(1, tc.VAR_LEVEL, 1)
+    view = ProcessorView(0, small_ring, config)
+    actions = {action.name: action for action in protocol.actions(small_ring, 0)}
+    assert actions[DepthFirstTokenCirculation.ACTION_ROOT_ERROR].enabled(view)
+    actions[DepthFirstTokenCirculation.ACTION_ROOT_ERROR].execute(view)
+    assert view.pending_writes[tc.VAR_CHILD] is None
+    assert tc.VAR_STATE not in view.pending_writes  # the wave survives
+
+
 def test_error_action_resets_orphan_active_processor(small_ring):
     protocol = DepthFirstTokenCirculation()
     config = protocol.initial_configuration(small_ring)
