@@ -1,0 +1,34 @@
+"""EXP-M1 -- message savings per workload through the unified API.
+
+Runs every ``msgpass`` workload (broadcast, DFS traversal, ring leader
+election) as declarative :class:`repro.api.RunSpec` tasks via the campaign
+engine's workload axis, and checks the shape EXP-A1 motivates: the
+orientation saves messages on every workload, and traversal with the sense
+of direction costs exactly ``2(n-1)`` messages.
+"""
+
+from __future__ import annotations
+
+from bench_utils import report
+
+from repro.analysis.experiments import exp_m1_msgpass_workloads
+
+
+def test_every_workload_saves_messages(benchmark):
+    result = benchmark.pedantic(
+        lambda: exp_m1_msgpass_workloads(sizes=(8, 16, 24), trials=2, seed=13),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "EXP-M1: orientation savings per msgpass workload (unified API)",
+        result["rows"],
+        benchmark,
+        all_converged=result["all_converged"],
+        all_workloads_save=result["all_workloads_save"],
+    )
+    assert result["all_converged"]
+    assert result["all_workloads_save"]
+    for sample in result["samples"]:
+        if sample["workload"] == "traversal":
+            assert sample["messages_oriented"] == 2 * (sample["n"] - 1)

@@ -25,8 +25,7 @@ from __future__ import annotations
 
 from repro import generators, orient_with_dftno
 from repro.analysis.reporting import format_table
-from repro.core.baseline import centralized_orientation
-from repro.sod.election import ring_election_oriented, ring_election_unoriented
+from repro.api import NetworkSpec, RunSpec, run
 from repro.sod.traversal import (
     broadcast_with_sod,
     broadcast_without_sod,
@@ -60,18 +59,23 @@ def main() -> None:
     print(format_table(rows, title="Traversal and broadcast messages (arbitrary networks)"))
     print()
 
+    # The election comparison through the unified API: one declarative spec
+    # per ring size, executed by the engine-agnostic repro.api.run().
     election_rows = []
     for n in (8, 16, 32, 64):
-        ring = generators.ring(n)
-        orientation = centralized_orientation(ring)
-        unoriented = ring_election_unoriented(ring)
-        oriented = ring_election_oriented(ring, orientation)
+        result = run(
+            RunSpec(
+                engine="msgpass",
+                workload="election",
+                network=NetworkSpec(family="ring", size=n),
+            )
+        )
         election_rows.append(
             {
                 "ring size": n,
-                "election w/o orientation": unoriented.messages,
-                "election w/ orientation": oriented.messages,
-                "ratio": unoriented.messages / oriented.messages,
+                "election w/o orientation": result.row["messages_unoriented"],
+                "election w/ orientation": result.row["messages_oriented"],
+                "ratio": result.row["message_savings"],
             }
         )
     print(format_table(election_rows, title="Ring leader election messages"))

@@ -52,4 +52,23 @@ esac
 
 python -m repro.campaign report --out "$scen/scenario.jsonl" --key scenario \
     --metric recovery_steps_mean
+
+# Per-event recovery aggregation over the stored scenario rows.
+python -m repro.campaign report --out "$scen/scenario.jsonl" --per-event
+
+# --- sqlite backend + msgpass workload axis through the unified API --------
+python -m repro.campaign run --task-type msgpass --workload traversal \
+    --workload broadcast --family complete --sizes 8 --trials 1 --seed 3 \
+    --out "$scen/msgpass.sqlite"
+
+sqlite_status="$(python -m repro.campaign status --out "$scen/msgpass.sqlite" \
+    --task-type msgpass --workload traversal --workload broadcast \
+    --family complete --sizes 8 --trials 1 --seed 3)"
+echo "$sqlite_status"
+case "$sqlite_status" in
+    *"2 tasks, 2 completed, 0 pending"*) ;;
+    *) echo "smoke FAILED: sqlite msgpass status mismatch" >&2; exit 1 ;;
+esac
+
+python -m repro.campaign report --out "$scen/msgpass.sqlite" --key workload
 echo "smoke OK"

@@ -10,10 +10,10 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-dattagpv00",
-    version="0.2.0",
+    version="0.3.0",
     description=(
         "Reproduction of self-stabilizing network orientation protocols "
-        "(DFTNO/STNO) with an experiment-campaign engine"
+        "(DFTNO/STNO) with a unified experiment API and campaign engine"
     ),
     package_dir={"": "src"},
     packages=find_packages(where="src"),

@@ -15,7 +15,12 @@ UNLV/ICDCS 2000) together with every substrate they depend on:
   and a synchronous message-passing simulator to quantify their benefit --
   :mod:`repro.sod` and :mod:`repro.msgpass`;
 * the experiment harness regenerating every quantitative claim of the thesis
-  -- :mod:`repro.analysis`.
+  -- :mod:`repro.analysis`;
+* the unified experiment API: one declarative, serializable
+  :class:`~repro.api.RunSpec` executed by :func:`repro.api.run` on any of the
+  engines (scheduler / scenario / msgpass), with pluggable observers --
+  :mod:`repro.api`; experiment campaigns (grids, stores, resume, sharding)
+  layer on top in :mod:`repro.campaign`.
 
 Quickstart
 ----------
@@ -72,7 +77,7 @@ from repro.core import (
     extract_orientation,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     # errors

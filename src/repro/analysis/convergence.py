@@ -28,6 +28,7 @@ from repro.graphs import generators
 from repro.graphs.properties import radius_from_root
 from repro.runtime.configuration import Configuration
 from repro.runtime.daemon import Daemon, DistributedDaemon
+from repro.runtime.observers import Observer
 from repro.runtime.protocol import Protocol
 from repro.runtime.scheduler import Scheduler
 from repro.substrates.spanning_tree import BFSSpanningTree, SpanningTreeProtocol
@@ -87,6 +88,7 @@ def measure_layered_stabilization(
     parameter: int | None = None,
     label: str | None = None,
     configuration: Configuration | None = None,
+    observers: Sequence[Observer] = (),
 ) -> StabilizationSample:
     """Run ``protocol`` from an arbitrary configuration and time both predicates.
 
@@ -95,14 +97,18 @@ def measure_layered_stabilization(
     which the predicate held continuously until the end of the run.  The run
     ends as soon as the full predicate has held for a full-wave closure window
     of consecutive steps or the step budget is exhausted.  ``configuration``
-    overrides the (default: arbitrary) starting configuration.
+    overrides the (default: arbitrary) starting configuration.  ``observers``
+    receive every step/round notification plus ``on_converged`` with the
+    finished sample.
     """
     rng = random.Random(seed)
     daemon = daemon or DistributedDaemon()
     if max_steps is None:
         max_steps = 500 * (network.n + network.num_edges()) + 3_000
 
-    scheduler = Scheduler(network, protocol, daemon=daemon, rng=rng, configuration=configuration)
+    scheduler = Scheduler(
+        network, protocol, daemon=daemon, rng=rng, configuration=configuration, observers=observers
+    )
 
     substrate_step: int | None = None
     substrate_round: int | None = None
@@ -141,7 +147,7 @@ def measure_layered_stabilization(
         observe()
 
     converged = full_step is not None
-    return StabilizationSample(
+    sample = StabilizationSample(
         protocol=label or protocol.name,
         network=network.name,
         n=network.n,
@@ -157,6 +163,9 @@ def measure_layered_stabilization(
         full_steps=full_step,
         full_rounds=full_round,
     )
+    if converged:
+        scheduler.notify_converged(sample)
+    return sample
 
 
 def presettled_substrate_configuration(
@@ -200,6 +209,7 @@ def measure_dftno(
     max_steps: int | None = None,
     parameter: int | None = None,
     after_substrate: bool = False,
+    observers: Sequence[Observer] = (),
 ) -> StabilizationSample:
     """Measure DFTNO on ``network``: token-layer and full-orientation stabilization.
 
@@ -234,6 +244,7 @@ def measure_dftno(
         parameter=parameter,
         label="dftno",
         configuration=configuration,
+        observers=observers,
     )
 
 
@@ -245,6 +256,7 @@ def measure_stno(
     max_steps: int | None = None,
     parameter: int | None = None,
     after_substrate: bool = False,
+    observers: Sequence[Observer] = (),
 ) -> StabilizationSample:
     """Measure STNO on ``network``: tree-layer and full-orientation stabilization.
 
@@ -284,6 +296,7 @@ def measure_stno(
         parameter=parameter,
         label=protocol.name,
         configuration=configuration,
+        observers=observers,
     )
 
 

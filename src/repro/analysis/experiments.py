@@ -6,11 +6,14 @@ dictionary with fitted slopes or aggregate ratios).  The benchmark modules
 call these with small parameters and print the tables; EXPERIMENTS.md records
 a full run.
 
-The sweep-shaped experiments (EXP-T1, EXP-T2, EXP-R1, EXP-R2) build a
-declarative :class:`repro.campaign.Grid` and delegate execution to the
-campaign engine, so they share its hash-derived seeding and can be
-regenerated -- or scaled up, parallelized and resumed -- through
-``python -m repro.campaign`` with the same parameters.
+The sweep-shaped experiments (EXP-T1, EXP-T2, EXP-R1, EXP-R2, EXP-S1,
+EXP-M1) are pure *spec constructors*: they build a declarative
+:class:`repro.campaign.Grid` -- whose tasks are
+:class:`~repro.api.RunSpec` objects executed through the engine-agnostic
+:func:`repro.api.run` entry point -- and delegate execution to the campaign
+engine, so they share its hash-derived seeding and can be regenerated -- or
+scaled up, parallelized and resumed -- through ``python -m repro.campaign``
+with the same parameters.
 """
 
 from __future__ import annotations
@@ -469,6 +472,71 @@ def exp_s1_scenario_recovery(
 
 
 # ----------------------------------------------------------------------
+# EXP-M1: message savings across workloads through the unified API
+# ----------------------------------------------------------------------
+def exp_m1_msgpass_workloads(
+    sizes: Sequence[int] = (8, 16, 24),
+    trials: int = 2,
+    seed: int = 13,
+) -> dict[str, object]:
+    """Orientation savings for every message-passing workload (EXP-A1, swept).
+
+    Broadcast and DFS traversal run on random connected networks; ring leader
+    election runs on rings (the only topology it is defined on).  All three
+    go through the campaign engine's ``msgpass`` task type -- i.e. each task
+    is a :class:`~repro.api.RunSpec` executed by :func:`repro.api.run` -- so
+    the sweep is resumable and shardable like every other campaign.
+    """
+    Grid, run_grid, _, _ = _campaign()
+    general = Grid(
+        sizes=tuple(sizes),
+        families=("random_connected",),
+        trials=trials,
+        seed=seed,
+        task_type="msgpass",
+        workloads=("broadcast", "traversal"),
+    )
+    rings = Grid(
+        sizes=tuple(sizes),
+        families=("ring",),
+        trials=trials,
+        seed=seed,
+        task_type="msgpass",
+        workloads=("election",),
+    )
+    samples = run_grid(general).rows + run_grid(rings).rows
+    rows = []
+    for workload in ("broadcast", "traversal", "election"):
+        bucket = [row for row in samples if row["workload"] == workload]
+        savings = [
+            row["message_savings"] for row in bucket if row["message_savings"] is not None
+        ]
+        rows.append(
+            {
+                "workload": workload,
+                "trials": len(bucket),
+                "converged": sum(1 for row in bucket if row["converged"]),
+                "messages_unoriented_mean": summarize(
+                    [row["messages_unoriented"] for row in bucket]
+                )["mean"],
+                "messages_oriented_mean": summarize(
+                    [row["messages_oriented"] for row in bucket]
+                )["mean"],
+                "message_savings_mean": summarize(savings)["mean"] if savings else None,
+            }
+        )
+    return {
+        "rows": rows,
+        "samples": [dict(row) for row in samples],
+        "all_converged": all(row["converged"] == row["trials"] for row in rows),
+        "all_workloads_save": all(
+            row["message_savings_mean"] is not None and row["message_savings_mean"] > 1.0
+            for row in rows
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
 # EXP-R2: daemon ablation (Chapter 5 daemon assumptions)
 # ----------------------------------------------------------------------
 def exp_r2_daemon_ablation(
@@ -525,6 +593,7 @@ __all__ = [
     "exp_f3_chordal_properties",
     "exp_a1_message_complexity",
     "exp_a2_dfs_equivalence",
+    "exp_m1_msgpass_workloads",
     "exp_r1_self_stabilization",
     "exp_r2_daemon_ablation",
     "exp_s1_scenario_recovery",

@@ -19,7 +19,7 @@ condensed into one flat result row:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from repro.analysis.reporting import summarize
 from repro.runtime.configuration import Configuration
@@ -123,6 +123,34 @@ class EventRecovery:
             "closure_violations": self.closure_violations,
         }
 
+    @classmethod
+    def from_row(cls, row: Mapping[str, object]) -> "EventRecovery":
+        """Rebuild an event record from its :meth:`as_row` dictionary.
+
+        This is what lets stored campaign rows feed
+        :func:`aggregate_event_recoveries` long after the execution: the
+        scenario task type persists ``event_records`` per run, and the
+        ``--per-event`` report round-trips them back into event objects.
+        """
+        return cls(
+            index=int(row["event"]),  # type: ignore[arg-type]
+            kind=str(row["kind"]),
+            description=str(row.get("description", "")),
+            applied=bool(row["applied"]),
+            disturbed=int(row["disturbed"]),  # type: ignore[arg-type]
+            disturbed_fraction=float(row["disturbed_fraction"]),  # type: ignore[arg-type]
+            broke_legitimacy=bool(row["broke_legitimacy"]),
+            recovered=bool(row["recovered"]),
+            recovery_steps=(
+                None if row.get("recovery_steps") is None else int(row["recovery_steps"])  # type: ignore[arg-type]
+            ),
+            recovery_rounds=(
+                None if row.get("recovery_rounds") is None else int(row["recovery_rounds"])  # type: ignore[arg-type]
+            ),
+            closure_violations=int(row.get("closure_violations", 0)),  # type: ignore[arg-type]
+            deadlocked=bool(row.get("deadlocked", False)),
+        )
+
 
 @dataclass(frozen=True)
 class ScenarioReport:
@@ -171,7 +199,10 @@ class ScenarioReport:
         ``recovery_steps`` / ``recovery_rounds`` are means over the recovered
         events (plus an explicit ``recovery_steps_max``), ``disturbed_fraction``
         the mean disturbance of the applied events, and ``closure_violations``
-        the total across all inter-event windows.
+        the total across all inter-event windows.  ``event_records`` persists
+        every per-event record verbatim, so stored rows can be re-aggregated
+        event by event (:meth:`from_row`, ``repro-campaign report
+        --per-event``) without re-running the scenario.
         """
         recovered = [event for event in self.applied_events if event.recovered]
         steps = [e.recovery_steps for e in recovered if e.recovery_steps is not None]
@@ -203,20 +234,61 @@ class ScenarioReport:
             "closure_violations": sum(e.closure_violations for e in self.events),
             "total_steps": self.total_steps,
             "total_rounds": self.total_rounds,
+            "event_records": self.event_rows(),
         }
 
     def event_rows(self) -> list[dict[str, object]]:
         """Per-event table (what the walkthrough example and benchmark print)."""
         return [event.as_row() for event in self.events]
 
+    @classmethod
+    def from_row(cls, row: Mapping[str, object]) -> "ScenarioReport":
+        """Rebuild a report (events included) from a stored campaign row.
+
+        Only rows that carry ``event_records`` round-trip; older stores (or
+        aggregates stripped of the records) raise a ``ValueError`` so callers
+        can skip them explicitly instead of silently aggregating nothing.
+        """
+        records = row.get("event_records")
+        if not isinstance(records, list):
+            raise ValueError("row carries no per-event records (pre-API store?)")
+        events = tuple(EventRecovery.from_row(record) for record in records)
+        return cls(
+            scenario=str(row["scenario"]),
+            protocol=str(row["protocol"]),
+            network=str(row["network"]),
+            n=int(row["n"]),  # type: ignore[arg-type]
+            edges=int(row["edges"]),  # type: ignore[arg-type]
+            daemon=str(row["daemon"]),
+            seed=int(row.get("seed", -1)),  # type: ignore[arg-type]
+            # converged == initial_converged and every applied event
+            # recovered; the factorization below reproduces initial_converged
+            # exactly for rows whose events all recovered, and errs on the
+            # side of the stored flag otherwise.
+            initial_converged=bool(row.get("converged"))
+            or bool(row.get("initial_steps") is not None),
+            initial_steps=(
+                None if row.get("initial_steps") is None else int(row["initial_steps"])  # type: ignore[arg-type]
+            ),
+            initial_rounds=(
+                None if row.get("initial_rounds") is None else int(row["initial_rounds"])  # type: ignore[arg-type]
+            ),
+            events=events,
+            total_steps=int(row.get("total_steps", 0)),  # type: ignore[arg-type]
+            total_rounds=int(row.get("total_rounds", 0)),  # type: ignore[arg-type]
+        )
+
 
 def aggregate_event_recoveries(
-    reports: Sequence[ScenarioReport],
+    reports: Sequence["ScenarioReport"] | Iterable[object],
 ) -> list[dict[str, object]]:
     """Per-event-kind aggregation across many scenario executions.
 
     Groups every applied event of every report by its ``kind`` and averages
     the recovery metrics -- the "per-event recovery-time aggregates" view.
+    Accepts anything exposing ``applied_events`` (reports rebuilt from stored
+    rows via :meth:`ScenarioReport.from_row`, live reports, or a
+    :class:`~repro.api.RecoveryObserver`).
     """
     groups: dict[str, list[EventRecovery]] = {}
     for report in reports:

@@ -1,0 +1,242 @@
+"""The engines behind :func:`repro.api.run` and the registry that names them.
+
+An :class:`Engine` turns one :class:`~repro.api.spec.RunSpec` into one
+:class:`~repro.api.spec.RunResult`, threading the caller's observers into the
+underlying execution machinery:
+
+* :class:`SchedulerEngine` (``"scheduler"``) -- the daemon-step
+  :class:`~repro.runtime.scheduler.Scheduler`, measured through the layered
+  stabilization harness (:mod:`repro.analysis.convergence`), producing
+  exactly the rows the ``stabilize`` campaign task type stores;
+* :class:`ScenarioEngine` (``"scenario"``) -- the
+  :class:`~repro.scenarios.runner.ScenarioRunner`, producing scenario
+  recovery rows;
+* :class:`MsgpassEngine` (``"msgpass"``) -- the synchronous message-passing
+  simulator running a workload (broadcast, traversal or ring election) with
+  and without the orientation, producing the message-savings rows.
+
+New engines (an async scheduler, a sharded backend) register with
+:func:`register_engine` and become reachable through the same
+``run(RunSpec(engine="..."))`` entry point without touching any caller.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Sequence
+
+from repro.api.spec import RunResult, RunSpec
+from repro.runtime.observers import Observer
+
+
+class Engine(ABC):
+    """Executes :class:`~repro.api.spec.RunSpec` objects of one kind."""
+
+    #: The :attr:`RunSpec.engine` value this engine serves.
+    name: str = "engine"
+
+    @abstractmethod
+    def execute(self, spec: RunSpec, observers: Sequence[Observer] = ()) -> RunResult:
+        """Run ``spec`` to completion and return the uniform result envelope."""
+
+
+_ENGINES: Dict[str, Engine] = {}
+
+
+def register_engine(engine: Engine) -> Engine:
+    """Make ``engine`` reachable through ``RunSpec(engine=engine.name)``."""
+    if not engine.name:
+        raise ValueError("an engine needs a non-empty name")
+    if engine.name in _ENGINES and _ENGINES[engine.name] is not engine:
+        raise ValueError(f"engine {engine.name!r} is already registered")
+    _ENGINES[engine.name] = engine
+    return engine
+
+
+def engine_names() -> tuple[str, ...]:
+    """All registered engine names, sorted."""
+    return tuple(sorted(_ENGINES))
+
+
+def get_engine(name: str) -> Engine:
+    """The engine registered under ``name``."""
+    if name not in _ENGINES:
+        raise ValueError(
+            f"unknown engine {name!r}; choose from {', '.join(engine_names())}"
+        )
+    return _ENGINES[name]
+
+
+def run(spec: RunSpec, observers: Sequence[Observer] = ()) -> RunResult:
+    """Execute ``spec`` on the engine it names -- the single entry point.
+
+    ``observers`` receive the engine's step/round/event/convergence
+    notifications; pass a
+    :class:`~repro.runtime.observers.ProgressObserver` for progress lines, a
+    :class:`~repro.runtime.observers.TraceObserver` to keep a trace, or any
+    custom :class:`~repro.runtime.observers.Observer`.
+    """
+    return get_engine(spec.engine).execute(spec, observers=observers)
+
+
+# ----------------------------------------------------------------------
+# The daemon-step stabilization engine
+# ----------------------------------------------------------------------
+class SchedulerEngine(Engine):
+    """Layered stabilization measurement on the daemon-step scheduler.
+
+    The row is a :class:`~repro.analysis.convergence.StabilizationSample`
+    flattened by ``as_row`` -- byte-identical to what the pre-API
+    ``stabilize`` campaign task type produced, which is what keeps existing
+    campaign stores resumable through the new entry point.
+    """
+
+    name = "scheduler"
+
+    def execute(self, spec: RunSpec, observers: Sequence[Observer] = ()) -> RunResult:
+        from repro.analysis.convergence import measure_dftno, measure_stno
+        from repro.runtime.daemon import make_daemon
+
+        network = spec.network.build()
+        daemon = make_daemon(spec.daemon)
+        if spec.protocol == "dftno":
+            sample = measure_dftno(
+                network,
+                daemon=daemon,
+                seed=spec.seed,
+                max_steps=spec.stop.max_steps,
+                parameter=spec.parameter,
+                after_substrate=spec.stop.after_substrate,
+                observers=observers,
+            )
+        else:
+            sample = measure_stno(
+                network,
+                tree=spec.protocol.split("-", 1)[1],
+                daemon=daemon,
+                seed=spec.seed,
+                max_steps=spec.stop.max_steps,
+                parameter=spec.parameter,
+                after_substrate=spec.stop.after_substrate,
+                observers=observers,
+            )
+        return RunResult(engine=self.name, spec=spec, row=sample.as_row(), report=sample)
+
+
+# ----------------------------------------------------------------------
+# The fault-injection scenario engine
+# ----------------------------------------------------------------------
+class ScenarioEngine(Engine):
+    """Scenario execution with per-event recovery measurement."""
+
+    name = "scenario"
+
+    def execute(self, spec: RunSpec, observers: Sequence[Observer] = ()) -> RunResult:
+        from repro.runtime.daemon import make_daemon
+        from repro.scenarios.library import build_scenario
+        from repro.scenarios.runner import ScenarioRunner
+
+        runner = ScenarioRunner(
+            spec.network.build(),
+            build_protocol(spec.protocol),
+            build_scenario(spec.scenario),
+            daemon=make_daemon(spec.daemon),
+            seed=spec.seed,
+            phase_budget=spec.stop.max_steps,
+            observers=observers,
+        )
+        report = runner.run()
+        return RunResult(engine=self.name, spec=spec, row=report.as_row(), report=report)
+
+
+# ----------------------------------------------------------------------
+# The synchronous message-passing engine
+# ----------------------------------------------------------------------
+class MsgpassEngine(Engine):
+    """Oriented-vs-unoriented message complexity of one workload.
+
+    The orientation is the centralized reference (the protocols' fixed
+    point), so the row isolates what the *orientation* is worth to the
+    workload, independent of how it was computed.
+    """
+
+    name = "msgpass"
+
+    def execute(self, spec: RunSpec, observers: Sequence[Observer] = ()) -> RunResult:
+        from repro.core.baseline import centralized_orientation
+        from repro.sod.election import ring_election_oriented, ring_election_unoriented
+        from repro.sod.traversal import (
+            broadcast_with_sod,
+            broadcast_without_sod,
+            dfs_traversal_with_sod,
+            dfs_traversal_without_sod,
+        )
+
+        network = spec.network.build()
+        orientation = centralized_orientation(network)
+        if spec.workload == "broadcast":
+            plain = broadcast_without_sod(network, observers=observers)
+            oriented = broadcast_with_sod(network, orientation, observers=observers)
+            converged = plain.complete and oriented.complete
+        elif spec.workload == "traversal":
+            plain = dfs_traversal_without_sod(network, observers=observers)
+            oriented = dfs_traversal_with_sod(network, orientation, observers=observers)
+            converged = plain.complete and oriented.complete
+        else:  # election (spec validation guarantees a ring)
+            plain = ring_election_unoriented(network, observers=observers)
+            oriented = ring_election_oriented(network, orientation, observers=observers)
+            converged = plain.leader_identifier is not None
+
+        row: dict[str, object] = {
+            "workload": spec.workload,
+            "network": network.name,
+            "n": network.n,
+            "edges": network.num_edges(),
+            "parameter": spec.parameter if spec.parameter is not None else spec.network.size,
+            "converged": converged,
+            "messages_unoriented": plain.messages,
+            "messages_oriented": oriented.messages,
+            "message_savings": (
+                plain.messages / oriented.messages if oriented.messages else None
+            ),
+            "rounds_unoriented": plain.rounds,
+            "rounds_oriented": oriented.rounds,
+        }
+        return RunResult(
+            engine=self.name,
+            spec=spec,
+            row=row,
+            report={"unoriented": plain, "oriented": oriented},
+        )
+
+
+def build_protocol(name: str):
+    """The protocol stack behind a normalized protocol name.
+
+    The single place the ``"dftno"`` / ``"stno-<tree>"`` naming is decoded;
+    the campaign layer's ``build_task_protocol`` delegates here.
+    """
+    from repro.core.dftno import build_dftno
+    from repro.core.stno import build_stno
+
+    if name == "dftno":
+        return build_dftno()
+    return build_stno(tree=name.split("-", 1)[1])
+
+
+register_engine(SchedulerEngine())
+register_engine(ScenarioEngine())
+register_engine(MsgpassEngine())
+
+
+__all__ = [
+    "Engine",
+    "MsgpassEngine",
+    "ScenarioEngine",
+    "SchedulerEngine",
+    "build_protocol",
+    "engine_names",
+    "get_engine",
+    "register_engine",
+    "run",
+]

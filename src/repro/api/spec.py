@@ -1,0 +1,315 @@
+"""The declarative experiment spec: one serializable description per run.
+
+A :class:`RunSpec` pins down everything a simulation run needs -- the
+protocol stack, the topology, the daemon, the optional scenario or
+message-passing workload, the stopping conditions and the seeds -- in plain
+data.  It serializes to/from a nested dictionary (:meth:`RunSpec.to_dict` /
+:meth:`RunSpec.from_dict`) and carries a **canonical hash**
+(:attr:`RunSpec.canonical_hash`): a stable digest of the non-default fields.
+Equal specs always hash equally, and adding new spec fields later cannot
+re-hash old specs.  The hash is purely syntactic: it does not know which
+fields a given engine reads, so two specs differing only in a field the
+engine ignores (e.g. ``protocol`` on a ``msgpass`` spec) hash differently --
+set only the fields that matter when hashing for dedup.
+
+The spec never executes anything itself; :func:`repro.api.run` hands it to
+the :class:`~repro.api.engines.Engine` named by :attr:`RunSpec.engine`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Mapping
+
+from repro.graphs.generators import FAMILY_NAMES, family as build_family
+from repro.graphs.network import RootedNetwork
+
+#: The family name of height-controlled trees (not in the sweepable families).
+HEIGHT_TREE_FAMILY = "height_tree"
+
+#: Engines :func:`repro.api.run` can dispatch to.
+ENGINE_NAMES = ("scheduler", "scenario", "msgpass")
+
+#: Message-passing workloads the ``msgpass`` engine implements.
+WORKLOADS = ("broadcast", "traversal", "election")
+
+
+def _strip_defaults(value: Any, defaults: Mapping[str, Any]) -> dict[str, Any]:
+    """Drop entries equal to their default: the canonical (hashable) form."""
+    return {
+        name: entry for name, entry in value.items() if entry != defaults.get(name)
+    }
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """The topology of a run, rebuildable from its description alone.
+
+    ``family`` is one of :data:`repro.graphs.generators.FAMILY_NAMES`, or
+    ``"height_tree"`` together with ``height`` for the height-controlled trees
+    of the EXP-T2 sweep.  ``seed`` feeds the generator, so the same spec
+    always yields the same network.
+    """
+
+    family: str = "random_connected"
+    size: int = 16
+    height: int | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.height is not None:
+            if not 1 <= self.height <= self.size - 1:
+                raise ValueError(
+                    f"height {self.height} out of range 1..{self.size - 1} for size {self.size}"
+                )
+            if self.family not in (HEIGHT_TREE_FAMILY, "random_connected"):
+                raise ValueError(
+                    "a height-controlled network uses family='height_tree'"
+                )
+            object.__setattr__(self, "family", HEIGHT_TREE_FAMILY)
+        elif self.family == HEIGHT_TREE_FAMILY:
+            raise ValueError("family='height_tree' needs a height")
+        elif self.family not in FAMILY_NAMES:
+            raise ValueError(
+                f"unknown topology family {self.family!r}; choose from "
+                f"{sorted(FAMILY_NAMES + (HEIGHT_TREE_FAMILY,))}"
+            )
+        if self.size < 1:
+            raise ValueError("size must be >= 1")
+
+    def build(self) -> RootedNetwork:
+        """Construct the described network (deterministic in the spec)."""
+        if self.height is not None:
+            # Imported here: analysis depends on graphs, not the reverse.
+            from repro.analysis.convergence import height_controlled_tree
+
+            return height_controlled_tree(self.size, self.height, seed=self.seed)
+        return build_family(self.family, self.size, seed=self.seed)
+
+
+@dataclass(frozen=True)
+class StopSpec:
+    """When a run is allowed (or forced) to end.
+
+    ``max_steps`` bounds the daemon-step engines (``None`` -> the harness
+    default ``500 * (n + m) + 3000``); ``max_rounds`` bounds the synchronous
+    message-passing engine (``None`` -> its default).  ``after_substrate``
+    starts the run from a configuration whose substrate layer is already
+    stabilized (the theorems' phrasing); it is only meaningful for the
+    ``scheduler`` engine.
+    """
+
+    max_steps: int | None = None
+    max_rounds: int | None = None
+    after_substrate: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_steps is not None and self.max_steps < 1:
+            raise ValueError("max_steps must be >= 1")
+        if self.max_rounds is not None and self.max_rounds < 1:
+            raise ValueError("max_rounds must be >= 1")
+
+
+_NETWORK_DEFAULTS = asdict(NetworkSpec())
+_STOP_DEFAULTS = asdict(StopSpec())
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully-specified simulation run, executable by :func:`repro.api.run`.
+
+    Fields
+    ------
+    engine:
+        ``"scheduler"`` -- a daemon-step stabilization measurement of the
+        layered protocols; ``"scenario"`` -- a fault-injection /
+        dynamic-network scenario execution; ``"msgpass"`` -- a synchronous
+        message-passing workload comparing oriented vs unoriented costs.
+    protocol:
+        ``"dftno"``, ``"stno-bfs"`` or ``"stno-dfs"`` (``"stno"`` is accepted
+        as an alias).  Ignored by the ``msgpass`` engine, whose orientation is
+        the centralized reference.
+    network / daemon / seed:
+        The cell under test.  ``seed`` drives the scheduler / starting
+        configuration; the network has its own seed.
+    scenario:
+        Library scenario name; required by (and only legal for) the
+        ``scenario`` engine.
+    workload:
+        ``msgpass`` workload name (default ``"broadcast"``); only legal for
+        the ``msgpass`` engine.
+    stop:
+        Stopping conditions (see :class:`StopSpec`).
+    parameter:
+        The swept quantity this run contributes to in aggregated tables
+        (default: the network size; the height for height-controlled trees).
+    """
+
+    engine: str = "scheduler"
+    protocol: str = "dftno"
+    network: NetworkSpec = field(default_factory=NetworkSpec)
+    daemon: str = "distributed"
+    seed: int = 0
+    scenario: str | None = None
+    workload: str | None = None
+    stop: StopSpec = field(default_factory=StopSpec)
+    parameter: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINE_NAMES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; choose from {sorted(ENGINE_NAMES)}"
+            )
+        if isinstance(self.network, Mapping):
+            object.__setattr__(self, "network", NetworkSpec(**dict(self.network)))
+        if isinstance(self.stop, Mapping):
+            object.__setattr__(self, "stop", StopSpec(**dict(self.stop)))
+
+        # Validate names eagerly so a bad spec fails at construction, not at
+        # execution on some pool worker an hour into a campaign.
+        from repro.campaign.grid import normalize_daemon, normalize_protocol
+
+        object.__setattr__(self, "daemon", normalize_daemon(self.daemon))
+        if self.engine != "msgpass":
+            object.__setattr__(self, "protocol", normalize_protocol(self.protocol))
+
+        if self.engine == "scenario":
+            if self.scenario is None:
+                raise ValueError("the scenario engine needs a scenario name")
+            from repro.scenarios.library import normalize_scenario
+
+            object.__setattr__(self, "scenario", normalize_scenario(self.scenario))
+        elif self.scenario is not None:
+            raise ValueError(
+                f"scenario specs only apply to engine='scenario' (got {self.engine!r})"
+            )
+
+        if self.engine == "msgpass":
+            workload = self.workload or "broadcast"
+            if workload not in WORKLOADS:
+                raise ValueError(
+                    f"unknown workload {workload!r}; choose from {sorted(WORKLOADS)}"
+                )
+            object.__setattr__(self, "workload", workload)
+            if workload == "election" and self.network.family != "ring":
+                raise ValueError("the election workload runs on family='ring' networks")
+        elif self.workload is not None:
+            raise ValueError(
+                f"workloads only apply to engine='msgpass' (got {self.engine!r})"
+            )
+
+        if self.engine != "scheduler" and self.stop.after_substrate:
+            # Rejecting beats mislabeling: after_substrate is part of the
+            # canonical hash, so silently ignoring it would store two
+            # differently-hashed copies of the same measurement.
+            raise ValueError(
+                f"after_substrate starts are not supported by the {self.engine} engine"
+            )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, object]:
+        """Nested plain-data form (JSON-ready); the inverse of :meth:`from_dict`."""
+        out = asdict(self)
+        out["network"] = asdict(self.network)
+        out["stop"] = asdict(self.stop)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "RunSpec":
+        """Rebuild a spec from :meth:`to_dict` output (missing keys -> defaults)."""
+        known = {spec_field.name for spec_field in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown RunSpec fields: {sorted(unknown)}")
+        kwargs = dict(data)
+        if "network" in kwargs and isinstance(kwargs["network"], Mapping):
+            kwargs["network"] = NetworkSpec(**dict(kwargs["network"]))
+        if "stop" in kwargs and isinstance(kwargs["stop"], Mapping):
+            kwargs["stop"] = StopSpec(**dict(kwargs["stop"]))
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+    def canonical(self) -> dict[str, object]:
+        """The hash input: :meth:`to_dict` with default-valued entries dropped.
+
+        Stripping defaults makes the hash *forward-stable*: a field added to
+        ``RunSpec`` in a later version (with a default) does not change the
+        hash of specs that never set it, so stores keyed by
+        :attr:`canonical_hash` survive API growth -- the same trick the
+        campaign grid plays with ``task_type``.
+        """
+        data = self.to_dict()
+        data["network"] = _strip_defaults(data["network"], _NETWORK_DEFAULTS)
+        data["stop"] = _strip_defaults(data["stop"], _STOP_DEFAULTS)
+        defaults: dict[str, Any] = {
+            "engine": "scheduler",
+            "protocol": "dftno",
+            "network": {},
+            "daemon": "distributed",
+            "seed": 0,
+            "scenario": None,
+            "workload": "broadcast" if self.engine == "msgpass" else None,
+            "stop": {},
+            "parameter": None,
+        }
+        return _strip_defaults(data, defaults)
+
+    @property
+    def canonical_hash(self) -> str:
+        """Stable 16-hex-digit digest of the canonical form."""
+        blob = json.dumps(self.canonical(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """The uniform envelope every engine returns.
+
+    Attributes
+    ----------
+    engine:
+        The engine that executed the run.
+    spec:
+        The spec it executed (so results are self-describing).
+    row:
+        One flat, JSON-serializable result dictionary -- exactly what a
+        campaign store persists for this kind of run.
+    report:
+        The engine's native outcome object for callers that want more than the
+        row: a :class:`~repro.analysis.convergence.StabilizationSample`, a
+        :class:`~repro.analysis.recovery.ScenarioReport`, or the ``msgpass``
+        per-variant outcome mapping.
+    """
+
+    engine: str
+    spec: RunSpec
+    row: dict[str, object]
+    report: object = None
+
+    @property
+    def converged(self) -> bool:
+        """Whether the run reached its engine's success condition."""
+        return bool(self.row.get("converged"))
+
+    def to_dict(self) -> dict[str, object]:
+        """Serializable form: the spec, its hash, and the flat row."""
+        return {
+            "engine": self.engine,
+            "spec": self.spec.to_dict(),
+            "spec_hash": self.spec.canonical_hash,
+            "row": dict(self.row),
+        }
+
+
+__all__ = [
+    "ENGINE_NAMES",
+    "HEIGHT_TREE_FAMILY",
+    "NetworkSpec",
+    "RunResult",
+    "RunSpec",
+    "StopSpec",
+    "WORKLOADS",
+]

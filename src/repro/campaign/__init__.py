@@ -33,14 +33,25 @@ from repro.campaign.registry import (
     task_type_names,
 )
 from repro.campaign.runner import CampaignResult, CampaignRunner, run_grid, run_task
-from repro.campaign.store import ResultStore, resolve_store_path
+from repro.campaign.store import (
+    BaseResultStore,
+    JsonlResultStore,
+    ResultStore,
+    SqliteResultStore,
+    open_store,
+    resolve_store_path,
+)
 
 __all__ = [
+    "BaseResultStore",
     "CampaignResult",
     "CampaignRunner",
     "DEFAULT_TASK_TYPE",
     "Grid",
+    "JsonlResultStore",
     "ResultStore",
+    "SqliteResultStore",
+    "open_store",
     "TaskSpec",
     "aggregate_rows",
     "campaign_summary",

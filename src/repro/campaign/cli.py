@@ -6,25 +6,35 @@
     python -m repro.campaign run --task-type scenario --scenario cascade \\
         --protocol dftno --protocol stno-bfs --daemon central --daemon distributed \\
         --sizes 10 --out results/
+    python -m repro.campaign run --task-type msgpass --workload traversal \\
+        --family complete --sizes 8,16 --out results/msgpass.sqlite
     python -m repro.campaign status --out results/
     python -m repro.campaign status --out results/ --protocol dftno --sizes 8:64
     python -m repro.campaign merge shard-a/ shard-b/ --out merged.jsonl
     python -m repro.campaign report --out results/ --metric recovery_steps_mean
+    python -m repro.campaign report --out results/scenarios.jsonl --per-event
 
-``run`` expands the declarative grid, skips tasks the JSONL store already
-holds (``--resume``), executes the rest on ``--jobs`` workers and streams one
-line per completed task.  ``status`` summarizes the store; given grid options
-it also reports completed/pending counts and *stale* rows (hashes the edited
-grid no longer produces).  ``merge`` unions several stores by config hash --
-the distributed-execution path: shard one grid across machines, then merge
-the JSONL files.  ``report`` aggregates a store into a table plus a linear
-fit, picking metric columns that match the stored task types.
+``run`` expands the declarative grid, skips tasks the store already holds
+(``--resume``), executes the rest on ``--jobs`` workers and streams one line
+per completed task; each task is a :class:`~repro.api.RunSpec` executed
+through :func:`repro.api.run`.  Stores are JSONL by default; an ``--out``
+ending in ``.sqlite`` / ``.db`` selects the SQLite backend.  Both carry
+store-level metadata (grid description, code version, created-at) for
+provenance.  ``status`` summarizes the store; given grid options it also
+reports completed/pending counts, *stale* rows (hashes the edited grid no
+longer produces), and a rows-per-second / ETA estimate from the store's
+timestamps.  ``merge`` unions several stores by config hash -- the
+distributed-execution path: shard one grid across machines, then merge the
+files (mixing backends is fine).  ``report`` aggregates a store into a table
+plus a linear fit, picking metric columns that match the stored task types;
+``report --per-event`` aggregates scenario rows by event kind instead.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import Sequence
 
 from repro.analysis.reporting import format_table
@@ -32,14 +42,27 @@ from repro.campaign.aggregate import aggregate_rows, fit_aggregate, metrics_for_
 from repro.campaign.grid import DAEMONS, Grid, PROTOCOLS, parse_axis
 from repro.campaign.registry import DEFAULT_TASK_TYPE, task_type_names
 from repro.campaign.runner import CampaignRunner
-from repro.campaign.store import ResultStore, resolve_store_path
+from repro.campaign.store import open_store, resolve_store_path
 from repro.errors import ReproError
+
+
+def _format_duration(seconds: float) -> str:
+    """Render a duration like ``2m 03s`` / ``1h 04m`` (coarse on purpose)."""
+    seconds = max(0, int(round(seconds)))
+    if seconds < 60:
+        return f"{seconds}s"
+    minutes, secs = divmod(seconds, 60)
+    if minutes < 60:
+        return f"{minutes}m {secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h {minutes:02d}m"
 
 #: Grid-defining options shared by ``run`` and ``status``; used to detect
 #: whether a ``status`` invocation asked for a grid comparison at all.
 _GRID_ARGS = (
     "task_type",
     "scenarios",
+    "workloads",
     "protocols",
     "families",
     "sizes",
@@ -67,6 +90,14 @@ def _add_grid_options(parser: argparse.ArgumentParser) -> None:
         dest="scenarios",
         metavar="NAME",
         help="library scenario to sweep (repeatable; requires --task-type scenario)",
+    )
+    parser.add_argument(
+        "--workload",
+        action="append",
+        dest="workloads",
+        metavar="NAME",
+        help="msgpass workload to sweep: broadcast, traversal, election "
+        "(repeatable; requires --task-type msgpass)",
     )
     parser.add_argument(
         "--protocol",
@@ -134,6 +165,7 @@ def _build_grid(args: argparse.Namespace) -> Grid:
         after_substrate=args.after_substrate,
         task_type=args.task_type or DEFAULT_TASK_TYPE,
         scenarios=tuple(args.scenarios) if args.scenarios else None,
+        workloads=tuple(args.workloads) if args.workloads else None,
     )
 
 
@@ -190,18 +222,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="aggregated column to fit against the key "
         "(default: first metric present, e.g. overlay_steps_mean)",
     )
+    report.add_argument(
+        "--per-event",
+        action="store_true",
+        dest="per_event",
+        help="aggregate stored scenario rows per event kind "
+        "(recovery steps/disturbance by corruption, crash, link change, ...)",
+    )
     return parser
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     grid = _build_grid(args)
-    store = ResultStore(resolve_store_path(args.out))
+    store = open_store(resolve_store_path(args.out))
+    # Provenance: every run stamps the grid it executed, the code version and
+    # (once) the creation time into the store-level metadata.
+    from repro import __version__ as code_version
+
+    updates: dict[str, object] = {"grid": grid.as_dict(), "code_version": code_version}
+    if "created_at" not in store.metadata():
+        now = time.time()
+        updates["created_at"] = now
+        updates["created_at_iso"] = time.strftime("%Y-%m-%dT%H:%M:%S", time.localtime(now))
+    store.update_metadata(**updates)
     runner = CampaignRunner(store=store, jobs=args.jobs)
 
     def progress(row: dict[str, object]) -> None:
         if not args.quiet:
             status = "ok" if row.get("converged") else "DID NOT CONVERGE"
             extra = f" scenario={row['scenario']}" if row.get("scenario") else ""
+            if row.get("task_type") == "msgpass" and row.get("workload"):
+                extra += f" workload={row['workload']}"
             print(
                 f"[{row['task_index']}] {row['protocol']} {row['family']} "
                 f"n={row['size']} daemon={row['daemon']}{extra} trial={row['trial']} "
@@ -225,9 +276,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_status(args: argparse.Namespace) -> int:
     path = resolve_store_path(args.out)
-    store = ResultStore(path)
+    store = open_store(path)
     rows = store.rows()
-    print(f"store: {path} ({len(rows)} rows)")
+    print(f"store: {path} ({store.backend}, {len(rows)} rows)")
+    metadata = store.metadata()
+    if metadata:
+        created = metadata.get("created_at_iso") or metadata.get("created_at")
+        version = metadata.get("code_version")
+        provenance = ", ".join(
+            part
+            for part in (
+                f"created {created}" if created else "",
+                f"code version {version}" if version else "",
+            )
+            if part
+        )
+        if provenance:
+            print(f"metadata: {provenance}")
     if rows:
         counts: dict[tuple[object, object, object], list[int]] = {}
         for row in rows:
@@ -264,6 +329,23 @@ def _cmd_status(args: argparse.Namespace) -> int:
             f"against grid: {len(grid_hashes)} tasks, {len(completed)} completed, "
             f"{len(pending)} pending, {len(stale)} stale"
         )
+        # Progress/ETA from store timestamps: the SQLite backend stamps every
+        # row; the JSONL backend approximates with created_at .. mtime.
+        rate = store.throughput()
+        if grid_hashes:
+            percent = 100.0 * len(completed) / len(grid_hashes)
+            progress_line = f"progress: {len(completed)}/{len(grid_hashes)} ({percent:.0f}%)"
+            if rate is not None:
+                progress_line += f", {rate:.2f} rows/s"
+                if pending:
+                    eta_seconds = len(pending) / rate
+                    done_at = time.strftime(
+                        "%Y-%m-%dT%H:%M:%S", time.localtime(time.time() + eta_seconds)
+                    )
+                    progress_line += f", ETA {_format_duration(eta_seconds)} (~{done_at})"
+            elif pending:
+                progress_line += ", rate unknown (no store timestamps yet)"
+            print(progress_line)
         if stale:
             print(
                 "stale rows (in the store but not in this grid -- the grid "
@@ -286,14 +368,14 @@ def _cmd_merge(args: argparse.Namespace) -> int:
     for source_path in source_paths:
         if not source_path.exists():
             raise ValueError(f"source store {source_path} does not exist")
-        source_rows = ResultStore(source_path).rows()
+        source_rows = open_store(source_path).rows()
         for row in source_rows:
             if not isinstance(row.get("config_hash"), str) or not row["config_hash"]:
                 raise ValueError(
                     f"source store {source_path} has a row without a config_hash"
                 )
         sources.append((source_path, source_rows))
-    target = ResultStore(resolve_store_path(args.out))
+    target = open_store(resolve_store_path(args.out))
     before = len(target)
     total_rows = 0
     for source_path, source_rows in sources:
@@ -308,11 +390,13 @@ def _cmd_merge(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    store = ResultStore(resolve_store_path(args.out))
+    store = open_store(resolve_store_path(args.out))
     rows = sorted(store.rows(), key=lambda row: row.get("task_index", 0))
     if not rows:
         print("store is empty; run a campaign first")
         return 1
+    if args.per_event:
+        return _report_per_event(rows)
     if any(args.key not in row for row in rows):
         # Grouping needs the key in *every* row, so offer only the columns
         # every row shares (a mixed-task-type store has per-type extras).
@@ -343,6 +427,41 @@ def _cmd_report(args: argparse.Namespace) -> int:
             f"fit of {metric} vs {args.key}: slope={fit['slope']:.3f} "
             f"intercept={fit['intercept']:.3f} r_squared={fit['r_squared']:.3f}"
         )
+    return 0
+
+
+def _report_per_event(rows: list[dict[str, object]]) -> int:
+    """The ``report --per-event`` view: recovery aggregates by event kind.
+
+    Rebuilds :class:`~repro.analysis.recovery.ScenarioReport` objects from the
+    ``event_records`` persisted in scenario task rows and feeds them to
+    :func:`~repro.analysis.recovery.aggregate_event_recoveries`; rows without
+    records (non-scenario tasks, pre-API stores) are counted and skipped.
+    """
+    from repro.analysis.recovery import ScenarioReport, aggregate_event_recoveries
+
+    reports = []
+    skipped = 0
+    for row in rows:
+        try:
+            reports.append(ScenarioReport.from_row(row))
+        except (KeyError, TypeError, ValueError):
+            skipped += 1
+    if not reports:
+        print(
+            "no stored rows carry per-event records; run a scenario campaign "
+            "(--task-type scenario) with this code version first"
+        )
+        return 1
+    aggregated = aggregate_event_recoveries(reports)
+    print(
+        format_table(
+            aggregated,
+            title=f"per-event recovery across {len(reports)} scenario runs",
+        )
+    )
+    if skipped:
+        print(f"note: {skipped} row(s) without per-event records were skipped")
     return 0
 
 

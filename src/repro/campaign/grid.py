@@ -109,6 +109,7 @@ class TaskSpec:
     pair_networks: bool = False
     task_type: str = DEFAULT_TASK_TYPE
     scenario: str | None = None
+    workload: str | None = None
     index: int = field(default=0, compare=False)
 
     def identity(self) -> dict[str, object]:
@@ -117,7 +118,9 @@ class TaskSpec:
         For the default task type this is exactly the pre-registry identity,
         keeping hashes (and therefore stores, resumes and dedup) stable; other
         task types additionally carry ``task_type`` and, when set, the
-        ``scenario`` name.
+        ``scenario`` name and the ``workload`` (so pre-existing ``msgpass``
+        broadcast stores, which predate the workload axis, also keep their
+        hashes).
         """
         identity: dict[str, object] = {
             name: getattr(self, name) for name in IDENTITY_FIELDS
@@ -126,6 +129,8 @@ class TaskSpec:
             identity["task_type"] = self.task_type
             if self.scenario is not None:
                 identity["scenario"] = self.scenario
+            if self.workload is not None:
+                identity["workload"] = self.workload
         return identity
 
     @property
@@ -199,7 +204,10 @@ class Grid:
 
     ``task_type`` selects what each task computes (see
     :mod:`repro.campaign.registry`); with ``task_type="scenario"`` the
-    ``scenarios`` tuple of library scenario names becomes an additional axis.
+    ``scenarios`` tuple of library scenario names becomes an additional axis,
+    and with ``task_type="msgpass"`` the ``workloads`` tuple (broadcast,
+    traversal, election) does.  ``broadcast`` is the default workload and is
+    never hashed, so pre-workload-axis msgpass stores keep their hashes.
     """
 
     sizes: tuple[int, ...] = (8, 16, 32)
@@ -213,6 +221,7 @@ class Grid:
     pair_networks: bool = False
     task_type: str = DEFAULT_TASK_TYPE
     scenarios: tuple[str, ...] | None = None
+    workloads: tuple[str, ...] | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "task_type", normalize_task_type(self.task_type))
@@ -232,6 +241,27 @@ class Grid:
             )
         else:
             object.__setattr__(self, "scenarios", None)
+        if self.workloads:
+            if self.task_type != "msgpass":
+                raise ValueError(
+                    f"workloads only apply to task_type='msgpass' (got {self.task_type!r})"
+                )
+            from repro.api.spec import WORKLOADS
+
+            unknown = [name for name in self.workloads if name not in WORKLOADS]
+            if unknown:
+                raise ValueError(
+                    f"unknown workloads {unknown}; choose from {sorted(WORKLOADS)}"
+                )
+            object.__setattr__(self, "workloads", _dedup(tuple(self.workloads)))
+            if "election" in self.workloads and (
+                self.heights is not None or any(name != "ring" for name in self.families)
+            ):
+                raise ValueError(
+                    "the election workload runs on rings; use families=('ring',)"
+                )
+        else:
+            object.__setattr__(self, "workloads", None)
         # Axes are deduplicated order-preservingly: aliases ("stno" and
         # "stno-bfs") or repeated values would otherwise expand to tasks with
         # identical config hashes, double-counting their rows.
@@ -268,6 +298,7 @@ class Grid:
     def __len__(self) -> int:
         heights = len(self.heights) if self.heights is not None else 1
         scenarios = len(self.scenarios) if self.scenarios is not None else 1
+        workloads = len(self.workloads) if self.workloads is not None else 1
         return (
             len(self.protocols)
             * len(self.families)
@@ -275,6 +306,7 @@ class Grid:
             * heights
             * len(self.daemons)
             * scenarios
+            * workloads
             * self.trials
         )
 
@@ -288,29 +320,38 @@ class Grid:
         scenario_axis: tuple[str | None, ...] = (
             self.scenarios if self.scenarios is not None else (None,)
         )
+        # "broadcast" is the default workload: storing it as None keeps the
+        # config hash of pre-workload-axis msgpass grids byte-identical.
+        workload_axis: tuple[str | None, ...] = (
+            tuple(None if name == "broadcast" else name for name in self.workloads)
+            if self.workloads is not None
+            else (None,)
+        )
         for protocol in self.protocols:
             for family in self.families:
                 for size in self.sizes:
                     for height in height_axis:
                         for daemon in self.daemons:
                             for scenario in scenario_axis:
-                                for trial in range(self.trials):
-                                    tasks.append(
-                                        TaskSpec(
-                                            protocol=protocol,
-                                            family=family,
-                                            size=size,
-                                            daemon=daemon,
-                                            trial=trial,
-                                            grid_seed=self.seed,
-                                            after_substrate=self.after_substrate,
-                                            height=height,
-                                            pair_networks=self.pair_networks,
-                                            task_type=self.task_type,
-                                            scenario=scenario,
-                                            index=len(tasks),
+                                for workload in workload_axis:
+                                    for trial in range(self.trials):
+                                        tasks.append(
+                                            TaskSpec(
+                                                protocol=protocol,
+                                                family=family,
+                                                size=size,
+                                                daemon=daemon,
+                                                trial=trial,
+                                                grid_seed=self.seed,
+                                                after_substrate=self.after_substrate,
+                                                height=height,
+                                                pair_networks=self.pair_networks,
+                                                task_type=self.task_type,
+                                                scenario=scenario,
+                                                workload=workload,
+                                                index=len(tasks),
+                                            )
                                         )
-                                    )
         return tasks
 
     def as_dict(self) -> dict[str, object]:

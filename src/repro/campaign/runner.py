@@ -25,7 +25,7 @@ from typing import Callable, Iterator
 
 from repro.campaign.grid import Grid, TaskSpec
 from repro.campaign.registry import get_task_handler
-from repro.campaign.store import ResultStore
+from repro.campaign.store import BaseResultStore
 
 ProgressCallback = Callable[[dict[str, object]], None]
 
@@ -77,7 +77,7 @@ class CampaignRunner:
     ``multiprocessing`` pool.  Results stream back in grid order either way.
     """
 
-    def __init__(self, store: ResultStore | None = None, jobs: int = 1):
+    def __init__(self, store: BaseResultStore | None = None, jobs: int = 1):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         self.store = store
@@ -140,7 +140,7 @@ class CampaignRunner:
 
 def run_grid(
     grid: Grid,
-    store: ResultStore | None = None,
+    store: BaseResultStore | None = None,
     jobs: int = 1,
     resume: bool = False,
     progress: ProgressCallback | None = None,

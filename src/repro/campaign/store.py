@@ -1,50 +1,196 @@
-"""JSONL-backed persistent result store keyed by config hash.
+"""Persistent result stores keyed by config hash: JSONL and SQLite backends.
 
-The store is a plain append-only JSON-lines file: one result row per line,
-each carrying the ``config_hash`` of the task that produced it.  That gives
+Every backend implements the same small interface
+(:class:`BaseResultStore`): append-only result rows keyed (and deduplicated)
+by ``config_hash``, plus **store-level metadata** -- the grid description,
+the code version and the creation time -- so a store file is self-describing
+provenance, not just a pile of rows.  :func:`open_store` picks the backend
+from the path suffix: ``.sqlite`` / ``.db`` -> SQLite, anything else ->
+JSON-lines.
 
-* **crash-safe appends** -- every row is written, flushed and fsynced as one
-  line, so a killed campaign loses at most the row being written;
-* **tolerant reads** -- a truncated final line (the signature of a crash) is
-  skipped instead of poisoning the file;
-* **dedup** -- rows are keyed by config hash; re-appending a completed
-  configuration is a no-op and duplicate lines collapse on read;
-* **resume** -- :meth:`ResultStore.completed_hashes` is exactly the skip set
-  a resumed campaign needs.
+The JSONL backend (:class:`JsonlResultStore`, historically ``ResultStore``)
+is a plain append-only file: one result row per line, flushed and fsynced
+per append, tolerant of a crash-truncated final line, with metadata stored
+as dedicated ``{"__store_meta__": ...}`` lines (later lines win) so old
+stores remain readable byte-for-byte.
+
+The SQLite backend (:class:`SqliteResultStore`) keeps rows in a table with a
+unique hash index and a per-row ``created_at`` timestamp -- the timestamps
+power ``repro-campaign status``'s rows-per-second / ETA estimate -- and
+metadata in a key/value table.  Appends commit per row, so a killed campaign
+loses at most the row being written, same as JSONL.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import sqlite3
+import time
+from abc import ABC, abstractmethod
 from pathlib import Path
 from typing import Iterable
 
 #: Default store filename when a campaign is pointed at a directory.
 DEFAULT_STORE_NAME = "campaign.jsonl"
 
+#: Path suffixes that select the SQLite backend.
+SQLITE_SUFFIXES = (".sqlite", ".db")
+
+#: The JSONL key marking a metadata line (never a result row).
+META_KEY = "__store_meta__"
+
 
 def resolve_store_path(out: str | os.PathLike[str]) -> Path:
-    """Map a CLI ``--out`` value to a concrete JSONL file path.
+    """Map a CLI ``--out`` value to a concrete store file path.
 
-    A path ending in ``.jsonl`` is used as-is; anything else is treated as a
-    directory that will contain :data:`DEFAULT_STORE_NAME`.
+    A path ending in ``.jsonl``, ``.sqlite`` or ``.db`` is used as-is;
+    anything else is treated as a directory that will contain
+    :data:`DEFAULT_STORE_NAME`.
     """
     path = Path(out)
-    if path.suffix == ".jsonl":
+    if path.suffix == ".jsonl" or path.suffix in SQLITE_SUFFIXES:
         return path
     return path / DEFAULT_STORE_NAME
 
 
-class ResultStore:
-    """Append-only JSONL result store with hash-based dedup."""
+def open_store(path: str | os.PathLike[str]) -> "BaseResultStore":
+    """Open the store at ``path`` with the backend its suffix selects."""
+    resolved = Path(path)
+    if resolved.suffix in SQLITE_SUFFIXES:
+        return SqliteResultStore(resolved)
+    return JsonlResultStore(resolved)
+
+
+class BaseResultStore(ABC):
+    """The store interface campaigns run against.
+
+    Rows are flat JSON-serializable dictionaries carrying a non-empty
+    ``config_hash``; appending an already-stored hash is a no-op.  Metadata
+    is a plain string-keyed dictionary merged by :meth:`update_metadata`.
+    """
+
+    #: Short backend identifier shown by ``repro-campaign status``.
+    backend: str = "store"
 
     def __init__(self, path: str | os.PathLike[str]):
         self.path = Path(path)
-        self._hashes: set[str] = {
-            row["config_hash"] for row in self.rows() if "config_hash" in row
+
+    # -- rows ------------------------------------------------------------
+    @abstractmethod
+    def append(self, row: dict[str, object]) -> bool:
+        """Durably append one result row; ``False`` if its hash is stored."""
+
+    @abstractmethod
+    def extend(self, rows: Iterable[dict[str, object]]) -> int:
+        """Append many rows in one transaction; returns how many were new."""
+
+    @abstractmethod
+    def rows(self) -> list[dict[str, object]]:
+        """All stored rows in append order, deduplicated by config hash."""
+
+    # -- metadata and provenance -----------------------------------------
+    @abstractmethod
+    def metadata(self) -> dict[str, object]:
+        """Store-level metadata (grid description, code version, created-at)."""
+
+    @abstractmethod
+    def update_metadata(self, **entries: object) -> None:
+        """Merge ``entries`` into the store metadata (later values win)."""
+
+    @abstractmethod
+    def time_window(self) -> tuple[float, float] | None:
+        """(first, last) append timestamps, or ``None`` when unknown.
+
+        The SQLite backend stamps every row; the JSONL backend approximates
+        with the metadata ``created_at`` and the file's mtime.
+        """
+
+    # -- shared conveniences ----------------------------------------------
+    def throughput(self) -> float | None:
+        """Observed rows per second, or ``None`` when it cannot be estimated."""
+        window = self.time_window()
+        if window is None or len(self) < 2:
+            return None
+        first, last = window
+        if last <= first:
+            return None
+        return len(self) / (last - first)
+
+    def __len__(self) -> int:
+        return len(self.completed_hashes())
+
+    def __contains__(self, config_hash: str) -> bool:
+        return config_hash in self.completed_hashes()
+
+    def completed_hashes(self) -> set[str]:
+        """Config hashes with a completed row in the store."""
+        return {
+            row["config_hash"]
+            for row in self.rows()
+            if isinstance(row.get("config_hash"), str)
         }
+
+    def rows_by_hash(self) -> dict[str, dict[str, object]]:
+        """Stored rows indexed by config hash."""
+        return {
+            row["config_hash"]: row
+            for row in self.rows()
+            if isinstance(row.get("config_hash"), str)
+        }
+
+    @staticmethod
+    def _require_hash(row: dict[str, object]) -> str:
+        config_hash = row.get("config_hash")
+        if not isinstance(config_hash, str) or not config_hash:
+            raise ValueError("result rows must carry a non-empty 'config_hash'")
+        return config_hash
+
+
+class JsonlResultStore(BaseResultStore):
+    """Append-only JSONL result store with hash-based dedup.
+
+    * **crash-safe appends** -- every row is written, flushed and fsynced as
+      one line, so a killed campaign loses at most the row being written;
+    * **tolerant reads** -- a truncated final line (the signature of a crash)
+      is skipped instead of poisoning the file;
+    * **dedup / resume** -- rows are keyed by config hash;
+      :meth:`completed_hashes` is exactly the skip set a resumed campaign
+      needs.
+    """
+
+    backend = "jsonl"
+
+    def __init__(self, path: str | os.PathLike[str]):
+        super().__init__(path)
+        self._hashes: set[str] = set()
+        self._metadata: dict[str, object] = {}
+        self._load()
         self._needs_newline = self._missing_trailing_newline()
+
+    def _load(self) -> None:
+        for parsed in self._parsed_lines():
+            if META_KEY in parsed:
+                meta = parsed[META_KEY]
+                if isinstance(meta, dict):
+                    self._metadata.update(meta)
+            elif isinstance(parsed.get("config_hash"), str):
+                self._hashes.add(parsed["config_hash"])
+
+    def _parsed_lines(self) -> Iterable[dict]:
+        if not self.path.exists():
+            return
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    parsed = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(parsed, dict):
+                    yield parsed
 
     def _missing_trailing_newline(self) -> bool:
         # A file left by a crash mid-write may end without a newline; the next
@@ -63,21 +209,9 @@ class ResultStore:
         return config_hash in self._hashes
 
     def completed_hashes(self) -> set[str]:
-        """Config hashes with a completed row in the store."""
         return set(self._hashes)
 
-    def append(self, row: dict[str, object]) -> bool:
-        """Append one result row; returns ``False`` if its hash is already stored.
-
-        The line is flushed and fsynced before returning so that a crash right
-        after :meth:`append` cannot lose the row.
-        """
-        config_hash = row.get("config_hash")
-        if not isinstance(config_hash, str) or not config_hash:
-            raise ValueError("result rows must carry a non-empty 'config_hash'")
-        if config_hash in self._hashes:
-            return False
-        line = json.dumps(row, sort_keys=True, separators=(",", ":"), default=str)
+    def _write_lines(self, lines: list[str]) -> None:
         # Created lazily so that read-only uses (status/report on a mistyped
         # path) do not leave empty directories behind.
         self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -85,9 +219,20 @@ class ResultStore:
             if self._needs_newline:
                 handle.write("\n")
                 self._needs_newline = False
-            handle.write(line + "\n")
+            handle.write("\n".join(lines) + "\n")
             handle.flush()
             os.fsync(handle.fileno())
+
+    def append(self, row: dict[str, object]) -> bool:
+        """Append one result row; returns ``False`` if its hash is already stored.
+
+        The line is flushed and fsynced before returning so that a crash right
+        after :meth:`append` cannot lose the row.
+        """
+        config_hash = self._require_hash(row)
+        if config_hash in self._hashes:
+            return False
+        self._write_lines([json.dumps(row, sort_keys=True, separators=(",", ":"), default=str)])
         self._hashes.add(config_hash)
         return True
 
@@ -102,23 +247,14 @@ class ResultStore:
         lines: list[str] = []
         seen: set[str] = set()
         for row in rows:
-            config_hash = row.get("config_hash")
-            if not isinstance(config_hash, str) or not config_hash:
-                raise ValueError("result rows must carry a non-empty 'config_hash'")
+            config_hash = self._require_hash(row)
             if config_hash in self._hashes or config_hash in seen:
                 continue
             seen.add(config_hash)
             lines.append(json.dumps(row, sort_keys=True, separators=(",", ":"), default=str))
         if not lines:
             return 0
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "a", encoding="utf-8") as handle:
-            if self._needs_newline:
-                handle.write("\n")
-                self._needs_newline = False
-            handle.write("\n".join(lines) + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        self._write_lines(lines)
         self._hashes.update(seen)
         return len(lines)
 
@@ -126,36 +262,211 @@ class ResultStore:
         """All stored rows in file order, deduplicated by config hash.
 
         Lines that do not parse as JSON objects (e.g. a line truncated by a
-        crash) are skipped; for duplicated hashes the first row wins.
+        crash) and metadata lines are skipped; for duplicated hashes the
+        first row wins.
         """
-        if not self.path.exists():
-            return []
         out: list[dict[str, object]] = []
         seen: set[str] = set()
-        with open(self.path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
+        for parsed in self._parsed_lines():
+            if META_KEY in parsed:
+                continue
+            config_hash = parsed.get("config_hash")
+            if isinstance(config_hash, str):
+                if config_hash in seen:
                     continue
-                try:
-                    row = json.loads(line)
-                except json.JSONDecodeError:
-                    continue
-                if not isinstance(row, dict):
-                    continue
-                config_hash = row.get("config_hash")
-                if isinstance(config_hash, str):
-                    if config_hash in seen:
-                        continue
-                    seen.add(config_hash)
-                out.append(row)
+                seen.add(config_hash)
+            out.append(parsed)
         return out
 
-    def rows_by_hash(self) -> dict[str, dict[str, object]]:
-        """Stored rows indexed by config hash."""
+    def metadata(self) -> dict[str, object]:
+        return dict(self._metadata)
+
+    def update_metadata(self, **entries: object) -> None:
+        """Append a metadata line; reads merge all metadata lines in order."""
+        if not entries:
+            return
+        self._write_lines(
+            [json.dumps({META_KEY: entries}, sort_keys=True, separators=(",", ":"), default=str)]
+        )
+        self._metadata.update(entries)
+
+    def time_window(self) -> tuple[float, float] | None:
+        created = self._metadata.get("created_at")
+        if not isinstance(created, (int, float)):
+            return None
+        try:
+            mtime = self.path.stat().st_mtime
+        except OSError:
+            return None
+        return (float(created), float(mtime))
+
+
+#: Backwards-compatible name: the JSONL backend was simply ``ResultStore``
+#: before the SQLite backend existed.
+ResultStore = JsonlResultStore
+
+
+class SqliteResultStore(BaseResultStore):
+    """SQLite-backed result store with per-row timestamps.
+
+    Rows live in a ``results`` table keyed by config hash (the JSON row kept
+    verbatim), metadata in a ``store_meta`` key/value table.  Each append is
+    its own committed transaction, giving the same crash-safety contract as
+    the JSONL backend, plus per-row ``created_at`` timestamps that make
+    throughput and ETA estimates exact.
+    """
+
+    backend = "sqlite"
+
+    def __init__(self, path: str | os.PathLike[str]):
+        super().__init__(path)
+        self._connection: sqlite3.Connection | None = None
+
+    def _connect(self, create: bool) -> sqlite3.Connection | None:
+        if self._connection is not None:
+            return self._connection
+        if not create and not self.path.exists():
+            return None
+        # Like the JSONL backend, never create files for read-only misses.
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        connection = sqlite3.connect(self.path)
+        connection.execute(
+            "CREATE TABLE IF NOT EXISTS results ("
+            " config_hash TEXT PRIMARY KEY,"
+            " row TEXT NOT NULL,"
+            " created_at REAL NOT NULL)"
+        )
+        connection.execute(
+            "CREATE TABLE IF NOT EXISTS store_meta ("
+            " key TEXT PRIMARY KEY,"
+            " value TEXT NOT NULL)"
+        )
+        connection.commit()
+        self._connection = connection
+        return connection
+
+    def close(self) -> None:
+        """Close the underlying connection (idempotent)."""
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def append(self, row: dict[str, object]) -> bool:
+        config_hash = self._require_hash(row)
+        connection = self._connect(create=True)
+        assert connection is not None
+        blob = json.dumps(row, sort_keys=True, separators=(",", ":"), default=str)
+        cursor = connection.execute(
+            "INSERT OR IGNORE INTO results (config_hash, row, created_at) VALUES (?, ?, ?)",
+            (config_hash, blob, time.time()),
+        )
+        connection.commit()
+        return cursor.rowcount > 0
+
+    def extend(self, rows: Iterable[dict[str, object]]) -> int:
+        payload: list[tuple[str, str, float]] = []
+        seen: set[str] = set()
+        now = time.time()
+        for row in rows:
+            config_hash = self._require_hash(row)
+            if config_hash in seen:
+                continue
+            seen.add(config_hash)
+            payload.append(
+                (config_hash, json.dumps(row, sort_keys=True, separators=(",", ":"), default=str), now)
+            )
+        if not payload:
+            return 0
+        connection = self._connect(create=True)
+        assert connection is not None
+        before = connection.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+        connection.executemany(
+            "INSERT OR IGNORE INTO results (config_hash, row, created_at) VALUES (?, ?, ?)",
+            payload,
+        )
+        connection.commit()
+        after = connection.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+        return int(after - before)
+
+    def rows(self) -> list[dict[str, object]]:
+        connection = self._connect(create=False)
+        if connection is None:
+            return []
+        out: list[dict[str, object]] = []
+        for (blob,) in connection.execute("SELECT row FROM results ORDER BY rowid"):
+            try:
+                parsed = json.loads(blob)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(parsed, dict):
+                out.append(parsed)
+        return out
+
+    def __len__(self) -> int:
+        connection = self._connect(create=False)
+        if connection is None:
+            return 0
+        return int(connection.execute("SELECT COUNT(*) FROM results").fetchone()[0])
+
+    def __contains__(self, config_hash: str) -> bool:
+        connection = self._connect(create=False)
+        if connection is None:
+            return False
+        found = connection.execute(
+            "SELECT 1 FROM results WHERE config_hash = ?", (config_hash,)
+        ).fetchone()
+        return found is not None
+
+    def completed_hashes(self) -> set[str]:
+        connection = self._connect(create=False)
+        if connection is None:
+            return set()
         return {
-            row["config_hash"]: row for row in self.rows() if isinstance(row.get("config_hash"), str)
+            config_hash
+            for (config_hash,) in connection.execute("SELECT config_hash FROM results")
         }
 
+    def metadata(self) -> dict[str, object]:
+        connection = self._connect(create=False)
+        if connection is None:
+            return {}
+        return {
+            key: json.loads(value)
+            for key, value in connection.execute("SELECT key, value FROM store_meta")
+        }
 
-__all__ = ["DEFAULT_STORE_NAME", "ResultStore", "resolve_store_path"]
+    def update_metadata(self, **entries: object) -> None:
+        if not entries:
+            return
+        connection = self._connect(create=True)
+        assert connection is not None
+        connection.executemany(
+            "INSERT INTO store_meta (key, value) VALUES (?, ?) "
+            "ON CONFLICT(key) DO UPDATE SET value = excluded.value",
+            [(key, json.dumps(value, default=str)) for key, value in entries.items()],
+        )
+        connection.commit()
+
+    def time_window(self) -> tuple[float, float] | None:
+        connection = self._connect(create=False)
+        if connection is None:
+            return None
+        first, last = connection.execute(
+            "SELECT MIN(created_at), MAX(created_at) FROM results"
+        ).fetchone()
+        if first is None or last is None:
+            return None
+        return (float(first), float(last))
+
+
+__all__ = [
+    "DEFAULT_STORE_NAME",
+    "META_KEY",
+    "SQLITE_SUFFIXES",
+    "BaseResultStore",
+    "JsonlResultStore",
+    "ResultStore",
+    "SqliteResultStore",
+    "open_store",
+    "resolve_store_path",
+]

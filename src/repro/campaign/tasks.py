@@ -1,103 +1,97 @@
-"""Built-in campaign task types.
+"""Built-in campaign task types: thin adapters onto the unified API.
 
-Each handler turns one :class:`~repro.campaign.grid.TaskSpec` into one flat
-result row; the runner adds the spec's identity fields and config hash
-afterwards, so handlers only report what they measured.  Three types ship:
+Each handler maps one :class:`~repro.campaign.grid.TaskSpec` to a declarative
+:class:`~repro.api.RunSpec` (:func:`runspec_for_task`) and executes it through
+the engine-agnostic :func:`repro.api.run` entry point; the runner adds the
+task's identity fields and config hash afterwards, so handlers only report
+what they measured.  Three types ship:
 
-* ``stabilize`` -- the original stabilization measurement (byte-identical
-  rows to the pre-registry campaign engine);
+* ``stabilize`` -- the original stabilization measurement on the daemon-step
+  scheduler engine (byte-identical rows and hashes to the pre-API campaign
+  engine);
 * ``scenario`` -- a fault-injection / dynamic-network scenario from the
-  library (:mod:`repro.scenarios`), reporting per-event recovery aggregates;
-* ``msgpass`` -- a message-passing workload on the synchronous simulator:
-  broadcast with and without a sense of direction, reporting the message
-  savings the orientation buys (the application story of EXP-A1 as a
-  sweepable campaign axis).
+  library (:mod:`repro.scenarios`), reporting per-event recovery aggregates
+  plus the persisted per-event records;
+* ``msgpass`` -- a message-passing workload (broadcast, DFS traversal, or
+  ring leader election) on the synchronous simulator, comparing message
+  costs with and without the orientation (the application story of EXP-A1 as
+  a sweepable campaign axis).
 """
 
 from __future__ import annotations
 
-from repro.analysis.convergence import (
-    height_controlled_tree,
-    measure_dftno,
-    measure_stno,
-)
+from repro.api import NetworkSpec, RunSpec, StopSpec, run
+from repro.api.spec import HEIGHT_TREE_FAMILY
 from repro.campaign.grid import TaskSpec
 from repro.campaign.registry import register_task_type
-from repro.core.baseline import centralized_orientation
-from repro.core.dftno import build_dftno
-from repro.core.stno import build_stno
-from repro.graphs import generators
 from repro.graphs.network import RootedNetwork
-from repro.runtime.daemon import make_daemon
 from repro.runtime.protocol import Protocol
-from repro.scenarios.library import build_scenario
-from repro.scenarios.runner import ScenarioRunner
-from repro.sod.traversal import broadcast_with_sod, broadcast_without_sod
+
+
+def network_spec_for_task(spec: TaskSpec) -> NetworkSpec:
+    """The declarative topology of a task, seeded from its config hash."""
+    if spec.height is not None:
+        return NetworkSpec(
+            family=HEIGHT_TREE_FAMILY,
+            size=spec.size,
+            height=spec.height,
+            seed=spec.network_seed,
+        )
+    return NetworkSpec(family=spec.family, size=spec.size, seed=spec.network_seed)
+
+
+def runspec_for_task(spec: TaskSpec) -> RunSpec:
+    """Map a campaign task onto the unified :class:`~repro.api.RunSpec`.
+
+    This is the whole adapter: the task type picks the engine, the identity
+    fields become the spec, and the hash-derived seeds keep every row
+    reproducible no matter where it executes.
+    """
+    engines = {"stabilize": "scheduler", "scenario": "scenario", "msgpass": "msgpass"}
+    if spec.task_type not in engines:
+        raise ValueError(f"no RunSpec mapping for task type {spec.task_type!r}")
+    if spec.task_type == "scenario" and spec.scenario is None:
+        raise ValueError("scenario tasks need a scenario name (Grid(scenarios=...))")
+    return RunSpec(
+        engine=engines[spec.task_type],
+        protocol=spec.protocol,
+        network=network_spec_for_task(spec),
+        daemon=spec.daemon,
+        seed=spec.run_seed,
+        scenario=spec.scenario if spec.task_type == "scenario" else None,
+        workload=(spec.workload or "broadcast") if spec.task_type == "msgpass" else None,
+        stop=StopSpec(after_substrate=spec.after_substrate),
+        parameter=spec.parameter,
+    )
 
 
 def build_task_network(spec: TaskSpec) -> RootedNetwork:
     """The network a task runs on, rebuilt from its hash-derived seed."""
-    if spec.height is not None:
-        return height_controlled_tree(spec.size, spec.height, seed=spec.network_seed)
-    return generators.family(spec.family, spec.size, seed=spec.network_seed)
+    return network_spec_for_task(spec).build()
 
 
 def build_task_protocol(spec: TaskSpec) -> Protocol:
     """The protocol stack named by ``spec.protocol``."""
-    if spec.protocol == "dftno":
-        return build_dftno()
-    return build_stno(tree=spec.protocol.split("-", 1)[1])
+    from repro.api.engines import build_protocol
+
+    return build_protocol(spec.protocol)
 
 
 @register_task_type("stabilize")
 def run_stabilize(spec: TaskSpec) -> dict[str, object]:
     """Measure stabilization of the spec's protocol on its network."""
-    network = build_task_network(spec)
-    daemon = make_daemon(spec.daemon)
-    if spec.protocol == "dftno":
-        sample = measure_dftno(
-            network,
-            daemon=daemon,
-            seed=spec.run_seed,
-            parameter=spec.parameter,
-            after_substrate=spec.after_substrate,
-        )
-    else:
-        tree = spec.protocol.split("-", 1)[1]
-        sample = measure_stno(
-            network,
-            tree=tree,
-            daemon=daemon,
-            seed=spec.run_seed,
-            parameter=spec.parameter,
-            after_substrate=spec.after_substrate,
-        )
-    return sample.as_row()
+    return run(runspec_for_task(spec)).row
 
 
 @register_task_type("scenario")
 def run_scenario_task(spec: TaskSpec) -> dict[str, object]:
     """Execute the spec's library scenario and report recovery aggregates."""
-    if spec.scenario is None:
-        raise ValueError("scenario tasks need a scenario name (Grid(scenarios=...))")
-    if spec.after_substrate:
-        # Rejecting beats mislabeling: after_substrate is part of the config
-        # hash, so silently ignoring it would store two differently-hashed
-        # copies of the same measurement, one falsely labeled.
-        raise ValueError("after_substrate starts are not supported for scenario tasks")
-    runner = ScenarioRunner(
-        build_task_network(spec),
-        build_task_protocol(spec),
-        build_scenario(spec.scenario),
-        daemon=make_daemon(spec.daemon),
-        seed=spec.run_seed,
-    )
-    return runner.run().as_row()
+    return run(runspec_for_task(spec)).row
 
 
 @register_task_type("msgpass")
 def run_msgpass(spec: TaskSpec) -> dict[str, object]:
-    """Broadcast with/without a sense of direction on the spec's network.
+    """Run the spec's message-passing workload with/without the orientation.
 
     The orientation is the centralized reference (the protocols' fixed
     point), so the row isolates what the *orientation* is worth to a
@@ -106,33 +100,15 @@ def run_msgpass(spec: TaskSpec) -> dict[str, object]:
     measurement (sweeping them yields repeated trials on fresh networks);
     ``after_substrate`` has no meaning here and is rejected.
     """
-    if spec.after_substrate:
-        raise ValueError("after_substrate starts are not supported for msgpass tasks")
-    network = build_task_network(spec)
-    orientation = centralized_orientation(network)
-    plain = broadcast_without_sod(network)
-    oriented = broadcast_with_sod(network, orientation)
-    return {
-        "workload": "broadcast",
-        "network": network.name,
-        "n": network.n,
-        "edges": network.num_edges(),
-        "parameter": spec.parameter,
-        "converged": plain.complete and oriented.complete,
-        "messages_unoriented": plain.messages,
-        "messages_oriented": oriented.messages,
-        "message_savings": (
-            plain.messages / oriented.messages if oriented.messages else None
-        ),
-        "rounds_unoriented": plain.rounds,
-        "rounds_oriented": oriented.rounds,
-    }
+    return run(runspec_for_task(spec)).row
 
 
 __all__ = [
     "build_task_network",
     "build_task_protocol",
+    "network_spec_for_task",
     "run_msgpass",
     "run_scenario_task",
     "run_stabilize",
+    "runspec_for_task",
 ]

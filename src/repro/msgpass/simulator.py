@@ -3,11 +3,12 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Sequence
 
 from repro.errors import SimulationError
 from repro.graphs.network import RootedNetwork
 from repro.msgpass.node import Context, Message, NodeProgram
+from repro.runtime.observers import Observer
 
 
 @dataclass
@@ -48,12 +49,23 @@ class SynchronousSimulator:
     ``on_round`` fires once per still-active processor.  The execution stops
     when no message is in flight and every processor has halted or is idle, or
     when ``max_rounds`` is reached.
+
+    ``observers`` receive ``on_round(simulator, round_index)`` after each
+    completed round and ``on_converged(simulator, result)`` at quiescence --
+    the message-passing half of the unified observer API.
     """
 
-    def __init__(self, network: RootedNetwork, program: NodeProgram, max_rounds: int = 10_000) -> None:
+    def __init__(
+        self,
+        network: RootedNetwork,
+        program: NodeProgram,
+        max_rounds: int = 10_000,
+        observers: Sequence[Observer] = (),
+    ) -> None:
         self.network = network
         self.program = program
         self.max_rounds = max_rounds
+        self.observers = tuple(observers)
 
     def run(self) -> SimulationResult:
         """Execute the program to quiescence and return the statistics."""
@@ -72,6 +84,10 @@ class SynchronousSimulator:
             sent_this_round += self._collect(context, node, round_index, in_flight, halted)
         messages_per_round.append(sent_this_round)
         total_messages += sent_this_round
+        # Observers receive the number of *completed* rounds, matching the
+        # Scheduler's on_round semantics (round 0 completing -> 1).
+        for observer in self.observers:
+            observer.on_round(self, round_index + 1)
 
         while in_flight:
             round_index += 1
@@ -100,14 +116,19 @@ class SynchronousSimulator:
 
             messages_per_round.append(sent_this_round)
             total_messages += sent_this_round
+            for observer in self.observers:
+                observer.on_round(self, round_index + 1)
 
-        return SimulationResult(
+        result = SimulationResult(
             rounds=round_index + 1,
             messages_sent=total_messages,
             messages_per_round=messages_per_round,
             states=states,
             halted=halted,
         )
+        for observer in self.observers:
+            observer.on_converged(self, result)
+        return result
 
     @staticmethod
     def _collect(

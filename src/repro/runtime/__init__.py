@@ -35,7 +35,14 @@ from repro.runtime.daemon import (
     AdversarialDaemon,
     make_daemon,
 )
-from repro.runtime.scheduler import Scheduler, RunResult, StepRecord
+from repro.runtime.scheduler import MoveRecord, Scheduler, RunResult, StepRecord
+from repro.runtime.observers import (
+    CallbackObserver,
+    MetricsObserver,
+    Observer,
+    ProgressObserver,
+    TraceObserver,
+)
 from repro.runtime.trace import Trace, TraceEvent
 from repro.runtime.metrics import ExecutionMetrics, space_bits_per_node, space_summary
 from repro.runtime.faults import random_configuration, corrupt_configuration, FaultInjector
@@ -62,6 +69,12 @@ __all__ = [
     "Scheduler",
     "RunResult",
     "StepRecord",
+    "MoveRecord",
+    "Observer",
+    "MetricsObserver",
+    "TraceObserver",
+    "ProgressObserver",
+    "CallbackObserver",
     "Trace",
     "TraceEvent",
     "ExecutionMetrics",

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.errors import ConvergenceError, SchedulingError
 from repro.graphs.network import RootedNetwork
@@ -25,9 +25,20 @@ from repro.runtime.actions import Action
 from repro.runtime.configuration import Configuration
 from repro.runtime.daemon import Daemon, DistributedDaemon
 from repro.runtime.metrics import ExecutionMetrics
+from repro.runtime.observers import MetricsObserver, Observer, TraceObserver
 from repro.runtime.processor import ProcessorView
 from repro.runtime.protocol import Protocol
-from repro.runtime.trace import Trace, TraceEvent
+from repro.runtime.trace import Trace
+
+
+@dataclass(frozen=True)
+class MoveRecord:
+    """One processor's move within a step: what executed and what it changed."""
+
+    node: int
+    action: str
+    layer: str
+    changes: Mapping[str, tuple[object, object]]  # variable -> (old, new)
 
 
 @dataclass(frozen=True)
@@ -38,6 +49,7 @@ class StepRecord:
     round: int
     executed: tuple[tuple[int, str], ...]  # (node, action name) pairs
     changed_nodes: tuple[int, ...]
+    moves: tuple[MoveRecord, ...] = ()
 
 
 @dataclass
@@ -106,6 +118,10 @@ class Scheduler:
         Randomness used by the daemon and by arbitrary initialization.
     record_trace:
         Whether to keep a :class:`~repro.runtime.trace.Trace` of every move.
+    observers:
+        Extra :class:`~repro.runtime.observers.Observer` instances notified of
+        every step and completed round.  Metrics (and, with ``record_trace``,
+        the trace) are themselves observers registered before these.
     """
 
     def __init__(
@@ -118,6 +134,7 @@ class Scheduler:
         rng: random.Random | None = None,
         record_trace: bool = False,
         trace_limit: int | None = 100_000,
+        observers: Sequence[Observer] = (),
     ) -> None:
         self.network = network
         self.protocol = protocol
@@ -136,13 +153,55 @@ class Scheduler:
         self._actions: dict[int, tuple[Action, ...]] = {
             node: tuple(protocol.actions(network, node)) for node in network.nodes()
         }
-        self.metrics = ExecutionMetrics()
-        self.trace: Trace | None = Trace(limit=trace_limit) if record_trace else None
+        # Metrics and trace are observers like any other; keeping them first in
+        # the list preserves the historical update order (counters before any
+        # external consumer sees the step).
+        self._metrics_observer = MetricsObserver()
+        self._trace_observer = TraceObserver(limit=trace_limit) if record_trace else None
+        self._observers: list[Observer] = [self._metrics_observer]
+        if self._trace_observer is not None:
+            self._observers.append(self._trace_observer)
+        self._observers.extend(observers)
 
         self._step_index = 0
         self._round_index = 0
         self._round_pending: set[int] | None = None
         self._frozen: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Observers
+    # ------------------------------------------------------------------
+    @property
+    def metrics(self) -> ExecutionMetrics:
+        """Per-run counters, accumulated by the built-in metrics observer."""
+        return self._metrics_observer.metrics
+
+    @property
+    def trace(self) -> Trace | None:
+        """The recorded trace, or ``None`` when tracing was not requested."""
+        return self._trace_observer.trace if self._trace_observer is not None else None
+
+    @property
+    def observers(self) -> tuple[Observer, ...]:
+        """Every registered observer (built-ins first)."""
+        return tuple(self._observers)
+
+    def add_observer(self, observer: Observer) -> None:
+        """Register ``observer`` for subsequent step/round notifications."""
+        self._observers.append(observer)
+
+    def _notify_step(self, record: StepRecord) -> None:
+        for observer in self._observers:
+            observer.on_step(self, record)
+
+    def _notify_round(self, round_index: int) -> None:
+        for observer in self._observers:
+            observer.on_round(self, round_index)
+
+    def notify_converged(self, result: object) -> None:
+        """Tell every observer the run's stop condition was reached."""
+        for observer in self._observers:
+            observer.on_converged(self, result)
 
     # ------------------------------------------------------------------
     # Enabled actions
@@ -212,10 +271,10 @@ class Scheduler:
             writes = view.pending_writes
             pending_writes[node] = writes
             executed.append((node, action.name))
-            self.metrics.record_move(node, action.name, action.layer)
 
         # Apply all writes after every selected processor has read the
         # beginning-of-step configuration (composite atomicity).
+        moves: list[MoveRecord] = []
         for node, writes in pending_writes.items():
             changes: dict[str, tuple[object, object]] = {}
             for name, value in writes.items():
@@ -225,45 +284,45 @@ class Scheduler:
             if changes:
                 changed_nodes.append(node)
             self.configuration.update_node(node, writes)
-            if self.trace is not None:
-                action_name = dict(executed)[node]
-                layer = enabled[node].layer
-                self.trace.record(
-                    TraceEvent(
-                        step=self._step_index,
-                        round=self._round_index,
-                        node=node,
-                        action=action_name,
-                        layer=layer,
-                        changes=changes,
-                    )
+            moves.append(
+                MoveRecord(
+                    node=node,
+                    action=dict(executed)[node],
+                    layer=enabled[node].layer,
+                    changes=changes,
                 )
+            )
 
         record = StepRecord(
             step=self._step_index,
             round=self._round_index,
             executed=tuple(executed),
             changed_nodes=tuple(changed_nodes),
+            moves=tuple(moves),
         )
 
         self._step_index += 1
-        self.metrics.steps = self._step_index
-        self._advance_round(set(selected))
+        completed_round = self._advance_round(set(selected))
+        self._notify_step(record)
+        if completed_round is not None:
+            self._notify_round(completed_round)
         return record
 
-    def _advance_round(self, executed_nodes: set[int]) -> None:
+    def _advance_round(self, executed_nodes: set[int]) -> int | None:
         """Round bookkeeping: a round ends when every processor that was
-        enabled at its start has executed or become disabled."""
+        enabled at its start has executed or become disabled.  Returns the
+        just-completed round index, or ``None``."""
         if self._round_pending is None:
-            return
+            return None
         self._round_pending -= executed_nodes
         if self._round_pending:
             still_enabled = set(self.enabled_nodes())
             self._round_pending &= still_enabled
         if not self._round_pending:
             self._round_index += 1
-            self.metrics.rounds = self._round_index
             self._round_pending = None
+            return self._round_index
+        return None
 
     # ------------------------------------------------------------------
     # Whole runs
@@ -481,4 +540,4 @@ class Scheduler:
         )
 
 
-__all__ = ["Scheduler", "RunResult", "StepRecord"]
+__all__ = ["MoveRecord", "Scheduler", "RunResult", "StepRecord"]

@@ -18,10 +18,13 @@ from __future__ import annotations
 
 import random
 
+from typing import Sequence
+
 from repro.analysis.recovery import EventRecovery, ScenarioReport, disturbed_nodes
 from repro.core.specification import VAR_EDGE_LABELS, VAR_NAME
 from repro.graphs.network import RootedNetwork
 from repro.runtime.daemon import Daemon
+from repro.runtime.observers import Observer
 from repro.runtime.protocol import Protocol
 from repro.runtime.scheduler import Scheduler
 from repro.scenarios.scenario import Scenario
@@ -50,6 +53,13 @@ class ScenarioRunner:
     watch_variables:
         Variable names disturbance is measured over (default: the orientation
         variables ``no_eta`` / ``no_pi``); ``None`` -> every variable.
+    observers:
+        :class:`~repro.runtime.observers.Observer` instances.  They receive
+        the scheduler's step/round notifications, ``on_event`` with each
+        event's :class:`~repro.analysis.recovery.EventRecovery` the moment its
+        recovery phase ends, and ``on_converged`` with the final
+        :class:`~repro.analysis.recovery.ScenarioReport` when the whole
+        scenario recovered.
     """
 
     def __init__(
@@ -61,6 +71,7 @@ class ScenarioRunner:
         seed: int | None = None,
         phase_budget: int | None = None,
         watch_variables: tuple[str, ...] | None = ORIENTATION_VARIABLES,
+        observers: Sequence[Observer] = (),
     ) -> None:
         self.network = network
         self.protocol = protocol
@@ -74,6 +85,7 @@ class ScenarioRunner:
         )
         self.confirm_steps = 3 * (network.n + network.num_edges()) + 10
         self.watch_variables = watch_variables
+        self.observers = tuple(observers)
 
     def run(self) -> ScenarioReport:
         """Execute the scenario once and return the full recovery report."""
@@ -83,6 +95,7 @@ class ScenarioRunner:
             self.protocol,
             daemon=self.daemon,
             rng=random.Random(rng.randrange(1 << 30)),
+            observers=self.observers,
         )
 
         configured_daemon = scheduler.daemon.name
@@ -125,32 +138,33 @@ class ScenarioRunner:
             )
             recovered = recovery.converged
             stabilized = recovered
-            recoveries.append(
-                EventRecovery(
-                    index=index,
-                    kind=outcome.kind,
-                    description=outcome.description,
-                    applied=outcome.applied,
-                    disturbed=len(disturbed),
-                    disturbed_fraction=len(disturbed) / scheduler.network.n,
-                    broke_legitimacy=broke,
-                    recovered=recovered,
-                    recovery_steps=(
-                        recovery.first_legitimate_step - start_steps
-                        if recovered and recovery.first_legitimate_step is not None
-                        else None
-                    ),
-                    recovery_rounds=(
-                        recovery.first_legitimate_round - start_rounds
-                        if recovered and recovery.first_legitimate_round is not None
-                        else None
-                    ),
-                    closure_violations=violations,
-                    deadlocked=recovery.terminated and not recovered,
-                )
+            record = EventRecovery(
+                index=index,
+                kind=outcome.kind,
+                description=outcome.description,
+                applied=outcome.applied,
+                disturbed=len(disturbed),
+                disturbed_fraction=len(disturbed) / scheduler.network.n,
+                broke_legitimacy=broke,
+                recovered=recovered,
+                recovery_steps=(
+                    recovery.first_legitimate_step - start_steps
+                    if recovered and recovery.first_legitimate_step is not None
+                    else None
+                ),
+                recovery_rounds=(
+                    recovery.first_legitimate_round - start_rounds
+                    if recovered and recovery.first_legitimate_round is not None
+                    else None
+                ),
+                closure_violations=violations,
+                deadlocked=recovery.terminated and not recovered,
             )
+            recoveries.append(record)
+            for observer in self.observers:
+                observer.on_event(self, record)
 
-        return ScenarioReport(
+        report = ScenarioReport(
             scenario=self.scenario.name,
             protocol=self.protocol.name,
             network=scheduler.network.name,
@@ -165,6 +179,10 @@ class ScenarioRunner:
             total_steps=scheduler.steps_executed,
             total_rounds=scheduler.rounds_completed,
         )
+        if report.converged:
+            for observer in self.observers:
+                observer.on_converged(self, report)
+        return report
 
 
 def run_scenario(

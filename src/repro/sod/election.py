@@ -23,13 +23,14 @@ purely about what the orientation saves (EXP-A1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Sequence
 
 from repro.core.chordal import ChordalOrientation
 from repro.errors import SimulationError
 from repro.graphs.network import RootedNetwork
 from repro.msgpass.node import Context, NodeProgram
 from repro.msgpass.simulator import SynchronousSimulator
+from repro.runtime.observers import Observer
 
 
 @dataclass(frozen=True)
@@ -88,11 +89,15 @@ class _ChangRoberts(NodeProgram):
             context.halt()
 
 
-def ring_election_oriented(network: RootedNetwork, orientation: ChordalOrientation) -> ElectionOutcome:
+def ring_election_oriented(
+    network: RootedNetwork,
+    orientation: ChordalOrientation,
+    observers: Sequence[Observer] = (),
+) -> ElectionOutcome:
     """Chang-Roberts election on the ring oriented by ``orientation``."""
     _require_ring(network)
     orientation.require_valid(network)
-    result = SynchronousSimulator(network, _ChangRoberts(orientation)).run()
+    result = SynchronousSimulator(network, _ChangRoberts(orientation), observers=observers).run()
     leaders = {
         result.state_of(node).get("leader")
         for node in network.nodes()
@@ -149,7 +154,9 @@ class _BidirectionalElection(NodeProgram):
 
 
 def ring_election_unoriented(
-    network: RootedNetwork, identifiers: dict[int, int] | None = None
+    network: RootedNetwork,
+    identifiers: dict[int, int] | None = None,
+    observers: Sequence[Observer] = (),
 ) -> ElectionOutcome:
     """Bidirectional election on the same ring without using any orientation."""
     _require_ring(network)
@@ -157,7 +164,9 @@ def ring_election_unoriented(
         identifiers = {node: node for node in network.nodes()}
     if len(set(identifiers.values())) != network.n:
         raise SimulationError("election identifiers must be unique")
-    result = SynchronousSimulator(network, _BidirectionalElection(identifiers)).run()
+    result = SynchronousSimulator(
+        network, _BidirectionalElection(identifiers), observers=observers
+    ).run()
     leaders = {
         result.state_of(node).get("leader")
         for node in network.nodes()

@@ -20,13 +20,14 @@ known to have been informed.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Sequence
 
 from repro.core.chordal import ChordalOrientation
 from repro.errors import SimulationError
 from repro.graphs.network import RootedNetwork
 from repro.msgpass.node import Context, NodeProgram
 from repro.msgpass.simulator import SimulationResult, SynchronousSimulator
+from repro.runtime.observers import Observer
 
 
 @dataclass(frozen=True)
@@ -102,9 +103,11 @@ class _DFSWithoutSoD(NodeProgram):
             context.send(parent, self.TOKEN)
 
 
-def dfs_traversal_without_sod(network: RootedNetwork) -> TraversalOutcome:
+def dfs_traversal_without_sod(
+    network: RootedNetwork, observers: Sequence[Observer] = ()
+) -> TraversalOutcome:
     """Run the unoriented DFS traversal and report its message count."""
-    result = SynchronousSimulator(network, _DFSWithoutSoD()).run()
+    result = SynchronousSimulator(network, _DFSWithoutSoD(), observers=observers).run()
     return _outcome(result, network)
 
 
@@ -149,10 +152,14 @@ class _DFSWithSoD(NodeProgram):
             context.halt()
 
 
-def dfs_traversal_with_sod(network: RootedNetwork, orientation: ChordalOrientation) -> TraversalOutcome:
+def dfs_traversal_with_sod(
+    network: RootedNetwork,
+    orientation: ChordalOrientation,
+    observers: Sequence[Observer] = (),
+) -> TraversalOutcome:
     """Run the sense-of-direction DFS traversal and report its message count."""
     orientation.require_valid(network)
-    result = SynchronousSimulator(network, _DFSWithSoD(orientation)).run()
+    result = SynchronousSimulator(network, _DFSWithSoD(orientation), observers=observers).run()
     return _outcome(result, network)
 
 
@@ -213,16 +220,22 @@ class _SoDBroadcast(NodeProgram):
             context.send(neighbor, known)
 
 
-def broadcast_without_sod(network: RootedNetwork) -> TraversalOutcome:
+def broadcast_without_sod(
+    network: RootedNetwork, observers: Sequence[Observer] = ()
+) -> TraversalOutcome:
     """Flooding broadcast from the root; ~2m - (n-1) messages."""
-    result = SynchronousSimulator(network, _FloodingBroadcast()).run()
+    result = SynchronousSimulator(network, _FloodingBroadcast(), observers=observers).run()
     return _broadcast_outcome(result, network)
 
 
-def broadcast_with_sod(network: RootedNetwork, orientation: ChordalOrientation) -> TraversalOutcome:
+def broadcast_with_sod(
+    network: RootedNetwork,
+    orientation: ChordalOrientation,
+    observers: Sequence[Observer] = (),
+) -> TraversalOutcome:
     """Sense-of-direction broadcast from the root; close to n - 1 messages on dense networks."""
     orientation.require_valid(network)
-    result = SynchronousSimulator(network, _SoDBroadcast(orientation)).run()
+    result = SynchronousSimulator(network, _SoDBroadcast(orientation), observers=observers).run()
     return _broadcast_outcome(result, network)
 
 

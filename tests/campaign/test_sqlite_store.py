@@ -1,0 +1,185 @@
+"""SQLite store backend, store metadata, and the status progress/ETA view."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.campaign.cli import main
+from repro.campaign.store import (
+    JsonlResultStore,
+    ResultStore,
+    SqliteResultStore,
+    open_store,
+    resolve_store_path,
+)
+
+
+def row(h: str, **extra: object) -> dict[str, object]:
+    return {"config_hash": h, "converged": True, **extra}
+
+
+def test_resolve_store_path_accepts_sqlite_suffixes(tmp_path):
+    assert resolve_store_path(tmp_path / "a.jsonl") == tmp_path / "a.jsonl"
+    assert resolve_store_path(tmp_path / "a.sqlite") == tmp_path / "a.sqlite"
+    assert resolve_store_path(tmp_path / "a.db") == tmp_path / "a.db"
+    assert resolve_store_path(tmp_path / "dir") == tmp_path / "dir" / "campaign.jsonl"
+
+
+def test_open_store_dispatches_on_suffix(tmp_path):
+    assert isinstance(open_store(tmp_path / "x.sqlite"), SqliteResultStore)
+    assert isinstance(open_store(tmp_path / "x.db"), SqliteResultStore)
+    assert isinstance(open_store(tmp_path / "x.jsonl"), JsonlResultStore)
+    # Backwards-compatible alias: ResultStore is the JSONL backend.
+    assert ResultStore is JsonlResultStore
+
+
+@pytest.mark.parametrize("suffix", [".jsonl", ".sqlite"])
+def test_backends_share_append_dedup_and_order_semantics(tmp_path, suffix):
+    store = open_store(tmp_path / f"store{suffix}")
+    assert store.append(row("aa", value=1)) is True
+    assert store.append(row("aa", value=2)) is False  # dedup: first row wins
+    assert store.append(row("bb", value=3)) is True
+    assert store.extend([row("bb"), row("cc"), row("cc"), row("dd")]) == 2
+    assert len(store) == 4
+    assert "aa" in store and "zz" not in store
+    assert store.completed_hashes() == {"aa", "bb", "cc", "dd"}
+
+    reopened = open_store(store.path)
+    rows = reopened.rows()
+    assert [r["config_hash"] for r in rows] == ["aa", "bb", "cc", "dd"]  # append order
+    assert rows[0]["value"] == 1
+    assert reopened.rows_by_hash()["bb"]["value"] == 3
+
+    with pytest.raises(ValueError, match="config_hash"):
+        store.append({"converged": True})
+
+
+@pytest.mark.parametrize("suffix", [".jsonl", ".sqlite"])
+def test_metadata_persists_and_merges(tmp_path, suffix):
+    store = open_store(tmp_path / f"store{suffix}")
+    assert store.metadata() == {}
+    store.update_metadata(created_at=123.0, code_version="1.0.0")
+    store.update_metadata(grid={"sizes": [6, 8]}, code_version="1.1.0")
+    reopened = open_store(store.path)
+    metadata = reopened.metadata()
+    assert metadata["created_at"] == 123.0
+    assert metadata["code_version"] == "1.1.0"  # later update wins
+    assert metadata["grid"] == {"sizes": [6, 8]}
+    # Metadata never leaks into result rows.
+    store.append(row("aa"))
+    assert open_store(store.path).rows() == [row("aa")]
+
+
+def test_jsonl_metadata_lines_coexist_with_rows_on_disk(tmp_path):
+    store = JsonlResultStore(tmp_path / "store.jsonl")
+    store.update_metadata(created_at=1.0)
+    store.append(row("aa"))
+    lines = [json.loads(line) for line in store.path.read_text().splitlines()]
+    assert any("__store_meta__" in line for line in lines)
+    assert any(line.get("config_hash") == "aa" for line in lines)
+
+
+def test_read_only_misses_do_not_create_files(tmp_path):
+    for suffix in (".jsonl", ".sqlite"):
+        store = open_store(tmp_path / f"missing{suffix}")
+        assert store.rows() == []
+        assert store.metadata() == {}
+        assert len(store) == 0
+        assert store.time_window() is None
+        assert not store.path.exists()
+
+
+def test_sqlite_time_window_and_throughput(tmp_path):
+    store = SqliteResultStore(tmp_path / "store.sqlite")
+    for index in range(5):
+        store.append(row(f"h{index}"))
+    # Pin the per-row timestamps so the rate is exact: 5 rows over 2 seconds.
+    connection = store._connect(create=True)
+    for index in range(5):
+        connection.execute(
+            "UPDATE results SET created_at = ? WHERE config_hash = ?",
+            (100.0 + index * 0.5, f"h{index}"),
+        )
+    connection.commit()
+    assert store.time_window() == (100.0, 102.0)
+    assert store.throughput() == pytest.approx(5 / 2.0)
+
+
+def test_jsonl_throughput_uses_created_at_and_mtime(tmp_path, monkeypatch):
+    import os
+
+    store = JsonlResultStore(tmp_path / "store.jsonl")
+    store.update_metadata(created_at=50.0)
+    store.append(row("aa"))
+    store.append(row("bb"))
+    os.utime(store.path, (60.0, 60.0))
+    assert store.time_window() == (50.0, 60.0)
+    assert store.throughput() == pytest.approx(2 / 10.0)
+
+
+def test_single_row_store_has_no_throughput(tmp_path):
+    store = SqliteResultStore(tmp_path / "store.sqlite")
+    store.append(row("aa"))
+    assert store.throughput() is None
+
+
+def test_merge_mixes_backends_both_ways(tmp_path, capsys):
+    jsonl = JsonlResultStore(tmp_path / "a.jsonl")
+    jsonl.extend([row("aa", value=1), row("bb", value=2)])
+    sqlite = SqliteResultStore(tmp_path / "b.sqlite")
+    sqlite.extend([row("bb", value=99), row("cc", value=3)])
+
+    assert main(["merge", str(jsonl.path), str(sqlite.path), "--out", str(tmp_path / "m.sqlite")]) == 0
+    merged = open_store(tmp_path / "m.sqlite")
+    assert merged.completed_hashes() == {"aa", "bb", "cc"}
+    assert merged.rows_by_hash()["bb"]["value"] == 2  # earlier source wins
+
+    assert main(["merge", str(sqlite.path), "--out", str(jsonl.path)]) == 0
+    assert open_store(jsonl.path).completed_hashes() == {"aa", "bb", "cc"}
+
+
+def test_campaign_runs_and_resumes_against_sqlite(tmp_path, capsys):
+    out = str(tmp_path / "campaign.sqlite")
+    args = [
+        "run", "--protocol", "dftno", "--family", "ring", "--sizes", "6",
+        "--trials", "2", "--seed", "1", "--out", out, "--quiet",
+    ]
+    assert main(args) == 0
+    capsys.readouterr()
+    assert main(args + ["--resume"]) == 0
+    assert "0 executed, 2 skipped" in capsys.readouterr().out
+    store = open_store(Path(out))
+    assert len(store) == 2
+    metadata = store.metadata()
+    assert "created_at" in metadata and "grid" in metadata and "code_version" in metadata
+    assert metadata["grid"]["sizes"] == [6]
+
+
+def test_status_reports_backend_metadata_and_progress(tmp_path, capsys):
+    out = str(tmp_path / "campaign.sqlite")
+    assert main([
+        "run", "--protocol", "dftno", "--family", "ring", "--sizes", "6",
+        "--trials", "2", "--seed", "1", "--out", out, "--quiet",
+    ]) == 0
+    # Pin timestamps so the rate (and therefore the ETA branch) is exercised
+    # deterministically even on a machine fast enough to finish in one tick.
+    store = SqliteResultStore(Path(out))
+    connection = store._connect(create=True)
+    connection.execute("UPDATE results SET created_at = 100.0 WHERE rowid = 1")
+    connection.execute("UPDATE results SET created_at = 104.0 WHERE rowid = 2")
+    connection.commit()
+    store.close()
+    capsys.readouterr()
+    # The same grid with 4 trials: 2 completed, 2 pending -> progress + ETA.
+    assert main([
+        "status", "--out", out, "--protocol", "dftno", "--family", "ring",
+        "--sizes", "6", "--trials", "4", "--seed", "1",
+    ]) == 0
+    output = capsys.readouterr().out
+    assert "(sqlite, 2 rows)" in output
+    assert "code version" in output
+    assert "2 completed, 2 pending" in output
+    assert "progress: 2/4 (50%), 0.50 rows/s, ETA 4s" in output

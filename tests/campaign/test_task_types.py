@@ -185,6 +185,121 @@ def test_get_task_handler_returns_the_registered_callable():
     assert callable(handler)
 
 
+def test_msgpass_workload_axis_expands_and_hashes():
+    grid = Grid(
+        sizes=(6,),
+        families=("ring",),
+        trials=1,
+        seed=4,
+        task_type="msgpass",
+        workloads=("broadcast", "traversal", "election"),
+    )
+    tasks = grid.expand()
+    assert len(tasks) == len(grid) == 3
+    # "broadcast" is the default workload: it hashes exactly like a
+    # pre-workload-axis msgpass task, so old stores keep resuming.
+    legacy = Grid(sizes=(6,), families=("ring",), trials=1, seed=4, task_type="msgpass")
+    assert tasks[0].workload is None
+    assert tasks[0].config_hash == legacy.expand()[0].config_hash
+    assert "workload" not in tasks[0].identity()
+    assert tasks[1].identity()["workload"] == "traversal"
+    assert len({task.config_hash for task in tasks}) == 3
+
+
+def test_msgpass_workload_rows_report_savings_per_workload():
+    grid = Grid(
+        sizes=(8,),
+        families=("ring",),
+        trials=1,
+        seed=2,
+        task_type="msgpass",
+        workloads=("traversal", "election"),
+    )
+    rows = [run_task(task) for task in grid.expand()]
+    by_workload = {row["workload"]: row for row in rows}
+    assert set(by_workload) == {"traversal", "election"}
+    assert by_workload["traversal"]["messages_oriented"] == 2 * (
+        by_workload["traversal"]["n"] - 1
+    )
+    assert by_workload["election"]["message_savings"] > 1.0
+    assert all(row["converged"] for row in rows)
+
+
+def test_workload_axis_is_validated():
+    with pytest.raises(ValueError, match="only apply to task_type='msgpass'"):
+        Grid(sizes=(6,), workloads=("broadcast",))
+    with pytest.raises(ValueError, match="unknown workloads"):
+        Grid(sizes=(6,), task_type="msgpass", workloads=("teleport",))
+    with pytest.raises(ValueError, match="ring"):
+        Grid(sizes=(6,), task_type="msgpass", workloads=("election",))
+
+
+def test_scenario_rows_persist_per_event_records_and_round_trip():
+    from repro.analysis.recovery import (
+        EventRecovery,
+        ScenarioReport,
+        aggregate_event_recoveries,
+    )
+
+    grid = Grid(
+        sizes=(8,),
+        protocols=("dftno",),
+        trials=1,
+        seed=6,
+        task_type="scenario",
+        scenarios=("periodic_burst",),
+    )
+    row = run_task(grid.expand()[0])
+    records = row["event_records"]
+    assert isinstance(records, list) and len(records) == row["events"]
+    json.dumps(row)  # the records are store-serializable
+
+    # Row -> report -> events round-trips exactly.
+    report = ScenarioReport.from_row(row)
+    assert len(report.events) == row["events"]
+    assert report.events[0] == EventRecovery.from_row(records[0])
+    assert report.converged == row["converged"]
+    aggregated = aggregate_event_recoveries([report])
+    assert aggregated[0]["kind"] == "corruption"
+    assert aggregated[0]["events"] == row["events_applied"]
+
+
+def test_report_per_event_aggregates_stored_scenario_rows(tmp_path, capsys):
+    from repro.campaign.cli import main
+    from repro.campaign.store import JsonlResultStore
+
+    grid = Grid(
+        sizes=(8,),
+        protocols=("dftno",),
+        trials=1,
+        seed=6,
+        task_type="scenario",
+        scenarios=("churn",),
+    )
+    store = JsonlResultStore(tmp_path / "scen.jsonl")
+    for task in grid.expand():
+        store.append(run_task(task))
+    # A stabilize row without event records is counted and skipped.
+    store.append({"config_hash": "deadbeef", "converged": True})
+    capsys.readouterr()
+    assert main(["report", "--out", str(store.path), "--per-event"]) == 0
+    out = capsys.readouterr().out
+    assert "per-event recovery across 1 scenario runs" in out
+    assert "crash" in out and "link_change" in out
+    assert "1 row(s) without per-event records were skipped" in out
+
+
+def test_report_per_event_fails_cleanly_without_records(tmp_path, capsys):
+    from repro.campaign.cli import main
+    from repro.campaign.store import JsonlResultStore
+
+    store = JsonlResultStore(tmp_path / "plain.jsonl")
+    store.append({"config_hash": "aa", "converged": True})
+    capsys.readouterr()
+    assert main(["report", "--out", str(store.path), "--per-event"]) == 1
+    assert "no stored rows carry per-event records" in capsys.readouterr().out
+
+
 def test_cascade_campaign_resumes_after_simulated_crash_and_reports(tmp_path, capsys):
     # The acceptance path: cascade from the library over 2 protocols x 2
     # daemons, crash mid-campaign, resume, and aggregate recovery times.
