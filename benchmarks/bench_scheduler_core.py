@@ -1,0 +1,154 @@
+"""Micro-benchmark of the scheduler core: incremental enabled-set vs full scan.
+
+The incremental core (PR 4) keeps a persistent enabled-set and re-evaluates
+guards only around the nodes a step changed; the historical core rescans all
+``n`` processors' guards every step.  This benchmark times both cores on the
+same BFS spanning-tree stabilization (central daemon, fixed seeds, identical
+executions -- the step counts are asserted equal) at n in {50, 200, 500} and
+writes the measurements to ``BENCH_scheduler.json`` so the performance
+trajectory of the runtime finally has recorded data.
+
+Run as a script (what ``scripts/smoke.sh`` and CI do)::
+
+    PYTHONPATH=src python benchmarks/bench_scheduler_core.py            # full
+    PYTHONPATH=src python benchmarks/bench_scheduler_core.py --quick    # CI/smoke
+    PYTHONPATH=src python benchmarks/bench_scheduler_core.py --out path.json
+
+or through pytest (``pytest benchmarks/bench_scheduler_core.py -s``), which
+executes the full variant and asserts the acceptance threshold: at n=500 the
+incremental core must be at least 3x faster than the full scan.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.graphs import generators
+from repro.runtime.daemon import CentralDaemon
+from repro.runtime.scheduler import Scheduler
+from repro.substrates.spanning_tree import BFSSpanningTree
+
+#: Sizes of the full sweep; the quick variant (CI, smoke) trims the tail.
+FULL_SIZES = (50, 200, 500)
+QUICK_SIZES = (50, 120)
+
+#: The acceptance threshold at the largest full-sweep size.
+REQUIRED_SPEEDUP = 3.0
+REQUIRED_AT_N = 500
+
+DEFAULT_ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_scheduler.json"
+
+
+def _time_stabilization(n: int, incremental: bool, seed: int = 7) -> dict[str, object]:
+    """Time one BFS-tree stabilization run on the requested scheduler core."""
+    network = generators.random_connected(n, seed=1)
+    scheduler = Scheduler(
+        network,
+        BFSSpanningTree(),
+        daemon=CentralDaemon(),
+        seed=seed,
+        incremental=incremental,
+    )
+    started = time.perf_counter()
+    result = scheduler.run_until_legitimate(max_steps=8 * n)
+    elapsed = time.perf_counter() - started
+    return {
+        "n": n,
+        "core": "incremental" if incremental else "fullscan",
+        "steps": result.steps,
+        "converged": result.converged,
+        "seconds": round(elapsed, 4),
+        "steps_per_second": round(result.steps / elapsed, 1) if elapsed > 0 else None,
+    }
+
+
+def run_bench(sizes=FULL_SIZES, emit=print) -> dict[str, object]:
+    """Run the sweep and return the artifact payload (also emitted per row)."""
+    rows: list[dict[str, object]] = []
+    speedups: dict[int, float] = {}
+    for n in sizes:
+        fullscan = _time_stabilization(n, incremental=False)
+        incremental = _time_stabilization(n, incremental=True)
+        # Identical executions or the comparison is meaningless.
+        assert incremental["steps"] == fullscan["steps"], (n, incremental, fullscan)
+        assert incremental["converged"] == fullscan["converged"]
+        speedup = fullscan["seconds"] / incremental["seconds"] if incremental["seconds"] else None
+        speedups[n] = speedup
+        rows.extend((fullscan, incremental))
+        emit(
+            f"n={n}: fullscan {fullscan['seconds']:.3f}s, "
+            f"incremental {incremental['seconds']:.3f}s "
+            f"({incremental['steps']} steps) -> speedup {speedup:.2f}x"
+        )
+    return {
+        "benchmark": "scheduler_core",
+        "workload": "BFS spanning-tree stabilization, central daemon, seed 7",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "sizes": list(sizes),
+        "rows": rows,
+        "speedup_by_n": {str(n): round(s, 2) for n, s in speedups.items() if s},
+        "required_speedup": REQUIRED_SPEEDUP,
+        "required_at_n": REQUIRED_AT_N,
+    }
+
+
+def write_artifact(payload: dict[str, object], path: Path) -> None:
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def check_threshold(payload: dict[str, object]) -> bool:
+    """Whether the acceptance threshold applies to this sweep and holds.
+
+    Quick sweeps that never reach ``REQUIRED_AT_N`` are exempt (their small
+    sizes bound the possible win); a full sweep must clear it.
+    """
+    speedup = payload["speedup_by_n"].get(str(REQUIRED_AT_N))
+    if speedup is None:
+        return True
+    return speedup >= REQUIRED_SPEEDUP
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"trimmed sweep {QUICK_SIZES} for CI / smoke (threshold not applicable)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=DEFAULT_ARTIFACT,
+        metavar="PATH",
+        help=f"artifact path (default {DEFAULT_ARTIFACT.name} in the repo root)",
+    )
+    args = parser.parse_args(argv)
+    payload = run_bench(QUICK_SIZES if args.quick else FULL_SIZES)
+    write_artifact(payload, args.out)
+    print(f"wrote {args.out}")
+    if not check_threshold(payload):
+        print(
+            f"FAILED: incremental speedup at n={REQUIRED_AT_N} below "
+            f"{REQUIRED_SPEEDUP}x: {payload['speedup_by_n']}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def test_incremental_core_speedup(tmp_path):
+    """Pytest entry point: full sweep, artifact written, threshold asserted."""
+    payload = run_bench()
+    write_artifact(payload, tmp_path / "BENCH_scheduler.json")
+    assert check_threshold(payload), payload["speedup_by_n"]
+    # The incremental core must win at every size, not just the largest.
+    for n, speedup in payload["speedup_by_n"].items():
+        assert speedup > 1.0, (n, speedup)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,15 @@ python -m pytest -x -q "$@"
 out="$(mktemp -d)"
 trap 'rm -rf "$out"' EXIT
 
+# --- scheduler-core micro-bench (quick variant) ----------------------------
+# Times the incremental enabled-set core against the historical full scan on
+# small sizes and writes the BENCH_scheduler.json artifact; the full sweep
+# (n up to 500, with the 3x acceptance threshold) runs in CI and on demand.
+python benchmarks/bench_scheduler_core.py --quick --out "$out/BENCH_scheduler.json"
+test -s "$out/BENCH_scheduler.json" || {
+    echo "smoke FAILED: scheduler bench artifact missing" >&2; exit 1;
+}
+
 python -m repro.campaign run --protocol dftno --family ring \
     --sizes 6,8 --trials 2 --jobs 2 --seed 1 --out "$out"
 

@@ -89,6 +89,7 @@ def measure_layered_stabilization(
     label: str | None = None,
     configuration: Configuration | None = None,
     observers: Sequence[Observer] = (),
+    incremental: bool = True,
 ) -> StabilizationSample:
     """Run ``protocol`` from an arbitrary configuration and time both predicates.
 
@@ -99,7 +100,8 @@ def measure_layered_stabilization(
     of consecutive steps or the step budget is exhausted.  ``configuration``
     overrides the (default: arbitrary) starting configuration.  ``observers``
     receive every step/round notification plus ``on_converged`` with the
-    finished sample.
+    finished sample.  ``incremental=False`` forces the scheduler's historical
+    full guard scan (the ``scheduler-fullscan`` differential-testing path).
     """
     rng = random.Random(seed)
     daemon = daemon or DistributedDaemon()
@@ -107,7 +109,13 @@ def measure_layered_stabilization(
         max_steps = 500 * (network.n + network.num_edges()) + 3_000
 
     scheduler = Scheduler(
-        network, protocol, daemon=daemon, rng=rng, configuration=configuration, observers=observers
+        network,
+        protocol,
+        daemon=daemon,
+        rng=rng,
+        configuration=configuration,
+        observers=observers,
+        incremental=incremental,
     )
 
     substrate_step: int | None = None
@@ -210,6 +218,7 @@ def measure_dftno(
     parameter: int | None = None,
     after_substrate: bool = False,
     observers: Sequence[Observer] = (),
+    incremental: bool = True,
 ) -> StabilizationSample:
     """Measure DFTNO on ``network``: token-layer and full-orientation stabilization.
 
@@ -245,6 +254,7 @@ def measure_dftno(
         label="dftno",
         configuration=configuration,
         observers=observers,
+        incremental=incremental,
     )
 
 
@@ -257,6 +267,7 @@ def measure_stno(
     parameter: int | None = None,
     after_substrate: bool = False,
     observers: Sequence[Observer] = (),
+    incremental: bool = True,
 ) -> StabilizationSample:
     """Measure STNO on ``network``: tree-layer and full-orientation stabilization.
 
@@ -297,6 +308,7 @@ def measure_stno(
         label=protocol.name,
         configuration=configuration,
         observers=observers,
+        incremental=incremental,
     )
 
 

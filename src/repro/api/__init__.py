@@ -34,6 +34,7 @@ each experiment.
 
 from repro.api.engines import (
     Engine,
+    FullScanSchedulerEngine,
     MsgpassEngine,
     ScenarioEngine,
     SchedulerEngine,
@@ -52,6 +53,7 @@ from repro.api.observers import (
 )
 from repro.api.spec import (
     ENGINE_NAMES,
+    SCHEDULER_ENGINES,
     NetworkSpec,
     RunResult,
     RunSpec,
@@ -61,8 +63,10 @@ from repro.api.spec import (
 
 __all__ = [
     "ENGINE_NAMES",
+    "SCHEDULER_ENGINES",
     "WORKLOADS",
     "Engine",
+    "FullScanSchedulerEngine",
     "MsgpassEngine",
     "NetworkSpec",
     "Observer",

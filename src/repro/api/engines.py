@@ -89,9 +89,17 @@ class SchedulerEngine(Engine):
     flattened by ``as_row`` -- byte-identical to what the pre-API
     ``stabilize`` campaign task type produced, which is what keeps existing
     campaign stores resumable through the new entry point.
+
+    The default engine runs the scheduler's incremental enabled-set core;
+    :class:`FullScanSchedulerEngine` (``"scheduler-fullscan"``) runs the
+    historical full guard scan instead.  Both produce bit-identical step
+    records, metrics and final configurations for the same spec -- the
+    equivalence property test holds them to that.
     """
 
     name = "scheduler"
+    #: Whether the underlying scheduler maintains the incremental enabled-set.
+    incremental = True
 
     def execute(self, spec: RunSpec, observers: Sequence[Observer] = ()) -> RunResult:
         from repro.analysis.convergence import measure_dftno, measure_stno
@@ -108,6 +116,7 @@ class SchedulerEngine(Engine):
                 parameter=spec.parameter,
                 after_substrate=spec.stop.after_substrate,
                 observers=observers,
+                incremental=self.incremental,
             )
         else:
             sample = measure_stno(
@@ -119,8 +128,22 @@ class SchedulerEngine(Engine):
                 parameter=spec.parameter,
                 after_substrate=spec.stop.after_substrate,
                 observers=observers,
+                incremental=self.incremental,
             )
         return RunResult(engine=self.name, spec=spec, row=sample.as_row(), report=sample)
+
+
+class FullScanSchedulerEngine(SchedulerEngine):
+    """The differential-testing twin of :class:`SchedulerEngine`.
+
+    Same measurement, but every step rescans all ``n`` processors' guards the
+    way the scheduler historically did.  Registered so equivalence checks
+    (and suspicious campaign rows) can re-run any spec on the reference path
+    by swapping ``engine="scheduler"`` for ``engine="scheduler-fullscan"``.
+    """
+
+    name = "scheduler-fullscan"
+    incremental = False
 
 
 # ----------------------------------------------------------------------
@@ -225,12 +248,14 @@ def build_protocol(name: str):
 
 
 register_engine(SchedulerEngine())
+register_engine(FullScanSchedulerEngine())
 register_engine(ScenarioEngine())
 register_engine(MsgpassEngine())
 
 
 __all__ = [
     "Engine",
+    "FullScanSchedulerEngine",
     "MsgpassEngine",
     "ScenarioEngine",
     "SchedulerEngine",

@@ -29,8 +29,15 @@ from repro.graphs.network import RootedNetwork
 #: The family name of height-controlled trees (not in the sweepable families).
 HEIGHT_TREE_FAMILY = "height_tree"
 
-#: Engines :func:`repro.api.run` can dispatch to.
-ENGINE_NAMES = ("scheduler", "scenario", "msgpass")
+#: Engines :func:`repro.api.run` can dispatch to.  ``scheduler-fullscan`` is
+#: the differential-testing twin of ``scheduler``: same measurement, but the
+#: scheduler rescans every guard per step instead of maintaining the
+#: incremental enabled-set.
+ENGINE_NAMES = ("scheduler", "scheduler-fullscan", "scenario", "msgpass")
+
+#: The engines that run the daemon-step scheduler (and thus understand
+#: scheduler-only spec fields such as ``stop.after_substrate``).
+SCHEDULER_ENGINES = ("scheduler", "scheduler-fullscan")
 
 #: Message-passing workloads the ``msgpass`` engine implements.
 WORKLOADS = ("broadcast", "traversal", "election")
@@ -200,7 +207,7 @@ class RunSpec:
                 f"workloads only apply to engine='msgpass' (got {self.engine!r})"
             )
 
-        if self.engine != "scheduler" and self.stop.after_substrate:
+        if self.engine not in SCHEDULER_ENGINES and self.stop.after_substrate:
             # Rejecting beats mislabeling: after_substrate is part of the
             # canonical hash, so silently ignoring it would store two
             # differently-hashed copies of the same measurement.
@@ -307,6 +314,7 @@ class RunResult:
 __all__ = [
     "ENGINE_NAMES",
     "HEIGHT_TREE_FAMILY",
+    "SCHEDULER_ENGINES",
     "NetworkSpec",
     "RunResult",
     "RunSpec",

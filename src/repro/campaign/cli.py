@@ -17,7 +17,10 @@
 ``run`` expands the declarative grid, skips tasks the store already holds
 (``--resume``), executes the rest on ``--jobs`` workers and streams one line
 per completed task; each task is a :class:`~repro.api.RunSpec` executed
-through :func:`repro.api.run`.  Stores are JSONL by default; an ``--out``
+through :func:`repro.api.run`.  ``--live [STEPS]`` additionally streams
+per-step/round progress from *inside* each task (via the engines' observer
+stream), so a single long-running task is no longer silent until it
+finishes.  Stores are JSONL by default; an ``--out``
 ending in ``.sqlite`` / ``.db`` selects the SQLite backend.  Both carry
 store-level metadata (grid description, code version, created-at) for
 provenance.  ``status`` summarizes the store; given grid options it also
@@ -189,6 +192,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume", action="store_true", help="skip tasks already completed in the store"
     )
     run.add_argument("--quiet", action="store_true", help="suppress per-task progress lines")
+    run.add_argument(
+        "--live",
+        nargs="?",
+        const=1_000,
+        type=int,
+        default=None,
+        metavar="STEPS",
+        help="live per-step/round progress inside long tasks: emit a line every "
+        "STEPS scheduler steps (default 1000 when the flag is given bare), plus "
+        "scenario events and convergence",
+    )
 
     status = sub.add_parser(
         "status",
@@ -245,7 +259,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         updates["created_at"] = now
         updates["created_at_iso"] = time.strftime("%Y-%m-%dT%H:%M:%S", time.localtime(now))
     store.update_metadata(**updates)
-    runner = CampaignRunner(store=store, jobs=args.jobs)
+    runner = CampaignRunner(store=store, jobs=args.jobs, live_every=args.live)
 
     def progress(row: dict[str, object]) -> None:
         if not args.quiet:
@@ -329,8 +343,9 @@ def _cmd_status(args: argparse.Namespace) -> int:
             f"against grid: {len(grid_hashes)} tasks, {len(completed)} completed, "
             f"{len(pending)} pending, {len(stale)} stale"
         )
-        # Progress/ETA from store timestamps: the SQLite backend stamps every
-        # row; the JSONL backend approximates with created_at .. mtime.
+        # Progress/ETA from store timestamps: both backends stamp every row;
+        # JSONL stores from before the per-row timestamps fall back to the
+        # created_at .. mtime approximation.
         rate = store.throughput()
         if grid_hashes:
             percent = 100.0 * len(completed) / len(grid_hashes)

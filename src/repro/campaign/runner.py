@@ -19,8 +19,10 @@ as *stale* and reported instead of silently ignored.
 
 from __future__ import annotations
 
+import inspect
 import multiprocessing
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Iterator
 
 from repro.campaign.grid import Grid, TaskSpec
@@ -30,15 +32,60 @@ from repro.campaign.store import BaseResultStore
 ProgressCallback = Callable[[dict[str, object]], None]
 
 
-def run_task(spec: TaskSpec) -> dict[str, object]:
+class _LiveProgressEmitter:
+    """Prefix live-progress lines with the task identity.
+
+    A module-level class (not a closure) so the ``--live`` observer pickles
+    into pool workers.
+    """
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+
+    def __call__(self, message: str) -> None:
+        print(f"  [{self.label}] {message}", flush=True)
+
+
+def _handler_accepts_observers(handler: Callable[..., dict]) -> bool:
+    """Whether a task handler can receive the ``observers`` keyword.
+
+    Built-in handlers all do; third-party registrations predating the live
+    progress mode may not, and silently run without instrumentation.
+    """
+    try:
+        parameters = inspect.signature(handler).parameters
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        return False
+    return "observers" in parameters or any(
+        parameter.kind == inspect.Parameter.VAR_KEYWORD
+        for parameter in parameters.values()
+    )
+
+
+def run_task(spec: TaskSpec, live_every: int | None = None) -> dict[str, object]:
     """Execute one campaign task and return its flat result row.
 
     The row merges the handler's measurement (``n``, ``converged``, and the
     task-type-specific metrics) with the task's identity fields and hash, so
     a store row is self-describing and can be re-aggregated without the grid.
+
+    ``live_every`` switches on per-step/round live progress *inside* the
+    task: a :class:`~repro.runtime.observers.ProgressObserver` emitting a
+    prefixed line every that many steps (plus scenario events and the
+    convergence line) rides the engine's observer stream.  Observers never
+    influence the measurement, so rows are identical with and without.
     """
     handler = get_task_handler(spec.task_type)
-    row = handler(spec)
+    if live_every and _handler_accepts_observers(handler):
+        from repro.runtime.observers import ProgressObserver
+
+        observer = ProgressObserver(
+            every_steps=live_every,
+            emit=_LiveProgressEmitter(f"task {spec.index} {spec.protocol} n={spec.size}"),
+        )
+        row = handler(spec, observers=(observer,))
+    else:
+        row = handler(spec)
     row.update(spec.identity())
     row["config_hash"] = spec.config_hash
     row["task_index"] = spec.index
@@ -75,27 +122,43 @@ class CampaignRunner:
 
     ``jobs <= 1`` runs in-process; ``jobs > 1`` fans tasks out to a
     ``multiprocessing`` pool.  Results stream back in grid order either way.
+    ``live_every`` enables in-task live progress (see :func:`run_task`);
+    with a pool the lines interleave across workers, each prefixed with its
+    task identity.
     """
 
-    def __init__(self, store: BaseResultStore | None = None, jobs: int = 1):
+    def __init__(
+        self,
+        store: BaseResultStore | None = None,
+        jobs: int = 1,
+        live_every: int | None = None,
+    ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
+        if live_every is not None and live_every < 1:
+            raise ValueError("live_every must be >= 1")
         self.store = store
         self.jobs = jobs
+        self.live_every = live_every
 
     def iter_results(
         self, pending: list[TaskSpec]
     ) -> Iterator[dict[str, object]]:
         """Yield result rows for ``pending`` tasks as they complete, in order."""
+        task_runner = (
+            run_task
+            if self.live_every is None
+            else partial(run_task, live_every=self.live_every)
+        )
         if self.jobs <= 1 or len(pending) <= 1:
             for spec in pending:
-                yield run_task(spec)
+                yield task_runner(spec)
             return
         with multiprocessing.Pool(processes=self.jobs) as pool:
             # Ordered imap (not imap_unordered): rows still stream as workers
             # finish, but the store's line order stays the grid order, making
-            # the JSONL file byte-identical for any --jobs value.
-            yield from pool.imap(run_task, pending, chunksize=1)
+            # the stored rows identical for any --jobs value.
+            yield from pool.imap(task_runner, pending, chunksize=1)
 
     def run(
         self,
@@ -144,9 +207,12 @@ def run_grid(
     jobs: int = 1,
     resume: bool = False,
     progress: ProgressCallback | None = None,
+    live_every: int | None = None,
 ) -> CampaignResult:
     """Convenience wrapper: ``CampaignRunner(store, jobs).run(grid, ...)``."""
-    return CampaignRunner(store=store, jobs=jobs).run(grid, resume=resume, progress=progress)
+    return CampaignRunner(store=store, jobs=jobs, live_every=live_every).run(
+        grid, resume=resume, progress=progress
+    )
 
 
 __all__ = ["CampaignResult", "CampaignRunner", "ProgressCallback", "run_grid", "run_task"]

@@ -12,7 +12,12 @@ The JSONL backend (:class:`JsonlResultStore`, historically ``ResultStore``)
 is a plain append-only file: one result row per line, flushed and fsynced
 per append, tolerant of a crash-truncated final line, with metadata stored
 as dedicated ``{"__store_meta__": ...}`` lines (later lines win) so old
-stores remain readable byte-for-byte.
+stores remain readable byte-for-byte.  Each written line additionally
+carries an ISO append timestamp under the reserved ``__row_ts__`` key --
+stripped again by :meth:`~JsonlResultStore.rows`, so row consumers never see
+it -- which makes the JSONL backend's throughput / ETA estimate exact like
+the SQLite one (old stores without the key fall back to the historical
+``created_at`` .. file-mtime approximation).
 
 The SQLite backend (:class:`SqliteResultStore`) keeps rows in a table with a
 unique hash index and a per-row ``created_at`` timestamp -- the timestamps
@@ -28,6 +33,7 @@ import os
 import sqlite3
 import time
 from abc import ABC, abstractmethod
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import Iterable
 
@@ -39,6 +45,9 @@ SQLITE_SUFFIXES = (".sqlite", ".db")
 
 #: The JSONL key marking a metadata line (never a result row).
 META_KEY = "__store_meta__"
+
+#: The JSONL key carrying a row's ISO append timestamp (stripped by reads).
+ROW_TS_KEY = "__row_ts__"
 
 
 def resolve_store_path(out: str | os.PathLike[str]) -> Path:
@@ -102,8 +111,10 @@ class BaseResultStore(ABC):
     def time_window(self) -> tuple[float, float] | None:
         """(first, last) append timestamps, or ``None`` when unknown.
 
-        The SQLite backend stamps every row; the JSONL backend approximates
-        with the metadata ``created_at`` and the file's mtime.
+        Both backends stamp every row (SQLite in a column, JSONL as a
+        reserved per-line key); JSONL stores written before the per-row
+        timestamps existed fall back to the metadata ``created_at`` and the
+        file's mtime.
         """
 
     # -- shared conveniences ----------------------------------------------
@@ -165,8 +176,19 @@ class JsonlResultStore(BaseResultStore):
         super().__init__(path)
         self._hashes: set[str] = set()
         self._metadata: dict[str, object] = {}
+        # Per-row append timestamps, folded into (first, last, count) during
+        # the load pass and kept current by append/extend, so time_window()
+        # and throughput() never re-read the file.
+        self._ts_first: float | None = None
+        self._ts_last: float | None = None
+        self._ts_count = 0
         self._load()
         self._needs_newline = self._missing_trailing_newline()
+
+    def _note_timestamp(self, moment: float) -> None:
+        self._ts_first = moment if self._ts_first is None else min(self._ts_first, moment)
+        self._ts_last = moment if self._ts_last is None else max(self._ts_last, moment)
+        self._ts_count += 1
 
     def _load(self) -> None:
         for parsed in self._parsed_lines():
@@ -176,6 +198,12 @@ class JsonlResultStore(BaseResultStore):
                     self._metadata.update(meta)
             elif isinstance(parsed.get("config_hash"), str):
                 self._hashes.add(parsed["config_hash"])
+                stamp = parsed.get(ROW_TS_KEY)
+                if isinstance(stamp, str):
+                    try:
+                        self._note_timestamp(datetime.fromisoformat(stamp).timestamp())
+                    except ValueError:
+                        pass
 
     def _parsed_lines(self) -> Iterable[dict]:
         if not self.path.exists():
@@ -223,6 +251,17 @@ class JsonlResultStore(BaseResultStore):
             handle.flush()
             os.fsync(handle.fileno())
 
+    @staticmethod
+    def _stamped(row: dict[str, object], now: float) -> str:
+        """The on-disk form of ``row``: the row plus its ISO append timestamp.
+
+        Stamps carry a UTC offset so they stay comparable across DST
+        transitions and across machines whose stores get merged.
+        """
+        stamped = dict(row)
+        stamped[ROW_TS_KEY] = datetime.fromtimestamp(now, tz=timezone.utc).isoformat()
+        return json.dumps(stamped, sort_keys=True, separators=(",", ":"), default=str)
+
     def append(self, row: dict[str, object]) -> bool:
         """Append one result row; returns ``False`` if its hash is already stored.
 
@@ -232,8 +271,10 @@ class JsonlResultStore(BaseResultStore):
         config_hash = self._require_hash(row)
         if config_hash in self._hashes:
             return False
-        self._write_lines([json.dumps(row, sort_keys=True, separators=(",", ":"), default=str)])
+        now = time.time()
+        self._write_lines([self._stamped(row, now)])
         self._hashes.add(config_hash)
+        self._note_timestamp(now)
         return True
 
     def extend(self, rows: Iterable[dict[str, object]]) -> int:
@@ -242,20 +283,24 @@ class JsonlResultStore(BaseResultStore):
         Unlike per-row :meth:`append` (whose per-line fsync is what makes a
         long-running campaign crash-safe between tasks), a bulk extend --
         store merges, shard imports -- writes every new line in one go and
-        fsyncs once.
+        fsyncs once.  All lines share one timestamp, matching the SQLite
+        backend's bulk insert.
         """
         lines: list[str] = []
         seen: set[str] = set()
+        now = time.time()
         for row in rows:
             config_hash = self._require_hash(row)
             if config_hash in self._hashes or config_hash in seen:
                 continue
             seen.add(config_hash)
-            lines.append(json.dumps(row, sort_keys=True, separators=(",", ":"), default=str))
+            lines.append(self._stamped(row, now))
         if not lines:
             return 0
         self._write_lines(lines)
         self._hashes.update(seen)
+        for _ in lines:
+            self._note_timestamp(now)
         return len(lines)
 
     def rows(self) -> list[dict[str, object]]:
@@ -263,7 +308,8 @@ class JsonlResultStore(BaseResultStore):
 
         Lines that do not parse as JSON objects (e.g. a line truncated by a
         crash) and metadata lines are skipped; for duplicated hashes the
-        first row wins.
+        first row wins.  The reserved per-row append timestamp is stripped,
+        so a row reads back exactly as it was appended.
         """
         out: list[dict[str, object]] = []
         seen: set[str] = set()
@@ -275,6 +321,7 @@ class JsonlResultStore(BaseResultStore):
                 if config_hash in seen:
                     continue
                 seen.add(config_hash)
+            parsed.pop(ROW_TS_KEY, None)
             out.append(parsed)
         return out
 
@@ -291,6 +338,15 @@ class JsonlResultStore(BaseResultStore):
         self._metadata.update(entries)
 
     def time_window(self) -> tuple[float, float] | None:
+        """(first, last) row append timestamps.
+
+        Exact when the stored rows carry per-row ISO timestamps (tracked
+        in-memory, no extra file pass); stores written before the timestamps
+        existed fall back to the historical approximation (metadata
+        ``created_at`` .. file mtime).
+        """
+        if self._ts_first is not None and self._ts_last is not None:
+            return (self._ts_first, self._ts_last)
         created = self._metadata.get("created_at")
         if not isinstance(created, (int, float)):
             return None
@@ -299,6 +355,26 @@ class JsonlResultStore(BaseResultStore):
         except OSError:
             return None
         return (float(created), float(mtime))
+
+    def throughput(self) -> float | None:
+        """Observed rows per second.
+
+        Computed over the *stamped* rows only, so a legacy store resumed
+        with current code reports the rate of the rows that actually carry
+        timestamps instead of dividing the full row count by the short
+        stamped window.  Fully legacy stores keep the historical
+        created_at .. mtime estimate.
+        """
+        if self._ts_count > 0:
+            if (
+                self._ts_count < 2
+                or self._ts_first is None
+                or self._ts_last is None
+                or self._ts_last <= self._ts_first
+            ):
+                return None
+            return self._ts_count / (self._ts_last - self._ts_first)
+        return super().throughput()
 
 
 #: Backwards-compatible name: the JSONL backend was simply ``ResultStore``
@@ -462,6 +538,7 @@ class SqliteResultStore(BaseResultStore):
 __all__ = [
     "DEFAULT_STORE_NAME",
     "META_KEY",
+    "ROW_TS_KEY",
     "SQLITE_SUFFIXES",
     "BaseResultStore",
     "JsonlResultStore",

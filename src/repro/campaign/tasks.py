@@ -20,11 +20,14 @@ what they measured.  Three types ship:
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.api import NetworkSpec, RunSpec, StopSpec, run
 from repro.api.spec import HEIGHT_TREE_FAMILY
 from repro.campaign.grid import TaskSpec
 from repro.campaign.registry import register_task_type
 from repro.graphs.network import RootedNetwork
+from repro.runtime.observers import Observer
 from repro.runtime.protocol import Protocol
 
 
@@ -78,19 +81,19 @@ def build_task_protocol(spec: TaskSpec) -> Protocol:
 
 
 @register_task_type("stabilize")
-def run_stabilize(spec: TaskSpec) -> dict[str, object]:
+def run_stabilize(spec: TaskSpec, observers: Sequence[Observer] = ()) -> dict[str, object]:
     """Measure stabilization of the spec's protocol on its network."""
-    return run(runspec_for_task(spec)).row
+    return run(runspec_for_task(spec), observers=observers).row
 
 
 @register_task_type("scenario")
-def run_scenario_task(spec: TaskSpec) -> dict[str, object]:
+def run_scenario_task(spec: TaskSpec, observers: Sequence[Observer] = ()) -> dict[str, object]:
     """Execute the spec's library scenario and report recovery aggregates."""
-    return run(runspec_for_task(spec)).row
+    return run(runspec_for_task(spec), observers=observers).row
 
 
 @register_task_type("msgpass")
-def run_msgpass(spec: TaskSpec) -> dict[str, object]:
+def run_msgpass(spec: TaskSpec, observers: Sequence[Observer] = ()) -> dict[str, object]:
     """Run the spec's message-passing workload with/without the orientation.
 
     The orientation is the centralized reference (the protocols' fixed
@@ -100,7 +103,7 @@ def run_msgpass(spec: TaskSpec) -> dict[str, object]:
     measurement (sweeping them yields repeated trials on fresh networks);
     ``after_substrate`` has no meaning here and is rejected.
     """
-    return run(runspec_for_task(spec)).row
+    return run(runspec_for_task(spec), observers=observers).row
 
 
 __all__ = [

@@ -17,12 +17,21 @@ class Configuration:
     end of the step, which gives the composite-atomicity semantics of the
     paper's model (guard evaluation and statement execution of an action are a
     single atomic step).
+
+    Every write path additionally journals *which processors' variables
+    changed* (:meth:`drain_dirty`); the incremental scheduler consumes that
+    journal to re-evaluate guards only around the changed nodes.  The journal
+    is sound as long as all mutations go through the write methods below --
+    mutating a value obtained from :meth:`get` in place bypasses it (the
+    runtime never does: :class:`~repro.runtime.processor.ProcessorView`
+    deep-copies on write).
     """
 
-    __slots__ = ("_states",)
+    __slots__ = ("_states", "_dirty")
 
     def __init__(self, states: Mapping[int, Mapping[str, Any]] | None = None) -> None:
         self._states: dict[int, dict[str, Any]] = {}
+        self._dirty: set[int] = set()
         if states is not None:
             for node, variables in states.items():
                 self._states[int(node)] = dict(variables)
@@ -60,11 +69,38 @@ class Configuration:
     # ------------------------------------------------------------------
     def set(self, node: int, variable: str, value: Any) -> None:
         """Set ``variable`` at ``node`` (creating the slot if needed)."""
-        self._states.setdefault(node, {})[variable] = value
+        state = self._states.setdefault(node, {})
+        if variable not in state or state[variable] != value:
+            self._dirty.add(node)
+        state[variable] = value
 
     def update_node(self, node: int, values: Mapping[str, Any]) -> None:
         """Apply several writes at ``node`` at once."""
-        self._states.setdefault(node, {}).update(values)
+        self.apply_writes(node, values)
+
+    def apply_writes(self, node: int, values: Mapping[str, Any]) -> dict[str, tuple[Any, Any]]:
+        """Apply writes at ``node`` and return ``variable -> (old, new)`` changes.
+
+        ``old`` is ``None`` for a variable the write created, and such a write
+        only counts as a change when the new value differs from ``None``
+        (matching the scheduler's historical ``MoveRecord`` semantics).  The
+        journal is stricter: creating a slot always marks the node dirty, so
+        guards keyed on a variable's *existence* are re-evaluated.  This is
+        the scheduler's single compare-journal-apply pass per move.
+        """
+        state = self._states.setdefault(node, {})
+        changes: dict[str, tuple[Any, Any]] = {}
+        for name, value in values.items():
+            if name not in state:
+                self._dirty.add(node)
+                if value is not None:
+                    changes[name] = (None, value)
+            elif state[name] != value:
+                changes[name] = (state[name], value)
+        state.update(values)
+        if changes:
+            self._dirty.add(node)
+        return changes
 
     def replace_node(self, node: int, values: Mapping[str, Any]) -> None:
         """Replace the *whole* local state of ``node``.
@@ -73,7 +109,34 @@ class Configuration:
         ``values`` -- needed when a topology change alters which variables a
         processor's program declares (e.g. per-neighbor maps).
         """
+        if self._states.get(node) != dict(values):
+            self._dirty.add(node)
         self._states[node] = dict(values)
+
+    # ------------------------------------------------------------------
+    # Change journal
+    # ------------------------------------------------------------------
+    def mark_dirty(self, nodes: "int | Any") -> None:
+        """Journal ``nodes`` (an id or an iterable of ids) as changed.
+
+        For callers that mutate state outside the write methods (none in this
+        repository) or want to force guard re-evaluation around some nodes.
+        """
+        if isinstance(nodes, int):
+            self._dirty.add(nodes)
+        else:
+            self._dirty.update(nodes)
+
+    @property
+    def dirty_nodes(self) -> frozenset[int]:
+        """Nodes with journaled changes not yet drained."""
+        return frozenset(self._dirty)
+
+    def drain_dirty(self) -> frozenset[int]:
+        """Return the journaled changed nodes and clear the journal."""
+        drained = frozenset(self._dirty)
+        self._dirty.clear()
+        return drained
 
     # ------------------------------------------------------------------
     # Whole-configuration operations

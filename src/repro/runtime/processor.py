@@ -19,15 +19,30 @@ from repro.runtime.configuration import Configuration
 
 
 class ProcessorView:
-    """Restricted view of a :class:`Configuration` for one processor."""
+    """Restricted view of a :class:`Configuration` for one processor.
 
-    __slots__ = ("_node", "_network", "_configuration", "_writes")
+    With ``track_reads=True`` the view also records which processors' state
+    it read (:attr:`read_nodes`).  The incremental scheduler's debug mode
+    uses this to assert the locality invariant its dirty-frontier propagation
+    relies on: a guard's value may depend only on the node itself and its
+    neighbors, so a change at ``p`` can only flip enabled-status inside
+    ``N_p ∪ {p}``.
+    """
 
-    def __init__(self, node: int, network: RootedNetwork, configuration: Configuration) -> None:
+    __slots__ = ("_node", "_network", "_configuration", "_writes", "_read_nodes")
+
+    def __init__(
+        self,
+        node: int,
+        network: RootedNetwork,
+        configuration: Configuration,
+        track_reads: bool = False,
+    ) -> None:
         self._node = node
         self._network = network
         self._configuration = configuration
         self._writes: dict[str, Any] = {}
+        self._read_nodes: set[int] | None = set() if track_reads else None
 
     # ------------------------------------------------------------------
     # Identity / topology helpers
@@ -72,6 +87,8 @@ class ProcessorView:
         just assigned -- matching the sequential reading of the paper's
         macros.
         """
+        if self._read_nodes is not None:
+            self._read_nodes.add(self._node)
         if variable in self._writes:
             return self._writes[variable]
         return self._configuration.get(self._node, variable)
@@ -85,6 +102,8 @@ class ProcessorView:
         needs the descendant the token just returned from, before the token
         layer repoints its child variable).
         """
+        if self._read_nodes is not None:
+            self._read_nodes.add(self._node)
         return self._configuration.get(self._node, variable)
 
     def read_neighbor(self, neighbor: int, variable: str) -> Any:
@@ -98,6 +117,8 @@ class ProcessorView:
             raise ProtocolError(
                 f"processor {self._node} tried to read non-neighbor {neighbor}"
             )
+        if self._read_nodes is not None:
+            self._read_nodes.add(neighbor)
         return self._configuration.get(neighbor, variable)
 
     def try_read_neighbor(self, neighbor: int, variable: str, default: Any = None) -> Any:
@@ -106,6 +127,8 @@ class ProcessorView:
             raise ProtocolError(
                 f"processor {self._node} tried to read non-neighbor {neighbor}"
             )
+        if self._read_nodes is not None:
+            self._read_nodes.add(neighbor)
         if not self._configuration.has(neighbor, variable):
             return default
         return self._configuration.get(neighbor, variable)
@@ -122,6 +145,11 @@ class ProcessorView:
     def pending_writes(self) -> dict[str, Any]:
         """The writes collected so far in this atomic step."""
         return dict(self._writes)
+
+    @property
+    def read_nodes(self) -> frozenset[int]:
+        """Processors whose state was read (only tracked with ``track_reads``)."""
+        return frozenset(self._read_nodes or ())
 
     def __repr__(self) -> str:
         return f"ProcessorView(node={self._node}, writes={sorted(self._writes)})"

@@ -15,11 +15,12 @@ orientation protocols are measured in.
 
 from __future__ import annotations
 
+import os
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping, Sequence
 
-from repro.errors import ConvergenceError, SchedulingError
+from repro.errors import ConvergenceError, ProtocolError, SchedulingError
 from repro.graphs.network import RootedNetwork
 from repro.runtime.actions import Action
 from repro.runtime.configuration import Configuration
@@ -122,6 +123,22 @@ class Scheduler:
         Extra :class:`~repro.runtime.observers.Observer` instances notified of
         every step and completed round.  Metrics (and, with ``record_trace``,
         the trace) are themselves observers registered before these.
+    incremental:
+        With ``True`` (the default) the scheduler maintains a persistent
+        enabled-set and re-evaluates guards only for the *dirty frontier* of
+        each mutation -- the nodes whose variables changed plus their closed
+        neighborhoods -- instead of rescanning all ``n`` processors per step.
+        This is sound because a guard may read only its own node and its
+        neighbors (:class:`~repro.runtime.processor.ProcessorView` enforces
+        it), so results are bit-identical to ``incremental=False``, which
+        keeps the historical full scan for differential testing (the
+        ``scheduler-fullscan`` engine).
+    check_guard_locality:
+        Debug mode: track every configuration read during guard evaluation
+        and raise :class:`~repro.errors.ProtocolError` if a guard reads
+        outside its closed neighborhood -- the invariant the incremental path
+        relies on.  Defaults to the ``REPRO_DEBUG_GUARDS`` environment
+        variable.
     """
 
     def __init__(
@@ -135,6 +152,8 @@ class Scheduler:
         record_trace: bool = False,
         trace_limit: int | None = 100_000,
         observers: Sequence[Observer] = (),
+        incremental: bool = True,
+        check_guard_locality: bool | None = None,
     ) -> None:
         self.network = network
         self.protocol = protocol
@@ -167,6 +186,17 @@ class Scheduler:
         self._round_index = 0
         self._round_pending: set[int] | None = None
         self._frozen: set[int] = set()
+
+        self.incremental = incremental
+        if check_guard_locality is None:
+            check_guard_locality = bool(os.environ.get("REPRO_DEBUG_GUARDS"))
+        self.check_guard_locality = check_guard_locality
+        # The persistent enabled-set of the incremental path: node -> first
+        # enabled action, for every node *ignoring* frozen status (freezing
+        # does not touch guards, so keeping crashed nodes cached makes
+        # freeze/unfreeze invalidation-free; the accessors filter them).
+        self._enabled: dict[int, Action] = {}
+        self._needs_full_rescan = True
 
     # ------------------------------------------------------------------
     # Observers
@@ -210,8 +240,18 @@ class Scheduler:
         """The first enabled action of every enabled processor.
 
         Frozen (crashed) processors are treated as disabled: whatever their
-        guards evaluate to, the daemon never sees them.
+        guards evaluate to, the daemon never sees them.  On the incremental
+        path this reads the maintained enabled-set (after folding in any
+        journaled configuration changes); with ``incremental=False`` it is
+        the historical full scan.
         """
+        if self.incremental:
+            self._refresh_enabled()
+            return {
+                node: self._enabled[node]
+                for node in sorted(self._enabled)
+                if node not in self._frozen
+            }
         enabled: dict[int, Action] = {}
         for node in self.network.nodes():
             if node in self._frozen:
@@ -229,16 +269,67 @@ class Scheduler:
         """Whether ``node`` has an enabled action in the current configuration.
 
         Frozen (crashed) processors are never enabled, matching
-        :meth:`enabled_actions`.
+        :meth:`enabled_actions`.  Always evaluates the guards directly, so it
+        is correct on both the incremental and the full-scan path.
         """
         return node not in self._frozen and self._first_enabled(node) is not None
 
     def _first_enabled(self, node: int) -> Action | None:
-        view = ProcessorView(node, self.network, self.configuration)
+        view = ProcessorView(
+            node, self.network, self.configuration, track_reads=self.check_guard_locality
+        )
+        found: Action | None = None
         for action in self._actions[node]:
             if action.enabled(view):
-                return action
-        return None
+                found = action
+                break
+        if self.check_guard_locality:
+            allowed = set(self.network.neighbor_set(node))
+            allowed.add(node)
+            illegal = view.read_nodes - allowed
+            if illegal:
+                raise ProtocolError(
+                    f"guard locality violated: an action of processor {node} read "
+                    f"processors {sorted(illegal)} outside its closed neighborhood "
+                    f"{sorted(allowed)}"
+                )
+        return found
+
+    def _invalidate_enabled(self) -> None:
+        """Force a full guard rescan on the next enabled-set access."""
+        self._needs_full_rescan = True
+
+    def _refresh_enabled(self) -> None:
+        """Fold journaled configuration changes into the persistent enabled-set.
+
+        The re-evaluated *dirty frontier* is the changed nodes plus their
+        closed neighborhoods: a guard reads only its own node and its
+        neighbors, so no other processor's enabled-status can have flipped.
+        """
+        if self._needs_full_rescan:
+            self.configuration.drain_dirty()
+            self._enabled = {}
+            for node in self.network.nodes():
+                action = self._first_enabled(node)
+                if action is not None:
+                    self._enabled[node] = action
+            self._needs_full_rescan = False
+            return
+        dirty = self.configuration.drain_dirty()
+        if not dirty:
+            return
+        frontier: set[int] = set()
+        for node in dirty:
+            if node not in self._actions:
+                continue  # a foreign node id journaled by hand-built state
+            frontier.add(node)
+            frontier.update(self.network.neighbor_set(node))
+        for node in frontier:
+            action = self._first_enabled(node)
+            if action is None:
+                self._enabled.pop(node, None)
+            else:
+                self._enabled[node] = action
 
     # ------------------------------------------------------------------
     # Stepping
@@ -273,17 +364,14 @@ class Scheduler:
             executed.append((node, action.name))
 
         # Apply all writes after every selected processor has read the
-        # beginning-of-step configuration (composite atomicity).
+        # beginning-of-step configuration (composite atomicity).  apply_writes
+        # journals the changed nodes, which is what feeds the incremental
+        # path's dirty frontier.
         moves: list[MoveRecord] = []
         for node, writes in pending_writes.items():
-            changes: dict[str, tuple[object, object]] = {}
-            for name, value in writes.items():
-                old = self.configuration.get(node, name) if self.configuration.has(node, name) else None
-                if old != value:
-                    changes[name] = (old, value)
+            changes = self.configuration.apply_writes(node, writes)
             if changes:
                 changed_nodes.append(node)
-            self.configuration.update_node(node, writes)
             moves.append(
                 MoveRecord(
                     node=node,
@@ -458,15 +546,21 @@ class Scheduler:
     # State manipulation (fault injection, dynamic networks)
     # ------------------------------------------------------------------
     def set_configuration(self, configuration: Configuration) -> None:
-        """Replace the current configuration (e.g. after injecting faults)."""
+        """Replace the current configuration (e.g. after injecting faults).
+
+        An arbitrary replacement may change any processor's state, so the
+        whole enabled-set is invalidated.
+        """
         self.configuration = configuration.copy()
         self._round_pending = None
+        self._invalidate_enabled()
 
     def set_daemon(self, daemon: Daemon) -> None:
         """Switch the scheduling adversary mid-run (daemon-switch scenarios).
 
         The new daemon starts with fresh bookkeeping; steps, rounds, metrics
-        and the configuration are untouched.
+        and the configuration are untouched.  Enabled-status depends only on
+        the configuration, so the enabled-set stays valid.
         """
         daemon.reset()
         self.daemon = daemon
@@ -504,9 +598,17 @@ class Scheduler:
                 node, self.protocol.random_state(network, node, self.rng)
             )
         self._round_pending = None
+        # New links mean new guard dependencies everywhere the port orders
+        # shifted; rebuild the enabled-set from scratch.
+        self._invalidate_enabled()
 
     def freeze(self, nodes: Iterable[int]) -> None:
-        """Crash ``nodes``: they stay disabled until :meth:`unfreeze`."""
+        """Crash ``nodes``: they stay disabled until :meth:`unfreeze`.
+
+        The enabled-set keeps tracking frozen nodes (their guards are a pure
+        function of the configuration, which freezing does not touch); the
+        accessors simply stop reporting them, so no invalidation is needed.
+        """
         for node in nodes:
             if not 0 <= node < self.network.n:
                 raise SchedulingError(f"cannot freeze unknown processor {node}")

@@ -19,6 +19,15 @@ against a running :class:`~repro.runtime.scheduler.Scheduler`:
 Events resolve their concrete targets (which processors, which link) only at
 application time, from the run's random stream -- so one scenario object is
 reusable across every network, protocol, daemon and seed of a campaign grid.
+
+Every event mutates the run exclusively through the scheduler's journaled
+mutation paths -- :meth:`~repro.runtime.scheduler.Scheduler.set_configuration`
+and :meth:`~repro.runtime.scheduler.Scheduler.set_network` invalidate the
+incremental enabled-set wholesale, while ``freeze``/``unfreeze`` and direct
+:meth:`~repro.runtime.configuration.Configuration.replace_node` writes feed
+its dirty frontier -- so the incremental scheduler core stays bit-identical
+to the full scan under any scenario (the equivalence property test drives
+every library scenario through both paths).
 """
 
 from __future__ import annotations

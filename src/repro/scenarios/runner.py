@@ -60,6 +60,10 @@ class ScenarioRunner:
         recovery phase ends, and ``on_converged`` with the final
         :class:`~repro.analysis.recovery.ScenarioReport` when the whole
         scenario recovered.
+    incremental:
+        Forwarded to the :class:`~repro.runtime.scheduler.Scheduler`;
+        ``False`` forces the historical full guard scan (differential
+        testing of the incremental enabled-set under scenario events).
     """
 
     def __init__(
@@ -72,6 +76,7 @@ class ScenarioRunner:
         phase_budget: int | None = None,
         watch_variables: tuple[str, ...] | None = ORIENTATION_VARIABLES,
         observers: Sequence[Observer] = (),
+        incremental: bool = True,
     ) -> None:
         self.network = network
         self.protocol = protocol
@@ -86,6 +91,7 @@ class ScenarioRunner:
         self.confirm_steps = 3 * (network.n + network.num_edges()) + 10
         self.watch_variables = watch_variables
         self.observers = tuple(observers)
+        self.incremental = incremental
 
     def run(self) -> ScenarioReport:
         """Execute the scenario once and return the full recovery report."""
@@ -96,6 +102,7 @@ class ScenarioRunner:
             daemon=self.daemon,
             rng=random.Random(rng.randrange(1 << 30)),
             observers=self.observers,
+            incremental=self.incremental,
         )
 
         configured_daemon = scheduler.daemon.name

@@ -173,22 +173,37 @@ class PIFWave(Protocol):
         ]
 
     def legitimate(self, network: RootedNetwork, configuration: Configuration) -> bool:
-        """Wave consistency: no processor is ahead of its parent in the wave order."""
+        """Wave consistency: exactly the configurations normal waves visit.
+
+        A configuration is legitimate iff
+
+        * the root is not in feedback (it resets to clean instead),
+        * every broadcasting non-root processor has a *broadcasting* parent
+          (broadcasts enter a subtree only through its top), and
+        * every child of a feedback processor is itself in feedback (a
+          processor acknowledges only after its whole subtree has).
+
+        These are invariants of normal operation -- closed under every
+        action, from any daemon's scheduling -- which is what lets recovery
+        measurements demand the predicate hold over a whole closure window.
+        The scenario-driven corruption hunt caught the previous phrasing
+        being too strict *and* too loose: it flagged the legal top-down
+        cleaning phase (feedback below clean) as illegitimate, so confirmed
+        re-stabilization could never be observed, while accepting a stale
+        broadcast sitting below a feedback processor.
+        """
         parents = self._parents(network)
-        rank = {CLEAN: 0, BROADCAST: 1, FEEDBACK: 2}
         for node in network.nodes():
+            own = configuration.get(node, VAR_PHASE)
             parent = parents.get(node)
             if parent is None:
-                if configuration.get(node, VAR_PHASE) == FEEDBACK:
+                if own == FEEDBACK:
                     return False
                 continue
-            own = configuration.get(node, VAR_PHASE)
             above = configuration.get(parent, VAR_PHASE)
-            # A child may only be in a non-clean phase when its parent is
-            # broadcasting (or deeper in the wave than the child).
-            if own != CLEAN and above == CLEAN:
+            if own == BROADCAST and above != BROADCAST:
                 return False
-            if rank[own] > rank[above] and own == BROADCAST:
+            if above == FEEDBACK and own != FEEDBACK:
                 return False
         return True
 

@@ -1,0 +1,154 @@
+"""Equivalence of the incremental and full-scan scheduler cores.
+
+The incremental enabled-set is an optimization, not a semantics change: for
+any substrate, daemon, scenario and seed, the ``scheduler`` engine (dirty
+frontier re-evaluation) and the ``scheduler-fullscan`` engine (historical
+rescan of every guard per step) must produce **identical** executions -- the
+same enabled set before every step, the same :class:`StepRecord` stream, the
+same metrics, and the same final configuration.
+
+These tests drive every substrate x daemon combination (and every library
+scenario, which exercises the mid-run mutation paths: ``set_configuration``,
+``freeze``/``unfreeze`` + ``replace_node``, ``set_network``, ``set_daemon``)
+through both paths in lockstep, with guard-locality checking switched on so
+the invariant the dirty frontier relies on is asserted on every evaluation.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.api import RunSpec, NetworkSpec, run
+from repro.core.dftno import build_dftno
+from repro.core.stno import build_stno
+from repro.graphs import generators
+from repro.runtime.daemon import make_daemon
+from repro.runtime.scheduler import Scheduler
+from repro.scenarios.library import build_scenario, scenario_names
+from repro.scenarios.runner import ScenarioRunner
+from repro.substrates.dijkstra_ring import DijkstraTokenRing
+from repro.substrates.pif import PIFWave
+from repro.substrates.spanning_tree import BFSSpanningTree, DFSSpanningTree
+from repro.substrates.token_circulation import DepthFirstTokenCirculation
+
+DAEMONS = ("central", "distributed", "synchronous", "adversarial")
+
+#: Every substrate / protocol stack with a network family it legally runs on.
+PROTOCOLS = {
+    "bfs-tree": (BFSSpanningTree, "random_connected"),
+    "dfs-tree": (DFSSpanningTree, "random_connected"),
+    "token-circulation": (DepthFirstTokenCirculation, "random_connected"),
+    "pif": (PIFWave, "random_tree"),
+    "dijkstra-ring": (DijkstraTokenRing, "ring"),
+    "dftno": (build_dftno, "random_connected"),
+    "stno-bfs": (lambda: build_stno(tree="bfs"), "random_connected"),
+    "stno-dfs": (lambda: build_stno(tree="dfs"), "random_connected"),
+}
+
+
+def _lockstep(protocol_key: str, daemon: str, seed: int, n: int, max_steps: int = 150) -> None:
+    """Run both cores in lockstep and assert every observable is identical."""
+    factory, family = PROTOCOLS[protocol_key]
+    schedulers = []
+    for incremental in (True, False):
+        schedulers.append(
+            Scheduler(
+                generators.family(family, n, seed=seed),
+                factory(),
+                daemon=make_daemon(daemon),
+                seed=seed,
+                incremental=incremental,
+                check_guard_locality=True,
+            )
+        )
+    incremental_scheduler, fullscan_scheduler = schedulers
+    context = f"({protocol_key}, daemon={daemon}, seed={seed}, n={n})"
+    assert incremental_scheduler.configuration == fullscan_scheduler.configuration
+
+    for _ in range(max_steps):
+        assert (
+            incremental_scheduler.enabled_nodes() == fullscan_scheduler.enabled_nodes()
+        ), f"enabled sets diverged at step {incremental_scheduler.steps_executed} {context}"
+        record_incremental = incremental_scheduler.step()
+        record_fullscan = fullscan_scheduler.step()
+        assert record_incremental == record_fullscan, (
+            f"step records diverged at step {fullscan_scheduler.steps_executed} {context}"
+        )
+        if record_incremental is None:
+            break
+
+    assert incremental_scheduler.configuration == fullscan_scheduler.configuration, context
+    assert incremental_scheduler.metrics == fullscan_scheduler.metrics, context
+    assert incremental_scheduler.rounds_completed == fullscan_scheduler.rounds_completed, context
+
+
+@pytest.mark.parametrize("daemon", DAEMONS)
+@pytest.mark.parametrize("protocol_key", sorted(PROTOCOLS))
+def test_incremental_equals_fullscan_for_every_substrate_and_daemon(protocol_key, daemon):
+    """Fixed-seed lockstep equivalence across the whole substrate x daemon grid."""
+    _lockstep(protocol_key, daemon, seed=11, n=7)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    protocol_key=st.sampled_from(sorted(PROTOCOLS)),
+    daemon=st.sampled_from(DAEMONS),
+    n=st.integers(min_value=3, max_value=9),
+)
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_incremental_equals_fullscan_property(seed, protocol_key, daemon, n):
+    """The lockstep equivalence holds for arbitrary seeds and sizes."""
+    _lockstep(protocol_key, daemon, seed=seed, n=n, max_steps=80)
+
+
+@pytest.mark.parametrize("daemon", ("central", "distributed"))
+@pytest.mark.parametrize("protocol", ("dftno", "stno-bfs"))
+def test_engine_registry_rows_are_identical(protocol, daemon):
+    """``scheduler`` and ``scheduler-fullscan`` produce identical result rows.
+
+    The whole-run check through the public entry point: same spec (modulo the
+    engine name), same :class:`StabilizationSample` row, converged on both
+    paths.
+    """
+    rows = {}
+    for engine in ("scheduler", "scheduler-fullscan"):
+        spec = RunSpec(
+            engine=engine,
+            protocol=protocol,
+            network=NetworkSpec(family="random_connected", size=9, seed=5),
+            daemon=daemon,
+            seed=13,
+        )
+        rows[engine] = run(spec).row
+    assert rows["scheduler"] == rows["scheduler-fullscan"]
+    assert rows["scheduler"]["converged"]
+
+
+@pytest.mark.parametrize("scenario_name", scenario_names())
+def test_scenario_executions_are_identical_across_cores(scenario_name):
+    """Every library scenario replays identically on both scheduler cores.
+
+    Scenario events exercise every mid-run mutation path (corruption bursts
+    via ``set_configuration``, crash/rejoin via ``freeze``/``unfreeze`` and
+    ``replace_node``, link changes via ``set_network``, daemon switches), so
+    identical reports here mean the dirty-set bookkeeping survives all of
+    them.
+    """
+    reports = {}
+    for incremental in (True, False):
+        network = generators.random_connected(8, extra_edge_probability=0.3, seed=3)
+        reports[incremental] = ScenarioRunner(
+            network,
+            build_dftno(),
+            build_scenario(scenario_name),
+            daemon=make_daemon("distributed"),
+            seed=7,
+            incremental=incremental,
+        ).run()
+    assert reports[True].as_row() == reports[False].as_row()
+    assert reports[True].events == reports[False].events

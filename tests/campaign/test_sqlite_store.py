@@ -108,16 +108,22 @@ def test_sqlite_time_window_and_throughput(tmp_path):
     assert store.throughput() == pytest.approx(5 / 2.0)
 
 
-def test_jsonl_throughput_uses_created_at_and_mtime(tmp_path, monkeypatch):
+def test_jsonl_per_row_timestamps_beat_created_at_and_mtime(tmp_path):
     import os
+    import time
 
     store = JsonlResultStore(tmp_path / "store.jsonl")
     store.update_metadata(created_at=50.0)
     store.append(row("aa"))
     store.append(row("bb"))
     os.utime(store.path, (60.0, 60.0))
-    assert store.time_window() == (50.0, 60.0)
-    assert store.throughput() == pytest.approx(2 / 10.0)
+    # Rows carry exact ISO append timestamps now, so neither the metadata
+    # created_at nor the file mtime participates anymore.
+    window = store.time_window()
+    assert window is not None
+    first, last = window
+    assert first <= last
+    assert abs(last - time.time()) < 60
 
 
 def test_single_row_store_has_no_throughput(tmp_path):

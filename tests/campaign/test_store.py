@@ -60,3 +60,74 @@ def test_append_requires_config_hash(tmp_path):
 def test_resolve_store_path(tmp_path):
     assert resolve_store_path(tmp_path / "x.jsonl") == tmp_path / "x.jsonl"
     assert resolve_store_path(tmp_path / "results") == tmp_path / "results" / "campaign.jsonl"
+
+
+def test_jsonl_rows_carry_iso_timestamps_on_disk_but_not_in_reads(tmp_path):
+    from datetime import datetime
+
+    from repro.campaign.store import ROW_TS_KEY
+
+    store = ResultStore(tmp_path / "campaign.jsonl")
+    store.append(_row("aaaa", n=6))
+    store.extend([_row("bbbb", n=8), _row("cccc", n=10)])
+    on_disk = [json.loads(line) for line in store.path.read_text().splitlines()]
+    stamps = [line[ROW_TS_KEY] for line in on_disk]
+    assert len(stamps) == 3
+    for stamp in stamps:
+        datetime.fromisoformat(stamp)  # parseable ISO timestamps
+    # extend() stamps its whole batch with one timestamp, like sqlite.
+    assert stamps[1] == stamps[2]
+    # Reads strip the reserved key: a row comes back exactly as appended.
+    assert store.rows() == [_row("aaaa", n=6), _row("bbbb", n=8), _row("cccc", n=10)]
+
+
+def test_jsonl_time_window_uses_per_row_timestamps(tmp_path):
+    store = ResultStore(tmp_path / "campaign.jsonl")
+    assert store.time_window() is None
+    store.append(_row("aaaa"))
+    store.append(_row("bbbb"))
+    window = store.time_window()
+    assert window is not None
+    first, last = window
+    assert first <= last
+    import time
+
+    assert abs(last - time.time()) < 60
+
+
+def test_jsonl_time_window_falls_back_for_legacy_stores(tmp_path):
+    # A pre-timestamp store: rows without __row_ts__, metadata created_at only.
+    path = tmp_path / "legacy.jsonl"
+    path.write_text(
+        '{"__store_meta__": {"created_at": 100.0}}\n'
+        '{"config_hash": "aaaa", "converged": true}\n'
+    )
+    store = ResultStore(path)
+    window = store.time_window()
+    assert window is not None
+    assert window[0] == 100.0
+
+
+def test_throughput_on_resumed_legacy_store_counts_only_stamped_rows(tmp_path, monkeypatch):
+    # A pre-timestamp store resumed with current code: the rate must reflect
+    # the stamped rows only, not divide the full row count by their window.
+    path = tmp_path / "legacy.jsonl"
+    lines = ['{"__store_meta__": {"created_at": 100.0}}']
+    lines += ['{"config_hash": "h%d", "converged": true}' % i for i in range(10)]
+    path.write_text("\n".join(lines) + "\n")
+    store = ResultStore(path)
+
+    import repro.campaign.store as store_module
+
+    moments = iter((1_000.0, 1_002.0))
+    monkeypatch.setattr(store_module.time, "time", lambda: next(moments))
+    store.append(_row("new1"))
+    store.append(_row("new2"))
+    assert len(store) == 12
+    assert store.time_window() == (1_000.0, 1_002.0)
+    assert store.throughput() == pytest.approx(2 / 2.0)  # not 12 / 2.0
+
+    # A reload parses the stamps back from disk (they carry a UTC offset).
+    reloaded = ResultStore(path)
+    assert reloaded.time_window() == pytest.approx((1_000.0, 1_002.0))
+    assert reloaded.throughput() == pytest.approx(1.0)

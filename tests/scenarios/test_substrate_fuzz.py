@@ -12,6 +12,13 @@ layer, standalone and under the full STNO stack:
 * library scenarios (corruption + crash + link dynamics) driven through the
   :class:`~repro.scenarios.runner.ScenarioRunner` against the bare substrate.
 
+PR 4 extends the hunt to the two auxiliary substrates that never had one:
+the PIF wave (tree networks; total bursts plus topology-preserving library
+scenarios) and Dijkstra's K-state token ring (cycles; bursts under the
+serial daemons the protocol is proved for, plus a no-deadlock check under
+every daemon -- the ring always holds at least one privilege, so
+termination is unconditionally a bug there).
+
 The invariant everywhere: the protocol must *recover* within the standard
 budget, and in particular must never **deadlock** -- terminate (no enabled
 action) while the legitimacy predicate is false.  A budget overrun would be
@@ -32,6 +39,8 @@ from repro.runtime.faults import corrupt_configuration
 from repro.runtime.scheduler import Scheduler
 from repro.scenarios.library import build_scenario
 from repro.scenarios.runner import ScenarioRunner
+from repro.substrates.dijkstra_ring import DijkstraTokenRing
+from repro.substrates.pif import PIFWave
 from repro.substrates.spanning_tree import (
     BFSSpanningTree,
     DFSSpanningTree,
@@ -162,3 +171,118 @@ def test_scenarios_against_bare_tree_substrate_never_deadlock(
     assert not deadlocked, f"substrate deadlocked: {deadlocked}"
     unrecovered = [event.as_row() for event in report.applied_events if not event.recovered]
     assert not unrecovered, f"substrate failed to recover: {unrecovered}"
+
+
+# ----------------------------------------------------------------------
+# PIF waves (tree networks)
+# ----------------------------------------------------------------------
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n=st.integers(min_value=3, max_value=9),
+    daemon=st.sampled_from(DAEMONS),
+    node_fraction=st.sampled_from((0.3, 0.5, 1.0)),
+)
+@settings(**FUZZ_SETTINGS)
+def test_pif_recovers_from_corruption_bursts(seed, n, daemon, node_fraction):
+    """Uniform phase corruption on the PIF wave never deadlocks a tree."""
+    network = generators.random_tree(n, seed=seed)
+    protocol = PIFWave()
+    scheduler = Scheduler(network, protocol, daemon=make_daemon(daemon), seed=seed)
+    context = f"(pif on {network.name}, daemon={daemon}, seed={seed})"
+    _recover(scheduler, "initially " + context)
+    corrupted = corrupt_configuration(
+        scheduler.configuration,
+        protocol,
+        network,
+        node_fraction=node_fraction,
+        variable_fraction=1.0,
+        rng=random.Random(seed + 1),
+    )
+    scheduler.set_configuration(corrupted)
+    _recover(scheduler, f"after a {node_fraction:.0%} burst " + context)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    scenario_name=st.sampled_from(("single_burst", "periodic_burst", "cascade")),
+)
+@settings(**FUZZ_SETTINGS)
+def test_scenarios_against_bare_pif_never_deadlock(seed, scenario_name):
+    """Topology-preserving library scenarios against the bare PIF wave.
+
+    Link-changing scenarios are excluded by construction: PIF is only
+    defined on trees, and the model's connectivity-preserving link changes
+    (adding an edge, or removing the non-bridge it just added) cannot keep a
+    tree a tree.
+    """
+    network = generators.random_tree(7, seed=seed)
+    report = ScenarioRunner(
+        network,
+        PIFWave(),
+        build_scenario(scenario_name),
+        daemon=make_daemon("distributed"),
+        seed=seed,
+        watch_variables=None,
+    ).run()
+    assert report.initial_converged
+    deadlocked = [event.as_row() for event in report.events if event.deadlocked]
+    assert not deadlocked, f"PIF deadlocked: {deadlocked}"
+    unrecovered = [event.as_row() for event in report.applied_events if not event.recovered]
+    assert not unrecovered, f"PIF failed to recover: {unrecovered}"
+
+
+# ----------------------------------------------------------------------
+# Dijkstra's K-state token ring (cycle networks)
+# ----------------------------------------------------------------------
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n=st.integers(min_value=3, max_value=9),
+    daemon=st.sampled_from(("central", "adversarial")),
+    node_fraction=st.sampled_from((0.3, 0.5, 1.0)),
+)
+@settings(**FUZZ_SETTINGS)
+def test_dijkstra_ring_recovers_from_counter_corruption(seed, n, daemon, node_fraction):
+    """Counter bursts under the serial daemons the K-state proof covers."""
+    network = generators.ring(n)
+    protocol = DijkstraTokenRing()
+    scheduler = Scheduler(network, protocol, daemon=make_daemon(daemon), seed=seed)
+    context = f"(dijkstra-ring n={n}, daemon={daemon}, seed={seed})"
+    _recover(scheduler, "initially " + context)
+    corrupted = corrupt_configuration(
+        scheduler.configuration,
+        protocol,
+        network,
+        node_fraction=node_fraction,
+        variable_fraction=1.0,
+        rng=random.Random(seed + 1),
+    )
+    scheduler.set_configuration(corrupted)
+    _recover(scheduler, f"after a {node_fraction:.0%} burst " + context)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n=st.integers(min_value=3, max_value=8),
+    daemon=st.sampled_from(DAEMONS),
+)
+@settings(**FUZZ_SETTINGS)
+def test_dijkstra_ring_never_terminates_under_any_daemon(seed, n, daemon):
+    """At least one processor is privileged in *every* K-state configuration,
+    so termination (even transiently, even under non-serial daemons whose
+    convergence is not claimed) is unconditionally a protocol bug."""
+    network = generators.ring(n)
+    protocol = DijkstraTokenRing()
+    scheduler = Scheduler(network, protocol, daemon=make_daemon(daemon), seed=seed)
+    corrupted = corrupt_configuration(
+        scheduler.configuration,
+        protocol,
+        network,
+        node_fraction=1.0,
+        variable_fraction=1.0,
+        rng=random.Random(seed + 1),
+    )
+    scheduler.set_configuration(corrupted)
+    result = scheduler.run(max_steps=200)
+    assert not result.terminated, (
+        f"dijkstra-ring terminated (n={n}, daemon={daemon}, seed={seed})"
+    )
