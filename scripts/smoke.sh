@@ -26,6 +26,16 @@ test -s "$out/BENCH_scheduler.json" || {
     echo "smoke FAILED: scheduler bench artifact missing" >&2; exit 1;
 }
 
+# --- sharded-engine micro-bench (quick variant) ----------------------------
+# Times the multi-process sharded engine against the single-process
+# incremental core on a small size (and asserts the executions are
+# identical); the full sweep with the n=1000/k=4 speedup threshold runs in
+# CI's sharded job and on demand.
+python benchmarks/bench_sharded.py --quick --out "$out/BENCH_sharded.json"
+test -s "$out/BENCH_sharded.json" || {
+    echo "smoke FAILED: sharded bench artifact missing" >&2; exit 1;
+}
+
 python -m repro.campaign run --protocol dftno --family ring \
     --sizes 6,8 --trials 2 --jobs 2 --seed 1 --out "$out"
 
@@ -38,6 +48,21 @@ case "$resume_log" in
 esac
 
 python -m repro.campaign report --out "$out"
+
+# --- multi-machine split: --shard I/K slices re-unite via merge ------------
+python -m repro.campaign run --protocol dftno --family ring \
+    --sizes 6,8 --trials 2 --jobs 1 --seed 1 --out "$out/slice-a.jsonl" --shard 0/2 --quiet
+python -m repro.campaign run --protocol dftno --family ring \
+    --sizes 6,8 --trials 2 --jobs 1 --seed 1 --out "$out/slice-b.jsonl" --shard 1/2 --quiet
+python -m repro.campaign merge "$out/slice-a.jsonl" "$out/slice-b.jsonl" \
+    --out "$out/slices-merged.jsonl"
+shard_status="$(python -m repro.campaign status --out "$out/slices-merged.jsonl" \
+    --protocol dftno --family ring --sizes 6,8 --trials 2 --seed 1)"
+echo "$shard_status"
+case "$shard_status" in
+    *"4 tasks, 4 completed, 0 pending, 0 stale"*) ;;
+    *) echo "smoke FAILED: sharded slices did not merge back to the full grid" >&2; exit 1 ;;
+esac
 
 # --- scenario task type: run + merge + status round-trip -------------------
 scen="$(mktemp -d)"

@@ -38,6 +38,7 @@ from repro.api.engines import (
     MsgpassEngine,
     ScenarioEngine,
     SchedulerEngine,
+    ShardedSchedulerEngine,
     engine_names,
     get_engine,
     register_engine,
@@ -79,6 +80,7 @@ __all__ = [
     "RunSpec",
     "ScenarioEngine",
     "SchedulerEngine",
+    "ShardedSchedulerEngine",
     "StopSpec",
     "engine_names",
     "get_engine",

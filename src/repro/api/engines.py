@@ -101,12 +101,17 @@ class SchedulerEngine(Engine):
     #: Whether the underlying scheduler maintains the incremental enabled-set.
     incremental = True
 
+    def _scheduler_kwargs(self, spec: RunSpec) -> dict[str, object]:
+        """How the measurement harness should build its scheduler."""
+        return {"incremental": self.incremental}
+
     def execute(self, spec: RunSpec, observers: Sequence[Observer] = ()) -> RunResult:
         from repro.analysis.convergence import measure_dftno, measure_stno
         from repro.runtime.daemon import make_daemon
 
         network = spec.network.build()
         daemon = make_daemon(spec.daemon)
+        kwargs = self._scheduler_kwargs(spec)
         if spec.protocol == "dftno":
             sample = measure_dftno(
                 network,
@@ -116,7 +121,7 @@ class SchedulerEngine(Engine):
                 parameter=spec.parameter,
                 after_substrate=spec.stop.after_substrate,
                 observers=observers,
-                incremental=self.incremental,
+                **kwargs,
             )
         else:
             sample = measure_stno(
@@ -128,7 +133,7 @@ class SchedulerEngine(Engine):
                 parameter=spec.parameter,
                 after_substrate=spec.stop.after_substrate,
                 observers=observers,
-                incremental=self.incremental,
+                **kwargs,
             )
         return RunResult(engine=self.name, spec=spec, row=sample.as_row(), report=sample)
 
@@ -144,6 +149,33 @@ class FullScanSchedulerEngine(SchedulerEngine):
 
     name = "scheduler-fullscan"
     incremental = False
+
+
+class ShardedSchedulerEngine(SchedulerEngine):
+    """The multi-process twin of :class:`SchedulerEngine`.
+
+    Same measurement, executed by :class:`~repro.shard.ShardedScheduler`: the
+    network is partitioned into ``spec.shards`` node blocks, each block's
+    guard evaluation and action execution runs in a forked worker process,
+    and only the dirty frontier crossing shard boundaries is exchanged
+    between rounds.  The cross-shard daemon is the run's own seeded daemon
+    selecting from the globally merged enabled set, so rows are
+    bit-identical to the ``scheduler`` engine's -- the extended equivalence
+    suite holds all three scheduler engines together.
+    """
+
+    name = "scheduler-sharded"
+
+    def _scheduler_kwargs(self, spec: RunSpec) -> dict[str, object]:
+        from functools import partial
+
+        from repro.shard import ShardedScheduler
+
+        return {
+            "scheduler_factory": partial(
+                ShardedScheduler, shards=spec.shards or 2, partition=spec.partition or "bfs"
+            )
+        }
 
 
 # ----------------------------------------------------------------------
@@ -249,6 +281,7 @@ def build_protocol(name: str):
 
 register_engine(SchedulerEngine())
 register_engine(FullScanSchedulerEngine())
+register_engine(ShardedSchedulerEngine())
 register_engine(ScenarioEngine())
 register_engine(MsgpassEngine())
 
@@ -259,6 +292,7 @@ __all__ = [
     "MsgpassEngine",
     "ScenarioEngine",
     "SchedulerEngine",
+    "ShardedSchedulerEngine",
     "build_protocol",
     "engine_names",
     "get_engine",

@@ -32,12 +32,18 @@ HEIGHT_TREE_FAMILY = "height_tree"
 #: Engines :func:`repro.api.run` can dispatch to.  ``scheduler-fullscan`` is
 #: the differential-testing twin of ``scheduler``: same measurement, but the
 #: scheduler rescans every guard per step instead of maintaining the
-#: incremental enabled-set.
-ENGINE_NAMES = ("scheduler", "scheduler-fullscan", "scenario", "msgpass")
+#: incremental enabled-set.  ``scheduler-sharded`` runs the same measurement
+#: on the multi-process sharded engine (:mod:`repro.shard`): ``shards``
+#: worker processes each own one node block, with the dirty frontier
+#: exchanged between rounds -- results are bit-identical to ``scheduler``.
+ENGINE_NAMES = ("scheduler", "scheduler-fullscan", "scheduler-sharded", "scenario", "msgpass")
 
 #: The engines that run the daemon-step scheduler (and thus understand
 #: scheduler-only spec fields such as ``stop.after_substrate``).
-SCHEDULER_ENGINES = ("scheduler", "scheduler-fullscan")
+SCHEDULER_ENGINES = ("scheduler", "scheduler-fullscan", "scheduler-sharded")
+
+#: The engine that understands the ``shards`` / ``partition`` spec fields.
+SHARDED_ENGINE = "scheduler-sharded"
 
 #: Message-passing workloads the ``msgpass`` engine implements.
 WORKLOADS = ("broadcast", "traversal", "election")
@@ -152,6 +158,13 @@ class RunSpec:
     parameter:
         The swept quantity this run contributes to in aggregated tables
         (default: the network size; the height for height-controlled trees).
+    shards / partition:
+        Sharded-engine knobs (only legal for ``engine="scheduler-sharded"``):
+        the number of worker processes (default 2) and the partition strategy
+        (default ``"bfs"``; see
+        :data:`repro.shard.partition.PARTITION_STRATEGIES`).  They never
+        change the measured execution -- only how it is computed -- but they
+        are part of the canonical hash like every other syntactic field.
     """
 
     engine: str = "scheduler"
@@ -163,6 +176,8 @@ class RunSpec:
     workload: str | None = None
     stop: StopSpec = field(default_factory=StopSpec)
     parameter: int | None = None
+    shards: int | None = None
+    partition: str | None = None
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINE_NAMES:
@@ -205,6 +220,22 @@ class RunSpec:
         elif self.workload is not None:
             raise ValueError(
                 f"workloads only apply to engine='msgpass' (got {self.engine!r})"
+            )
+
+        if self.engine == SHARDED_ENGINE:
+            from repro.shard.partition import normalize_strategy
+
+            shards = self.shards if self.shards is not None else 2
+            if int(shards) < 1:
+                raise ValueError(f"shards must be >= 1 (got {shards})")
+            object.__setattr__(self, "shards", int(shards))
+            object.__setattr__(
+                self, "partition", normalize_strategy(self.partition or "bfs")
+            )
+        elif self.shards is not None or self.partition is not None:
+            raise ValueError(
+                f"shards/partition only apply to engine={SHARDED_ENGINE!r} "
+                f"(got {self.engine!r})"
             )
 
         if self.engine not in SCHEDULER_ENGINES and self.stop.after_substrate:
@@ -261,6 +292,11 @@ class RunSpec:
             "workload": "broadcast" if self.engine == "msgpass" else None,
             "stop": {},
             "parameter": None,
+            # The sharded engine's resolved defaults hash like the bare spec,
+            # so ``RunSpec(engine="scheduler-sharded")`` and an explicit
+            # ``shards=2, partition="bfs"`` dedup to the same store row.
+            "shards": 2 if self.engine == SHARDED_ENGINE else None,
+            "partition": "bfs" if self.engine == SHARDED_ENGINE else None,
         }
         return _strip_defaults(data, defaults)
 
@@ -315,6 +351,7 @@ __all__ = [
     "ENGINE_NAMES",
     "HEIGHT_TREE_FAMILY",
     "SCHEDULER_ENGINES",
+    "SHARDED_ENGINE",
     "NetworkSpec",
     "RunResult",
     "RunSpec",

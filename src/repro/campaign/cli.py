@@ -3,6 +3,7 @@
 ::
 
     python -m repro.campaign run --protocol dftno --sizes 8:64 --jobs 4 --out results/
+    python -m repro.campaign run --protocol dftno --sizes 8:64 --shard 0/4 --out shard-a/
     python -m repro.campaign run --task-type scenario --scenario cascade \\
         --protocol dftno --protocol stno-bfs --daemon central --daemon distributed \\
         --sizes 10 --out results/
@@ -17,7 +18,10 @@
 ``run`` expands the declarative grid, skips tasks the store already holds
 (``--resume``), executes the rest on ``--jobs`` workers and streams one line
 per completed task; each task is a :class:`~repro.api.RunSpec` executed
-through :func:`repro.api.run`.  ``--live [STEPS]`` additionally streams
+through :func:`repro.api.run`.  ``--shard I/K`` executes only the hash-keyed
+slice ``I`` of ``K`` of the grid (deterministic and disjoint across slices),
+so K machines can each run one slice against their own store and ``merge``
+re-unites the results.  ``--live [STEPS]`` additionally streams
 per-step/round progress from *inside* each task (via the engines' observer
 stream), so a single long-running task is no longer silent until it
 finishes.  Stores are JSONL by default; an ``--out``
@@ -42,7 +46,7 @@ from typing import Sequence
 
 from repro.analysis.reporting import format_table
 from repro.campaign.aggregate import aggregate_rows, fit_aggregate, metrics_for_rows
-from repro.campaign.grid import DAEMONS, Grid, PROTOCOLS, parse_axis
+from repro.campaign.grid import DAEMONS, Grid, PROTOCOLS, parse_axis, parse_shard
 from repro.campaign.registry import DEFAULT_TASK_TYPE, task_type_names
 from repro.campaign.runner import CampaignRunner
 from repro.campaign.store import open_store, resolve_store_path
@@ -191,6 +195,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--resume", action="store_true", help="skip tasks already completed in the store"
     )
+    run.add_argument(
+        "--shard",
+        default=None,
+        metavar="I/K",
+        help="execute only hash-keyed slice I of K of the grid (0-based), e.g. "
+        "--shard 0/4; run each slice on its own machine, then re-unite the "
+        "stores with 'repro-campaign merge'",
+    )
     run.add_argument("--quiet", action="store_true", help="suppress per-task progress lines")
     run.add_argument(
         "--live",
@@ -248,6 +260,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     grid = _build_grid(args)
+    shard = parse_shard(args.shard) if args.shard else None
     store = open_store(resolve_store_path(args.out))
     # Provenance: every run stamps the grid it executed, the code version and
     # (once) the creation time into the store-level metadata.
@@ -274,9 +287,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 flush=True,
             )
 
-    result = runner.run(grid, resume=args.resume, progress=progress)
+    result = runner.run(grid, resume=args.resume, progress=progress, shard=shard)
+    shard_note = (
+        f" (shard {shard[0]}/{shard[1]} of a {len(grid)}-task grid)" if shard else ""
+    )
     print(
-        f"campaign: {result.total} tasks, {result.executed} executed, "
+        f"campaign: {result.total} tasks{shard_note}, {result.executed} executed, "
         f"{result.skipped} skipped (resumed), {result.converged}/{result.total} converged "
         f"-> {store.path}"
     )

@@ -354,6 +354,25 @@ class Grid:
                                         )
         return tasks
 
+    def shard(self, index: int, count: int) -> list[TaskSpec]:
+        """Deterministic hash-keyed slice ``index`` of ``count`` of this grid.
+
+        A task belongs to shard ``index`` iff ``config_hash mod count ==
+        index``, so the ``count`` slices are disjoint, cover the grid, and --
+        because the key is the same config hash the stores dedup on -- a task
+        lands in the same shard on every machine, for any axis order, whether
+        or not other machines' grids were edited.  Run each slice on its own
+        machine (``repro-campaign run --shard I/K``) and re-unite the stores
+        with ``repro-campaign merge``.
+        """
+        if count < 1:
+            raise ValueError(f"shard count must be >= 1 (got {count})")
+        if not 0 <= index < count:
+            raise ValueError(f"shard index {index} out of range 0..{count - 1}")
+        return [
+            task for task in self.expand() if int(task.config_hash, 16) % count == index
+        ]
+
     def as_dict(self) -> dict[str, object]:
         """JSON-friendly description of the grid (for store metadata / logs)."""
         return {f.name: getattr(self, f.name) for f in fields(self)}
@@ -392,6 +411,25 @@ def parse_axis(text: str) -> tuple[int, ...]:
     return tuple(int(part) for part in text.split(","))
 
 
+def parse_shard(text: str) -> tuple[int, int]:
+    """Parse a CLI shard spec ``"I/K"`` into ``(index, count)``.
+
+    ``I`` is 0-based: ``--shard 0/4`` .. ``--shard 3/4`` cover a grid.
+    """
+    parts = text.strip().split("/")
+    if len(parts) != 2:
+        raise ValueError(f"bad shard spec {text!r}; use INDEX/COUNT, e.g. 0/4")
+    try:
+        index, count = int(parts[0]), int(parts[1])
+    except ValueError as exc:
+        raise ValueError(f"bad shard spec {text!r}; use INDEX/COUNT, e.g. 0/4") from exc
+    if count < 1 or not 0 <= index < count:
+        raise ValueError(
+            f"bad shard spec {text!r}; need 0 <= INDEX < COUNT (COUNT >= 1)"
+        )
+    return index, count
+
+
 __all__ = [
     "DAEMONS",
     "Grid",
@@ -404,4 +442,5 @@ __all__ = [
     "normalize_family",
     "normalize_protocol",
     "parse_axis",
+    "parse_shard",
 ]

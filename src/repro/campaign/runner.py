@@ -165,19 +165,26 @@ class CampaignRunner:
         grid: Grid,
         resume: bool = False,
         progress: ProgressCallback | None = None,
+        shard: tuple[int, int] | None = None,
     ) -> CampaignResult:
         """Run every task of ``grid`` that the store has not already completed.
 
         With ``resume=True`` (and a store) completed tasks are skipped and
         their stored rows are spliced into the returned ``rows`` list, which
-        is always in grid order and always covers the whole grid.
+        is always in grid order and always covers the whole grid.  ``shard``
+        = ``(index, count)`` restricts execution to that hash-keyed slice of
+        the grid (see :meth:`~repro.campaign.grid.Grid.shard`) -- the
+        multi-machine split that ``merge`` later re-unites; staleness is
+        still judged against the *whole* grid, so one shard never flags the
+        other shards' rows.
         """
-        tasks = grid.expand()
+        tasks = grid.shard(*shard) if shard is not None else grid.expand()
         existing: dict[str, dict[str, object]] = {}
         if resume and self.store is not None:
             existing = self.store.rows_by_hash()
         pending = [task for task in tasks if task.config_hash not in existing]
-        grid_hashes = {task.config_hash for task in tasks}
+        whole_grid = grid.expand() if shard is not None else tasks
+        grid_hashes = {task.config_hash for task in whole_grid}
         stale = tuple(sorted(h for h in existing if h not in grid_hashes))
 
         fresh: dict[str, dict[str, object]] = {}
@@ -208,10 +215,11 @@ def run_grid(
     resume: bool = False,
     progress: ProgressCallback | None = None,
     live_every: int | None = None,
+    shard: tuple[int, int] | None = None,
 ) -> CampaignResult:
     """Convenience wrapper: ``CampaignRunner(store, jobs).run(grid, ...)``."""
     return CampaignRunner(store=store, jobs=jobs, live_every=live_every).run(
-        grid, resume=resume, progress=progress
+        grid, resume=resume, progress=progress, shard=shard
     )
 
 

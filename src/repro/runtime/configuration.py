@@ -31,7 +31,10 @@ class Configuration:
 
     def __init__(self, states: Mapping[int, Mapping[str, Any]] | None = None) -> None:
         self._states: dict[int, dict[str, Any]] = {}
-        self._dirty: set[int] = set()
+        # node -> changed variable names, or None when the whole local state
+        # was replaced (a variable may have been *dropped*, so a name list
+        # cannot describe the change).
+        self._dirty: dict[int, set[str] | None] = {}
         if states is not None:
             for node, variables in states.items():
                 self._states[int(node)] = dict(variables)
@@ -52,6 +55,18 @@ class Configuration:
         """A copy of the full local state of ``node``."""
         return copy.deepcopy(self._states.get(node, {}))
 
+    def peek_state(self, node: int) -> Mapping[str, Any]:
+        """The live local state of ``node`` -- **not** a copy.
+
+        For read-only hot paths that cannot afford :meth:`state_of`'s deep
+        copy, such as the sharded coordinator's frontier payloads (pickled
+        straight onto a pipe, or shallow-copied by the receiving worker).
+        Callers must never mutate the returned mapping or its values; the
+        runtime itself never mutates stored values in place (writes always
+        replace them), which is what makes sharing safe.
+        """
+        return self._states.get(node, {})
+
     def has(self, node: int, variable: str) -> bool:
         """Whether ``variable`` is defined at ``node``."""
         return variable in self._states.get(node, {})
@@ -71,8 +86,17 @@ class Configuration:
         """Set ``variable`` at ``node`` (creating the slot if needed)."""
         state = self._states.setdefault(node, {})
         if variable not in state or state[variable] != value:
-            self._dirty.add(node)
+            self._journal(node, (variable,))
         state[variable] = value
+
+    def _journal(self, node: int, variables: "tuple[str, ...] | None") -> None:
+        """Record changed ``variables`` at ``node`` (``None``: whole state)."""
+        if variables is None:
+            self._dirty[node] = None
+        else:
+            names = self._dirty.setdefault(node, set())
+            if names is not None:
+                names.update(variables)
 
     def update_node(self, node: int, values: Mapping[str, Any]) -> None:
         """Apply several writes at ``node`` at once."""
@@ -90,16 +114,18 @@ class Configuration:
         """
         state = self._states.setdefault(node, {})
         changes: dict[str, tuple[Any, Any]] = {}
+        touched: list[str] = []
         for name, value in values.items():
             if name not in state:
-                self._dirty.add(node)
+                touched.append(name)
                 if value is not None:
                     changes[name] = (None, value)
             elif state[name] != value:
+                touched.append(name)
                 changes[name] = (state[name], value)
         state.update(values)
-        if changes:
-            self._dirty.add(node)
+        if touched:
+            self._journal(node, tuple(touched))
         return changes
 
     def replace_node(self, node: int, values: Mapping[str, Any]) -> None:
@@ -110,7 +136,7 @@ class Configuration:
         processor's program declares (e.g. per-neighbor maps).
         """
         if self._states.get(node) != dict(values):
-            self._dirty.add(node)
+            self._journal(node, None)
         self._states[node] = dict(values)
 
     # ------------------------------------------------------------------
@@ -121,11 +147,13 @@ class Configuration:
 
         For callers that mutate state outside the write methods (none in this
         repository) or want to force guard re-evaluation around some nodes.
+        An externally marked node is journaled as fully changed.
         """
         if isinstance(nodes, int):
-            self._dirty.add(nodes)
+            self._journal(nodes, None)
         else:
-            self._dirty.update(nodes)
+            for node in nodes:
+                self._journal(node, None)
 
     @property
     def dirty_nodes(self) -> frozenset[int]:
@@ -135,6 +163,22 @@ class Configuration:
     def drain_dirty(self) -> frozenset[int]:
         """Return the journaled changed nodes and clear the journal."""
         drained = frozenset(self._dirty)
+        self._dirty.clear()
+        return drained
+
+    def drain_dirty_detail(self) -> dict[int, "frozenset[str] | None"]:
+        """Per-node change detail: changed variable names, or ``None`` when
+        the whole local state was replaced.  Clears the journal.
+
+        The sharded coordinator consumes this to ship *deltas* across shard
+        boundaries -- only the written variables of a step travel; a full
+        state goes only where a ``replace_node`` (crash rejoin, topology
+        reinitialization) genuinely replaced one.
+        """
+        drained = {
+            node: (None if names is None else frozenset(names))
+            for node, names in self._dirty.items()
+        }
         self._dirty.clear()
         return drained
 

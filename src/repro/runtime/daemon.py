@@ -73,10 +73,12 @@ class CentralDaemon(Daemon):
 
     def select(self, enabled: Sequence[int], step: int, rng: random.Random) -> list[int]:
         if self.policy == "random":
-            return [rng.choice(list(enabled))]
-        # Round-robin: pick the first enabled processor at or after the cursor.
-        ordered = sorted(enabled)
-        chosen = next((node for node in ordered if node >= self._cursor), ordered[0])
+            # ``enabled`` is already an (immutable) sequence; rng.choice
+            # indexes it directly, so no per-step copy is made.
+            return [rng.choice(enabled)]
+        # Round-robin: pick the first enabled processor at or after the cursor
+        # (the scheduler hands the enabled set over in ascending order).
+        chosen = next((node for node in enabled if node >= self._cursor), enabled[0])
         self._cursor = chosen + 1
         return [chosen]
 
@@ -107,7 +109,7 @@ class DistributedDaemon(Daemon):
     def select(self, enabled: Sequence[int], step: int, rng: random.Random) -> list[int]:
         chosen = [node for node in enabled if rng.random() < self.activation_probability]
         if not chosen:
-            chosen = [rng.choice(list(enabled))]
+            chosen = [rng.choice(enabled)]
         return chosen
 
 

@@ -32,6 +32,39 @@ from repro.runtime.protocol import Protocol
 from repro.runtime.trace import Trace
 
 
+def first_enabled_action(
+    node: int,
+    network: RootedNetwork,
+    configuration: Configuration,
+    actions: Sequence[Action],
+    check_guard_locality: bool = False,
+) -> Action | None:
+    """The first action of ``node`` whose guard holds in ``configuration``.
+
+    The single guard-evaluation primitive shared by the scheduler and the
+    sharded execution workers (:mod:`repro.shard`), so both paths evaluate
+    guards -- and enforce the guard-locality invariant in debug mode --
+    identically.
+    """
+    view = ProcessorView(node, network, configuration, track_reads=check_guard_locality)
+    found: Action | None = None
+    for action in actions:
+        if action.enabled(view):
+            found = action
+            break
+    if check_guard_locality:
+        allowed = set(network.neighbor_set(node))
+        allowed.add(node)
+        illegal = view.read_nodes - allowed
+        if illegal:
+            raise ProtocolError(
+                f"guard locality violated: an action of processor {node} read "
+                f"processors {sorted(illegal)} outside its closed neighborhood "
+                f"{sorted(allowed)}"
+            )
+    return found
+
+
 @dataclass(frozen=True)
 class MoveRecord:
     """One processor's move within a step: what executed and what it changed."""
@@ -197,6 +230,13 @@ class Scheduler:
         # freeze/unfreeze invalidation-free; the accessors filter them).
         self._enabled: dict[int, Action] = {}
         self._needs_full_rescan = True
+        # Maintained sorted/immutable view of the non-frozen enabled nodes.
+        # Steps used to re-sort the enabled-set (and daemons to copy it) every
+        # step, which is what flattened the incremental core's win near ~5x in
+        # BENCH_scheduler.json; the view is rebuilt only when enabled-set
+        # *membership* (or the frozen set) actually changes.
+        self._enabled_order: tuple[int, ...] | None = None
+        self._enabled_members: frozenset[int] | None = None
 
     # ------------------------------------------------------------------
     # Observers
@@ -245,13 +285,28 @@ class Scheduler:
         journaled configuration changes); with ``incremental=False`` it is
         the historical full scan.
         """
+        order, lookup, _ = self._enabled_view()
+        return {node: lookup[node] for node in order}
+
+    def _enabled_view(self) -> tuple[tuple[int, ...], Mapping[int, Action], frozenset[int]]:
+        """The enabled set as ``(sorted order, node -> action, member set)``.
+
+        The step loop's view of the enabled processors.  On the incremental
+        path the order tuple and member set are maintained across steps and
+        rebuilt only when membership changed, so neither the per-step sort nor
+        the daemon's selection copies scale with the enabled count; the
+        full-scan path keeps its historical rebuild-per-call behavior.
+        """
         if self.incremental:
             self._refresh_enabled()
-            return {
-                node: self._enabled[node]
-                for node in sorted(self._enabled)
-                if node not in self._frozen
-            }
+            if self._enabled_order is None:
+                order = tuple(
+                    sorted(node for node in self._enabled if node not in self._frozen)
+                )
+                self._enabled_order = order
+                self._enabled_members = frozenset(order)
+            assert self._enabled_members is not None
+            return self._enabled_order, self._enabled, self._enabled_members
         enabled: dict[int, Action] = {}
         for node in self.network.nodes():
             if node in self._frozen:
@@ -259,11 +314,12 @@ class Scheduler:
             action = self._first_enabled(node)
             if action is not None:
                 enabled[node] = action
-        return enabled
+        order = tuple(enabled)  # network.nodes() iterates ascending
+        return order, enabled, frozenset(order)
 
     def enabled_nodes(self) -> tuple[int, ...]:
         """Identifiers of the processors with at least one enabled action."""
-        return tuple(sorted(self.enabled_actions()))
+        return self._enabled_view()[0]
 
     def is_enabled(self, node: int) -> bool:
         """Whether ``node`` has an enabled action in the current configuration.
@@ -275,29 +331,23 @@ class Scheduler:
         return node not in self._frozen and self._first_enabled(node) is not None
 
     def _first_enabled(self, node: int) -> Action | None:
-        view = ProcessorView(
-            node, self.network, self.configuration, track_reads=self.check_guard_locality
+        return first_enabled_action(
+            node,
+            self.network,
+            self.configuration,
+            self._actions[node],
+            check_guard_locality=self.check_guard_locality,
         )
-        found: Action | None = None
-        for action in self._actions[node]:
-            if action.enabled(view):
-                found = action
-                break
-        if self.check_guard_locality:
-            allowed = set(self.network.neighbor_set(node))
-            allowed.add(node)
-            illegal = view.read_nodes - allowed
-            if illegal:
-                raise ProtocolError(
-                    f"guard locality violated: an action of processor {node} read "
-                    f"processors {sorted(illegal)} outside its closed neighborhood "
-                    f"{sorted(allowed)}"
-                )
-        return found
 
     def _invalidate_enabled(self) -> None:
         """Force a full guard rescan on the next enabled-set access."""
         self._needs_full_rescan = True
+        self._invalidate_enabled_view()
+
+    def _invalidate_enabled_view(self) -> None:
+        """Drop the maintained sorted view (membership or frozen set changed)."""
+        self._enabled_order = None
+        self._enabled_members = None
 
     def _refresh_enabled(self) -> None:
         """Fold journaled configuration changes into the persistent enabled-set.
@@ -314,6 +364,7 @@ class Scheduler:
                 if action is not None:
                     self._enabled[node] = action
             self._needs_full_rescan = False
+            self._invalidate_enabled_view()
             return
         dirty = self.configuration.drain_dirty()
         if not dirty:
@@ -327,8 +378,11 @@ class Scheduler:
         for node in frontier:
             action = self._first_enabled(node)
             if action is None:
-                self._enabled.pop(node, None)
+                if self._enabled.pop(node, None) is not None:
+                    self._invalidate_enabled_view()
             else:
+                if node not in self._enabled:
+                    self._invalidate_enabled_view()
                 self._enabled[node] = action
 
     # ------------------------------------------------------------------
@@ -336,38 +390,31 @@ class Scheduler:
     # ------------------------------------------------------------------
     def step(self) -> StepRecord | None:
         """Execute one computation step; ``None`` if no processor is enabled."""
-        enabled = self.enabled_actions()
-        if not enabled:
+        order, enabled, members = self._enabled_view()
+        if not order:
             return None
 
         if self._round_pending is None:
-            self._round_pending = set(enabled)
+            self._round_pending = set(order)
 
-        selected = self.daemon.select(tuple(sorted(enabled)), self._step_index, self.rng)
+        selected = self.daemon.select(order, self._step_index, self.rng)
         if not selected:
             raise SchedulingError(f"daemon {self.daemon.name!r} selected an empty set")
-        invalid = [node for node in selected if node not in enabled]
+        invalid = [node for node in selected if node not in members]
         if invalid:
             raise SchedulingError(
                 f"daemon {self.daemon.name!r} selected processors that are not enabled: {invalid}"
             )
 
-        executed: list[tuple[int, str]] = []
-        changed_nodes: list[int] = []
-        pending_writes: dict[int, dict[str, object]] = {}
-        for node in selected:
-            action = enabled[node]
-            view = ProcessorView(node, self.network, self.configuration)
-            action.execute(view)
-            writes = view.pending_writes
-            pending_writes[node] = writes
-            executed.append((node, action.name))
+        executed, pending_writes = self._execute_selected(enabled, selected)
 
         # Apply all writes after every selected processor has read the
         # beginning-of-step configuration (composite atomicity).  apply_writes
         # journals the changed nodes, which is what feeds the incremental
         # path's dirty frontier.
+        changed_nodes: list[int] = []
         moves: list[MoveRecord] = []
+        action_names = dict(executed)
         for node, writes in pending_writes.items():
             changes = self.configuration.apply_writes(node, writes)
             if changes:
@@ -375,7 +422,7 @@ class Scheduler:
             moves.append(
                 MoveRecord(
                     node=node,
-                    action=dict(executed)[node],
+                    action=action_names[node],
                     layer=enabled[node].layer,
                     changes=changes,
                 )
@@ -396,6 +443,29 @@ class Scheduler:
             self._notify_round(completed_round)
         return record
 
+    def _execute_selected(
+        self, enabled: Mapping[int, Action], selected: Sequence[int]
+    ) -> tuple[list[tuple[int, str]], dict[int, dict[str, object]]]:
+        """Run the selected processors' actions against the beginning-of-step
+        configuration and collect their writes (not yet applied).
+
+        The execution half of a computation step, separated so an alternative
+        execution layer (the sharded engine fans it out to worker processes)
+        can replace *how* actions run without touching daemon selection,
+        write application, or round bookkeeping.  Returns the ``(node, action
+        name)`` pairs and the per-node pending writes, both in selection
+        order.
+        """
+        executed: list[tuple[int, str]] = []
+        pending_writes: dict[int, dict[str, object]] = {}
+        for node in selected:
+            action = enabled[node]
+            view = ProcessorView(node, self.network, self.configuration)
+            action.execute(view)
+            pending_writes[node] = view.pending_writes
+            executed.append((node, action.name))
+        return executed, pending_writes
+
     def _advance_round(self, executed_nodes: set[int]) -> int | None:
         """Round bookkeeping: a round ends when every processor that was
         enabled at its start has executed or become disabled.  Returns the
@@ -404,8 +474,7 @@ class Scheduler:
             return None
         self._round_pending -= executed_nodes
         if self._round_pending:
-            still_enabled = set(self.enabled_nodes())
-            self._round_pending &= still_enabled
+            self._round_pending &= self._enabled_view()[2]
         if not self._round_pending:
             self._round_index += 1
             self._round_pending = None
@@ -614,11 +683,13 @@ class Scheduler:
                 raise SchedulingError(f"cannot freeze unknown processor {node}")
             self._frozen.add(node)
         self._round_pending = None
+        self._invalidate_enabled_view()
 
     def unfreeze(self, nodes: Iterable[int]) -> None:
         """Let crashed ``nodes`` rejoin the computation."""
         self._frozen.difference_update(nodes)
         self._round_pending = None
+        self._invalidate_enabled_view()
 
     @property
     def frozen_nodes(self) -> frozenset[int]:
@@ -642,4 +713,10 @@ class Scheduler:
         )
 
 
-__all__ = ["MoveRecord", "Scheduler", "RunResult", "StepRecord"]
+__all__ = [
+    "MoveRecord",
+    "Scheduler",
+    "RunResult",
+    "StepRecord",
+    "first_enabled_action",
+]

@@ -168,6 +168,74 @@ class CrashRejoin(ScenarioEvent):
 
 
 @dataclass(frozen=True)
+class MultiCrash(ScenarioEvent):
+    """Crash a whole *set* of processors simultaneously, then rejoin them all.
+
+    The correlated-failure counterpart of :class:`CrashRejoin`: a rack loss,
+    a partition-wide power event.  ``fraction`` of the processors (at least
+    one; the root only with ``include_root``) freeze in the same instant,
+    stay down together for ``downtime_steps`` steps while the survivors keep
+    executing against their last-written variables, and rejoin *in one
+    event* with arbitrarily redrawn local states -- the multi-node transient
+    fault the protocols claim to absorb.
+
+    On the sharded engine the victim set typically spans several blocks:
+    freezing is coordinator-side daemon bookkeeping, and every rejoin state
+    lands in the journaled configuration, so each redrawn node is routed to
+    exactly its owning and ghosting shards like any other dirty-frontier
+    entry.
+    """
+
+    fraction: float = 0.3
+    downtime_steps: int = 10
+    include_root: bool = False
+    kind = "multi_crash"
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fraction <= 1.0:
+            raise ValueError("fraction must lie in (0, 1]")
+        if self.downtime_steps < 0:
+            raise ValueError("downtime_steps must be >= 0")
+
+    def _pick_victims(self, network: RootedNetwork, rng: random.Random) -> tuple[int, ...]:
+        pool = [
+            node
+            for node in network.nodes()
+            if self.include_root or node != network.root
+        ]
+        if not pool:
+            pool = [network.root]
+        count = max(1, round(self.fraction * len(pool)))
+        count = min(count, len(pool))
+        return tuple(sorted(rng.sample(pool, count)))
+
+    def apply(self, scheduler: Scheduler, rng: random.Random) -> EventOutcome:
+        victims = self._pick_victims(scheduler.network, rng)
+        scheduler.freeze(victims)
+        consumed = 0
+        try:
+            for _ in range(self.downtime_steps):
+                if scheduler.step() is None:
+                    break  # every survivor is disabled; the wait is over early
+                consumed += 1
+        finally:
+            scheduler.unfreeze(victims)
+        for victim in victims:
+            scheduler.configuration.replace_node(
+                victim, scheduler.protocol.random_state(scheduler.network, victim, rng)
+            )
+        return EventOutcome(
+            kind=self.kind,
+            description=(
+                f"crash {len(victims)} processors {list(victims)} for {consumed} "
+                f"steps, rejoin all with arbitrary state"
+            ),
+            affected_nodes=victims,
+            steps_consumed=consumed,
+        )
+
+
+@dataclass(frozen=True)
 class LinkChange(ScenarioEvent):
     """Add or remove one link, keeping the network connected.
 
@@ -302,5 +370,6 @@ __all__ = [
     "DaemonSwitch",
     "EventOutcome",
     "LinkChange",
+    "MultiCrash",
     "ScenarioEvent",
 ]

@@ -12,7 +12,10 @@ shipped scenarios cover the recovery story's main axes:
 * ``cascade`` -- escalating bursts while the daemon turns adversarial
   mid-run, the worst case short of continuous faults;
 * ``churn`` -- dynamic-network churn: link add/remove with endpoint
-  re-randomization plus leaf and root crash/rejoin.
+  re-randomization plus leaf and root crash/rejoin;
+* ``blackout`` -- correlated failures: simultaneous crash/rejoin of growing
+  processor sets (:class:`~repro.scenarios.events.MultiCrash`), the root
+  included in the second wave.
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ from repro.scenarios.events import (
     CrashRejoin,
     DaemonSwitch,
     LinkChange,
+    MultiCrash,
 )
 from repro.scenarios.scenario import Scenario, TimedEvent
 
@@ -108,6 +112,29 @@ def cascade() -> Scenario:
     )
 
 
+@register_scenario("blackout")
+def blackout() -> Scenario:
+    """Correlated multi-node failures: growing simultaneous crash/rejoin waves.
+
+    A third of the processors go down together, recover, then half of them
+    including the root -- the rack-loss shape :class:`MultiCrash` models in a
+    single event, so per-event recovery reporting attributes the whole
+    correlated failure to one ``multi_crash`` record instead of a chain of
+    independent crashes.
+    """
+    return Scenario(
+        name="blackout",
+        events=(
+            TimedEvent(MultiCrash(fraction=0.34, downtime_steps=12), delay_steps=10),
+            TimedEvent(
+                MultiCrash(fraction=0.5, downtime_steps=12, include_root=True),
+                delay_steps=10,
+            ),
+        ),
+        description="simultaneous crash/rejoin of growing processor sets, root included",
+    )
+
+
 @register_scenario("churn")
 def churn() -> Scenario:
     """Dynamic-network churn: link add/remove plus leaf and root crashes."""
@@ -124,6 +151,7 @@ def churn() -> Scenario:
 
 
 __all__ = [
+    "blackout",
     "build_scenario",
     "cascade",
     "churn",

@@ -18,7 +18,8 @@ from __future__ import annotations
 
 import random
 
-from typing import Sequence
+from functools import partial
+from typing import Callable, Sequence
 
 from repro.analysis.recovery import EventRecovery, ScenarioReport, disturbed_nodes
 from repro.core.specification import VAR_EDGE_LABELS, VAR_NAME
@@ -64,6 +65,14 @@ class ScenarioRunner:
         Forwarded to the :class:`~repro.runtime.scheduler.Scheduler`;
         ``False`` forces the historical full guard scan (differential
         testing of the incremental enabled-set under scenario events).
+    scheduler_factory:
+        Substitute a whole alternative execution core (overrides
+        ``incremental``): the sharded engine passes
+        :class:`~repro.shard.ShardedScheduler` here, and because every event
+        mutates the run through the scheduler's journaled configuration
+        paths, fault injection routes to the owning shard with no
+        scenario-side changes.  A factory-built scheduler exposing
+        ``close()`` is closed when the run ends.
     """
 
     def __init__(
@@ -77,6 +86,7 @@ class ScenarioRunner:
         watch_variables: tuple[str, ...] | None = ORIENTATION_VARIABLES,
         observers: Sequence[Observer] = (),
         incremental: bool = True,
+        scheduler_factory: Callable[..., Scheduler] | None = None,
     ) -> None:
         self.network = network
         self.protocol = protocol
@@ -92,19 +102,29 @@ class ScenarioRunner:
         self.watch_variables = watch_variables
         self.observers = tuple(observers)
         self.incremental = incremental
+        self.scheduler_factory = scheduler_factory
 
     def run(self) -> ScenarioReport:
         """Execute the scenario once and return the full recovery report."""
         rng = random.Random(self.seed)
-        scheduler = Scheduler(
+        factory = self.scheduler_factory or partial(
+            Scheduler, incremental=self.incremental
+        )
+        scheduler = factory(
             self.network,
             self.protocol,
             daemon=self.daemon,
             rng=random.Random(rng.randrange(1 << 30)),
             observers=self.observers,
-            incremental=self.incremental,
         )
+        try:
+            return self._run(scheduler, rng)
+        finally:
+            closer = getattr(scheduler, "close", None)
+            if closer is not None:
+                closer()
 
+    def _run(self, scheduler: Scheduler, rng: random.Random) -> ScenarioReport:
         configured_daemon = scheduler.daemon.name
         initial = scheduler.run_until_legitimate(
             max_steps=scheduler.steps_executed + self.phase_budget,

@@ -1,0 +1,42 @@
+"""Sharded multi-process simulation: partition, workers, coordinator.
+
+The sharded engine splits a network into node blocks
+(:func:`~repro.shard.partition.partition_network`), runs each block's guard
+evaluation and action execution in a worker
+(:class:`~repro.shard.worker.ShardWorker`, forked into its own process by
+default) and keeps global semantics -- the seeded cross-shard daemon, the
+authoritative configuration, rounds, metrics, observers -- in the
+coordinator (:class:`~repro.shard.coordinator.ShardedScheduler`), which is a
+drop-in :class:`~repro.runtime.scheduler.Scheduler`.  Between steps only the
+dirty frontier crossing shard boundaries is exchanged.
+
+Reachable declaratively as the ``scheduler-sharded`` engine::
+
+    from repro.api import RunSpec, run
+    result = run(RunSpec(engine="scheduler-sharded", shards=4))
+"""
+
+from repro.shard.coordinator import MODES, ShardedScheduler, default_mode
+from repro.shard.partition import (
+    DEFAULT_STRATEGY,
+    PARTITION_STRATEGIES,
+    Partition,
+    PartitionError,
+    normalize_strategy,
+    partition_network,
+)
+from repro.shard.worker import ShardError, ShardWorker
+
+__all__ = [
+    "DEFAULT_STRATEGY",
+    "MODES",
+    "PARTITION_STRATEGIES",
+    "Partition",
+    "PartitionError",
+    "ShardError",
+    "ShardWorker",
+    "ShardedScheduler",
+    "default_mode",
+    "normalize_strategy",
+    "partition_network",
+]

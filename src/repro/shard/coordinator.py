@@ -1,0 +1,387 @@
+"""The sharded simulation engine's coordinator: a drop-in ``Scheduler``.
+
+:class:`ShardedScheduler` partitions the network into node blocks
+(:mod:`repro.shard.partition`), hands each block to a
+:class:`~repro.shard.worker.ShardWorker` -- in a forked worker process by
+default, in-process with ``mode="inline"`` -- and keeps every piece of
+*global* step semantics to itself:
+
+* the daemon and its random stream (one seeded cross-shard daemon selecting
+  from the globally merged, sorted enabled set -- which is what makes a
+  sharded run reproduce the single-process execution bit for bit);
+* the authoritative :class:`~repro.runtime.configuration.Configuration`,
+  where all writes land and all legitimacy predicates evaluate;
+* round bookkeeping, metrics, traces and observers (observers therefore see
+  one merged, globally ordered step stream, identical to a single-process
+  run's).
+
+What the workers own is the hot loop: guard re-evaluation and action
+execution.  Between steps the coordinator exchanges only the *dirty
+frontier*: each changed node's state goes to the shard that owns it and to
+every shard that ghosts it (a boundary crossing), and each shard answers with
+the delta of its block's enabled set.  Interior changes of one shard never
+touch another shard's mailbox.
+
+Because every mutation path of the base scheduler funnels through the
+journaled configuration (step writes, ``set_configuration``, crash/rejoin
+``replace_node``, ``set_network``), scenario fault injection routes to the
+owning shard with no extra machinery -- the coordinator simply drains the
+journal and ships the states.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+import weakref
+from dataclasses import dataclass
+from functools import partial
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.graphs.network import RootedNetwork
+from repro.runtime.configuration import Configuration
+from repro.runtime.daemon import Daemon
+from repro.runtime.observers import Observer
+from repro.runtime.protocol import Protocol
+from repro.runtime.scheduler import Scheduler
+from repro.shard.partition import DEFAULT_STRATEGY, Partition, partition_network
+from repro.shard.worker import ShardError, ShardWorker, shard_process_main
+
+#: Execution harnesses for the shard workers.
+MODES = ("fork", "inline")
+
+
+def default_mode() -> str:
+    """``"fork"`` where the platform supports it, else ``"inline"``."""
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() else "inline"
+
+
+@dataclass(frozen=True)
+class _RemoteAction:
+    """The coordinator's stand-in for a worker-held enabled action.
+
+    Carries exactly what global bookkeeping needs -- the action's name and
+    layer for step records -- while execution stays with the worker that owns
+    the real :class:`~repro.runtime.actions.Action`.
+    """
+
+    name: str
+    layer: str
+
+
+class _InlineShard:
+    """A shard handle running its worker synchronously in-process.
+
+    Same messages, same dispatch, no processes -- the portability fallback
+    and the harness the equivalence tests grind, so the logic exercised
+    inline is the logic that runs forked.
+    """
+
+    def __init__(self, factory) -> None:
+        self.worker = factory()
+        self._result: Any = None
+
+    def send(self, message: tuple) -> None:
+        self._result = ("ok", self.worker.dispatch(message))
+
+    def recv(self) -> tuple:
+        return self._result
+
+    def close(self) -> None:  # nothing to tear down
+        self._result = None
+
+
+class _ProcessShard:
+    """A shard handle talking to a forked worker process over a pipe."""
+
+    def __init__(self, factory) -> None:
+        context = multiprocessing.get_context("fork")
+        self.connection, child = context.Pipe()
+        # daemon=True: a leaked coordinator can never leave orphan workers.
+        self.process = context.Process(
+            target=shard_process_main, args=(child, factory), daemon=True
+        )
+        self.process.start()
+        child.close()
+
+    def send(self, message: tuple) -> None:
+        self.connection.send(message)
+
+    def recv(self) -> tuple:
+        try:
+            return self.connection.recv()
+        except EOFError as exc:
+            raise ShardError("shard worker process died without answering") from exc
+
+    def close(self) -> None:
+        try:
+            self.connection.send(("stop",))
+        except (OSError, ValueError):
+            pass  # already gone
+        self.connection.close()
+        self.process.join(timeout=2)
+        if self.process.is_alive():  # pragma: no cover - stuck worker
+            self.process.terminate()
+            self.process.join(timeout=2)
+
+
+def _close_handles(handles: list) -> None:
+    for handle in handles:
+        try:
+            handle.close()
+        except Exception:  # pragma: no cover - teardown must never raise
+            pass
+
+
+class ShardedScheduler(Scheduler):
+    """A :class:`~repro.runtime.scheduler.Scheduler` that executes sharded.
+
+    Identical constructor surface plus:
+
+    shards:
+        Number of node blocks / worker processes (clamped to ``n``).
+    partition:
+        Partition strategy name (see
+        :data:`repro.shard.partition.PARTITION_STRATEGIES`).
+    mode:
+        ``"fork"`` (default where available) runs each shard in a forked
+        worker process; ``"inline"`` runs the identical shard workers
+        synchronously in-process -- zero parallelism, full observability,
+        used by tests and as the fallback on fork-less platforms.
+
+    Every observable -- enabled sets, step records, metrics, rounds, final
+    configurations, convergence verdicts -- is bit-identical to a
+    single-process run with the same arguments; the equivalence property
+    suite (``tests/api/test_engine_equivalence.py``) holds it to that across
+    every substrate, daemon, and library scenario.  Call :meth:`close` (or
+    use the scheduler as a context manager) to reap the worker processes;
+    a garbage-collected coordinator reaps them automatically.
+    """
+
+    def __init__(
+        self,
+        network: RootedNetwork,
+        protocol: Protocol,
+        daemon: Daemon | None = None,
+        configuration: Configuration | None = None,
+        seed: int | None = None,
+        rng: random.Random | None = None,
+        record_trace: bool = False,
+        trace_limit: int | None = 100_000,
+        observers: Sequence[Observer] = (),
+        shards: int = 2,
+        partition: str = DEFAULT_STRATEGY,
+        mode: str | None = None,
+        check_guard_locality: bool | None = None,
+    ) -> None:
+        super().__init__(
+            network,
+            protocol,
+            daemon=daemon,
+            configuration=configuration,
+            seed=seed,
+            rng=rng,
+            record_trace=record_trace,
+            trace_limit=trace_limit,
+            observers=observers,
+            incremental=True,
+            check_guard_locality=check_guard_locality,
+        )
+        if mode is None:
+            mode = default_mode()
+        if mode not in MODES:
+            raise ShardError(f"unknown shard mode {mode!r}; choose from {MODES}")
+        self.mode = mode
+        self.partition: Partition = partition_network(network, shards, strategy=partition)
+        handle_type = _ProcessShard if mode == "fork" else _InlineShard
+        self._shards = []
+        for index, block in enumerate(self.partition.blocks):
+            factory = partial(
+                ShardWorker,
+                index,
+                network,
+                protocol,
+                block,
+                tuple(self.partition.ghosts(index)),
+                self.check_guard_locality,
+            )
+            self._shards.append(handle_type(factory))
+        self._closed = False
+        self._finalizer = weakref.finalize(self, _close_handles, list(self._shards))
+        # super().__init__ left _needs_full_rescan=True, so the first
+        # enabled-set access broadcasts the initial configuration ("load").
+
+    # ------------------------------------------------------------------
+    # Worker messaging
+    # ------------------------------------------------------------------
+    @property
+    def shard_count(self) -> int:
+        """Number of shard workers (== the partition's ``k``)."""
+        return self.partition.k
+
+    def _command(self, messages: Mapping[int, tuple]) -> dict[int, Any]:
+        """Send one message per addressed shard, then collect every answer.
+
+        All sends go out before the first receive, so forked workers run
+        their share of the round concurrently; the inline harness answers
+        synchronously inside ``send``.
+        """
+        if self._closed:
+            raise ShardError("sharded scheduler already closed")
+        for index, message in messages.items():
+            self._shards[index].send(message)
+        answers: dict[int, Any] = {}
+        failure: ShardError | None = None
+        # Drain every outstanding reply even after a failure: leaving one
+        # queued in a pipe would pair the next command with a stale answer.
+        # A failed worker has already exited, so the coordinator is torn
+        # down before the error propagates.
+        for index in messages:
+            try:
+                reply = self._shards[index].recv()
+            except ShardError as exc:
+                failure = failure or exc
+                continue
+            if reply[0] != "ok":
+                failure = failure or ShardError(
+                    f"shard {index} failed: {reply[1]}\n--- worker traceback ---\n{reply[2]}"
+                )
+                continue
+            answers[index] = reply[1]
+        if failure is not None:
+            self.close()
+            raise failure
+        return answers
+
+    def _states_payload(self, nodes: Iterable[int]) -> dict[int, Mapping[str, Any]]:
+        # peek_state (no deep copy): the payload is pickled onto the pipe
+        # immediately (fork) or shallow-copied by the worker's replace_node
+        # (inline), and stored values are never mutated in place.
+        return {node: self.configuration.peek_state(node) for node in nodes}
+
+    def _delta_payload(
+        self, nodes: Iterable[int], detail: Mapping[int, frozenset | None]
+    ) -> dict[int, tuple[str, Mapping[str, Any]]]:
+        """Per-node change payloads: written variables only, full state when
+        the whole local state was replaced (so dropped variables propagate)."""
+        payload: dict[int, tuple[str, Mapping[str, Any]]] = {}
+        for node in nodes:
+            names = detail[node]
+            state = self.configuration.peek_state(node)
+            if names is None:
+                payload[node] = ("full", state)
+            else:
+                payload[node] = (
+                    "vars",
+                    {name: state[name] for name in names if name in state},
+                )
+        return payload
+
+    # ------------------------------------------------------------------
+    # Scheduler overrides: enabled-set maintenance and step execution
+    # ------------------------------------------------------------------
+    def _refresh_enabled(self) -> None:
+        """Frontier exchange: route journaled changes, fold enabled deltas.
+
+        Full rescans broadcast each shard's whole scope; otherwise each dirty
+        node's state travels only to the shards whose scope contains it --
+        interior changes stay with their owner, boundary-crossing changes
+        additionally refresh the neighbors' ghosts.
+        """
+        if self._needs_full_rescan:
+            self.configuration.drain_dirty()
+            messages = {
+                index: ("load", self._states_payload(self.partition.scope(index)))
+                for index in range(self.partition.k)
+            }
+            self._enabled = {}
+            for enabled in self._command(messages).values():
+                for node, (name, layer) in enabled.items():
+                    self._enabled[node] = _RemoteAction(name, layer)
+            self._needs_full_rescan = False
+            self._invalidate_enabled_view()
+            return
+        detail = self.configuration.drain_dirty_detail()
+        if not detail:
+            return
+        dirty = {node for node in detail if node in self._actions}
+        messages = {}
+        for index in range(self.partition.k):
+            relevant = dirty & self.partition.scope(index)
+            if relevant:
+                messages[index] = ("apply", self._delta_payload(relevant, detail))
+        if not messages:
+            return
+        for delta in self._command(messages).values():
+            for node in delta["clear"]:
+                if self._enabled.pop(node, None) is not None:
+                    self._invalidate_enabled_view()
+            for node, (name, layer) in delta["set"].items():
+                if node not in self._enabled:
+                    self._invalidate_enabled_view()
+                self._enabled[node] = _RemoteAction(name, layer)
+
+    def _execute_selected(
+        self, enabled: Mapping[int, Any], selected: Sequence[int]
+    ) -> tuple[list[tuple[int, str]], dict[int, dict[str, object]]]:
+        """Fan the selected processors out to their owning shards.
+
+        Each shard executes its share against its beginning-of-step mirror;
+        the answers are re-assembled in the daemon's selection order, so the
+        step record (and the write-application order) is byte-identical to
+        the single-process step.
+        """
+        by_shard: dict[int, list[int]] = {}
+        for node in selected:
+            by_shard.setdefault(self.partition.owner_of(node), []).append(node)
+        messages = {index: ("execute", nodes) for index, nodes in by_shard.items()}
+        results: dict[int, tuple[str, dict[str, object]]] = {}
+        for answer in self._command(messages).values():
+            results.update(answer)
+        executed = [(node, results[node][0]) for node in selected]
+        pending_writes = {node: results[node][1] for node in selected}
+        return executed, pending_writes
+
+    def set_network(self, network: RootedNetwork, reinitialize: Iterable[int] = ()) -> None:
+        """Dynamic topology change: re-derive ghosts, re-arm the workers.
+
+        The blocks survive (processor count is invariant); only the cut --
+        and with it every ghost set -- changes.  The base class queues a full
+        rescan, so the next enabled-set access reloads every worker's mirror
+        on the new topology.
+        """
+        super().set_network(network, reinitialize=reinitialize)
+        self.partition = self.partition.rebind(network)
+        self._command(
+            {
+                index: ("network", network, tuple(self.partition.ghosts(index)))
+                for index in range(self.partition.k)
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Stop and reap the shard workers (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._finalizer.detach()
+        _close_handles(self._shards)
+
+    def __enter__(self) -> "ShardedScheduler":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedScheduler(protocol={self.protocol.name!r}, "
+            f"network={self.network.name!r}, daemon={self.daemon.name!r}, "
+            f"shards={self.partition.k}, mode={self.mode!r}, steps={self._step_index})"
+        )
+
+
+__all__ = ["MODES", "ShardedScheduler", "default_mode"]

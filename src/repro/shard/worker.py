@@ -1,0 +1,219 @@
+"""The per-shard half of the sharded engine: local guard evaluation and
+action execution over one node block.
+
+A :class:`ShardWorker` owns one partition block.  It mirrors the coordinator's
+configuration for ``block ∪ ghosts`` (the only state a block-local guard or
+statement can read), keeps the block's slice of the incremental enabled-set,
+and answers four messages:
+
+* ``load``   -- replace the mirrored states wholesale and rescan every block
+  guard (run start, corruption bursts, topology changes);
+* ``apply``  -- fold a batch of changed node states in and re-evaluate only
+  the dirty frontier that reaches into the block (the changed nodes plus
+  their block-side neighbors), answering with the *enabled delta*;
+* ``execute`` -- run the cached first-enabled action of the named block nodes
+  against the beginning-of-step mirror and return their pending writes
+  (writes are never applied locally -- they come back through ``apply``, the
+  same routed path every other shard's writes take);
+* ``network`` -- swap the topology (dynamic-network scenarios): rebuild the
+  block's action tables and ghost set; the coordinator follows up with a
+  ``load``.
+
+The same object runs in two harnesses: in-process (``mode="inline"``, used by
+tests and as the portability fallback) and inside a forked worker process
+(:func:`shard_process_main`), so the algorithm under test and the algorithm
+in production are literally the same code.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Any, Mapping, Sequence
+
+from repro.errors import ReproError
+from repro.graphs.network import RootedNetwork
+from repro.runtime.configuration import Configuration
+from repro.runtime.processor import ProcessorView
+from repro.runtime.protocol import Protocol
+from repro.runtime.scheduler import first_enabled_action
+
+
+class ShardError(ReproError):
+    """A shard worker failed or answered out of protocol."""
+
+
+class ShardWorker:
+    """Executes one partition block's share of every computation step."""
+
+    def __init__(
+        self,
+        shard_index: int,
+        network: RootedNetwork,
+        protocol: Protocol,
+        block: Sequence[int],
+        ghosts: Sequence[int],
+        check_guard_locality: bool = False,
+    ) -> None:
+        self.shard_index = shard_index
+        self.network = network
+        self.protocol = protocol
+        self.block = tuple(block)
+        self.ghosts = frozenset(ghosts)
+        self.check_guard_locality = check_guard_locality
+        self._members = frozenset(self.block)
+        self._actions = {
+            node: tuple(protocol.actions(network, node)) for node in self.block
+        }
+        self.configuration = Configuration()
+        #: node -> currently first-enabled Action, for block nodes only.
+        self.enabled: dict[int, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Message handlers
+    # ------------------------------------------------------------------
+    def load(self, states: Mapping[int, Mapping[str, Any]]) -> dict[int, tuple[str, str]]:
+        """Replace the mirrored states and rescan the whole block.
+
+        Returns the full enabled map ``node -> (action name, layer)``.
+        """
+        self.configuration = Configuration(states)
+        self.enabled = {}
+        for node in self.block:
+            action = self._first_enabled(node)
+            if action is not None:
+                self.enabled[node] = action
+        return {node: (action.name, action.layer) for node, action in self.enabled.items()}
+
+    def apply(
+        self, deltas: Mapping[int, tuple[str, Mapping[str, Any]]]
+    ) -> dict[str, Any]:
+        """Fold changed node states in and re-evaluate the block-side frontier.
+
+        ``deltas`` carries, for every changed node visible to this shard (own
+        or ghost), either ``("vars", {name: value})`` -- just the written
+        variables, the common case -- or ``("full", state)`` when the node's
+        whole local state was replaced (a variable may have been dropped).
+        The re-evaluated frontier is the changed block nodes plus the
+        block-side neighbors of every changed node -- the sharded restriction
+        of the incremental scheduler's dirty frontier.  Returns the enabled
+        delta: ``set`` maps newly enabled (or action-changed) nodes to
+        ``(name, layer)``, ``clear`` lists nodes that became disabled.
+        """
+        frontier: set[int] = set()
+        for node, (kind, values) in deltas.items():
+            if kind == "full":
+                self.configuration.replace_node(node, values)
+            else:
+                self.configuration.update_node(node, values)
+            if node in self._members:
+                frontier.add(node)
+            frontier.update(self.network.neighbor_set(node) & self._members)
+        updates: dict[int, tuple[str, str]] = {}
+        cleared: list[int] = []
+        for node in frontier:
+            action = self._first_enabled(node)
+            if action is None:
+                if self.enabled.pop(node, None) is not None:
+                    cleared.append(node)
+            else:
+                previous = self.enabled.get(node)
+                self.enabled[node] = action
+                if (
+                    previous is None
+                    or previous.name != action.name
+                    or previous.layer != action.layer
+                ):
+                    updates[node] = (action.name, action.layer)
+        return {"set": updates, "clear": cleared}
+
+    def execute(self, nodes: Sequence[int]) -> dict[int, tuple[str, dict[str, Any]]]:
+        """Run the cached enabled action of each selected block node.
+
+        Every view reads the mirror as it stands -- the beginning-of-step
+        configuration, because writes only ever arrive through ``apply`` --
+        which is exactly the composite-atomicity semantics of the
+        single-process step.
+        """
+        out: dict[int, tuple[str, dict[str, Any]]] = {}
+        for node in nodes:
+            action = self.enabled.get(node)
+            if action is None:
+                raise ShardError(
+                    f"shard {self.shard_index} was asked to execute disabled "
+                    f"processor {node}"
+                )
+            view = ProcessorView(node, self.network, self.configuration)
+            action.execute(view)
+            out[node] = (action.name, view.pending_writes)
+        return out
+
+    def set_network(self, network: RootedNetwork, ghosts: Sequence[int]) -> None:
+        """Swap the topology: new action tables, new ghost set.
+
+        The enabled cache and the mirror are left stale on purpose; the
+        coordinator always follows a topology change with a full ``load``.
+        """
+        self.network = network
+        self.ghosts = frozenset(ghosts)
+        self._actions = {
+            node: tuple(self.protocol.actions(network, node)) for node in self.block
+        }
+
+    # ------------------------------------------------------------------
+    # Dispatch (shared by the inline and the process harness)
+    # ------------------------------------------------------------------
+    def dispatch(self, message: tuple[str, ...]) -> Any:
+        """Route one ``(command, *payload)`` message to its handler."""
+        command = message[0]
+        if command == "load":
+            return self.load(message[1])
+        if command == "apply":
+            return self.apply(message[1])
+        if command == "execute":
+            return self.execute(message[1])
+        if command == "network":
+            return self.set_network(message[1], message[2])
+        raise ShardError(f"unknown shard command {command!r}")
+
+    def _first_enabled(self, node: int):
+        return first_enabled_action(
+            node,
+            self.network,
+            self.configuration,
+            self._actions[node],
+            check_guard_locality=self.check_guard_locality,
+        )
+
+
+def shard_process_main(connection, factory) -> None:
+    """The worker-process loop: build the worker, answer messages until stop.
+
+    Runs in a *forked* child, so ``factory`` (and the protocol closures it
+    captures) is inherited, never pickled; only the per-message payloads --
+    plain node-state dictionaries, node lists, and the occasional network --
+    cross the pipe.  A crash is reported back as ``("error", message,
+    traceback)`` and ends the process; the coordinator re-raises it as a
+    :class:`ShardError`.
+    """
+    worker = factory()
+    try:
+        while True:
+            try:
+                message = connection.recv()
+            except EOFError:
+                break
+            if message[0] == "stop":
+                break
+            try:
+                result = worker.dispatch(message)
+            except BaseException as exc:  # surface the failure, then die
+                connection.send(
+                    ("error", f"{type(exc).__name__}: {exc}", traceback.format_exc())
+                )
+                break
+            connection.send(("ok", result))
+    finally:
+        connection.close()
+
+
+__all__ = ["ShardError", "ShardWorker", "shard_process_main"]

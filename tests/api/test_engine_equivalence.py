@@ -1,20 +1,28 @@
-"""Equivalence of the incremental and full-scan scheduler cores.
+"""Equivalence of the incremental, full-scan and sharded scheduler cores.
 
-The incremental enabled-set is an optimization, not a semantics change: for
-any substrate, daemon, scenario and seed, the ``scheduler`` engine (dirty
-frontier re-evaluation) and the ``scheduler-fullscan`` engine (historical
-rescan of every guard per step) must produce **identical** executions -- the
-same enabled set before every step, the same :class:`StepRecord` stream, the
-same metrics, and the same final configuration.
+The incremental enabled-set and the sharded multi-process engine are
+optimizations, not semantics changes: for any substrate, daemon, scenario and
+seed, the ``scheduler`` engine (dirty frontier re-evaluation), the
+``scheduler-fullscan`` engine (historical rescan of every guard per step) and
+the ``scheduler-sharded`` engine (k node blocks with frontier exchange and a
+coordinator-held cross-shard daemon) must produce **identical** executions --
+the same enabled set before every step, the same :class:`StepRecord` stream,
+the same metrics, and the same final configuration.
 
 These tests drive every substrate x daemon combination (and every library
 scenario, which exercises the mid-run mutation paths: ``set_configuration``,
 ``freeze``/``unfreeze`` + ``replace_node``, ``set_network``, ``set_daemon``)
-through both paths in lockstep, with guard-locality checking switched on so
+through all paths in lockstep, with guard-locality checking switched on so
 the invariant the dirty frontier relies on is asserted on every evaluation.
+The sharded lockstep grids run the workers through the inline harness (the
+identical worker objects and message protocol, synchronously); the forked
+process boundary is covered by ``tests/shard/test_multiprocess.py`` and the
+registry row checks below.
 """
 
 from __future__ import annotations
+
+from functools import partial
 
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
@@ -27,12 +35,16 @@ from repro.runtime.daemon import make_daemon
 from repro.runtime.scheduler import Scheduler
 from repro.scenarios.library import build_scenario, scenario_names
 from repro.scenarios.runner import ScenarioRunner
+from repro.shard import ShardedScheduler
 from repro.substrates.dijkstra_ring import DijkstraTokenRing
 from repro.substrates.pif import PIFWave
 from repro.substrates.spanning_tree import BFSSpanningTree, DFSSpanningTree
 from repro.substrates.token_circulation import DepthFirstTokenCirculation
 
 DAEMONS = ("central", "distributed", "synchronous", "adversarial")
+
+#: Shard counts the acceptance criterion pins (k=1 is the degenerate case).
+SHARD_COUNTS = (1, 2, 4)
 
 #: Every substrate / protocol stack with a network family it legally runs on.
 PROTOCOLS = {
@@ -47,40 +59,69 @@ PROTOCOLS = {
 }
 
 
-def _lockstep(protocol_key: str, daemon: str, seed: int, n: int, max_steps: int = 150) -> None:
-    """Run both cores in lockstep and assert every observable is identical."""
+def _scheduler_builders(shards: int | None):
+    """The reference core plus the core under test.
+
+    ``shards=None`` compares incremental vs full scan (the PR-4 pairing);
+    an integer compares incremental vs the sharded engine with that many
+    blocks (inline harness: same workers, same messages, no processes).
+    """
+    reference = partial(Scheduler, incremental=True, check_guard_locality=True)
+    if shards is None:
+        candidate = partial(Scheduler, incremental=False, check_guard_locality=True)
+    else:
+        candidate = partial(
+            ShardedScheduler, shards=shards, mode="inline", check_guard_locality=True
+        )
+    return reference, candidate
+
+
+def _lockstep(
+    protocol_key: str,
+    daemon: str,
+    seed: int,
+    n: int,
+    max_steps: int = 150,
+    shards: int | None = None,
+) -> None:
+    """Run two cores in lockstep and assert every observable is identical."""
     factory, family = PROTOCOLS[protocol_key]
     schedulers = []
-    for incremental in (True, False):
+    for build in _scheduler_builders(shards):
         schedulers.append(
-            Scheduler(
+            build(
                 generators.family(family, n, seed=seed),
                 factory(),
                 daemon=make_daemon(daemon),
                 seed=seed,
-                incremental=incremental,
-                check_guard_locality=True,
             )
         )
-    incremental_scheduler, fullscan_scheduler = schedulers
-    context = f"({protocol_key}, daemon={daemon}, seed={seed}, n={n})"
-    assert incremental_scheduler.configuration == fullscan_scheduler.configuration
+    reference_scheduler, candidate_scheduler = schedulers
+    context = f"({protocol_key}, daemon={daemon}, seed={seed}, n={n}, shards={shards})"
+    try:
+        assert reference_scheduler.configuration == candidate_scheduler.configuration
 
-    for _ in range(max_steps):
+        for _ in range(max_steps):
+            assert (
+                reference_scheduler.enabled_nodes() == candidate_scheduler.enabled_nodes()
+            ), f"enabled sets diverged at step {reference_scheduler.steps_executed} {context}"
+            record_reference = reference_scheduler.step()
+            record_candidate = candidate_scheduler.step()
+            assert record_reference == record_candidate, (
+                f"step records diverged at step {candidate_scheduler.steps_executed} {context}"
+            )
+            if record_reference is None:
+                break
+
+        assert reference_scheduler.configuration == candidate_scheduler.configuration, context
+        assert reference_scheduler.metrics == candidate_scheduler.metrics, context
         assert (
-            incremental_scheduler.enabled_nodes() == fullscan_scheduler.enabled_nodes()
-        ), f"enabled sets diverged at step {incremental_scheduler.steps_executed} {context}"
-        record_incremental = incremental_scheduler.step()
-        record_fullscan = fullscan_scheduler.step()
-        assert record_incremental == record_fullscan, (
-            f"step records diverged at step {fullscan_scheduler.steps_executed} {context}"
-        )
-        if record_incremental is None:
-            break
-
-    assert incremental_scheduler.configuration == fullscan_scheduler.configuration, context
-    assert incremental_scheduler.metrics == fullscan_scheduler.metrics, context
-    assert incremental_scheduler.rounds_completed == fullscan_scheduler.rounds_completed, context
+            reference_scheduler.rounds_completed == candidate_scheduler.rounds_completed
+        ), context
+    finally:
+        closer = getattr(candidate_scheduler, "close", None)
+        if closer is not None:
+            closer()
 
 
 @pytest.mark.parametrize("daemon", DAEMONS)
@@ -88,6 +129,16 @@ def _lockstep(protocol_key: str, daemon: str, seed: int, n: int, max_steps: int 
 def test_incremental_equals_fullscan_for_every_substrate_and_daemon(protocol_key, daemon):
     """Fixed-seed lockstep equivalence across the whole substrate x daemon grid."""
     _lockstep(protocol_key, daemon, seed=11, n=7)
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+@pytest.mark.parametrize("daemon", DAEMONS)
+@pytest.mark.parametrize("protocol_key", sorted(PROTOCOLS))
+def test_sharded_equals_incremental_for_every_substrate_and_daemon(
+    protocol_key, daemon, shards
+):
+    """Sharded lockstep equivalence: substrate x daemon x k in {1, 2, 4}."""
+    _lockstep(protocol_key, daemon, seed=11, n=7, shards=shards)
 
 
 @given(
@@ -106,49 +157,89 @@ def test_incremental_equals_fullscan_property(seed, protocol_key, daemon, n):
     _lockstep(protocol_key, daemon, seed=seed, n=n, max_steps=80)
 
 
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    protocol_key=st.sampled_from(sorted(PROTOCOLS)),
+    daemon=st.sampled_from(DAEMONS),
+    n=st.integers(min_value=3, max_value=9),
+    shards=st.integers(min_value=1, max_value=4),
+)
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_sharded_equals_incremental_property(seed, protocol_key, daemon, n, shards):
+    """Sharded equivalence holds for arbitrary seeds, sizes and shard counts."""
+    _lockstep(protocol_key, daemon, seed=seed, n=n, max_steps=80, shards=shards)
+
+
 @pytest.mark.parametrize("daemon", ("central", "distributed"))
 @pytest.mark.parametrize("protocol", ("dftno", "stno-bfs"))
 def test_engine_registry_rows_are_identical(protocol, daemon):
-    """``scheduler`` and ``scheduler-fullscan`` produce identical result rows.
+    """All three scheduler engines produce identical result rows.
 
     The whole-run check through the public entry point: same spec (modulo the
-    engine name), same :class:`StabilizationSample` row, converged on both
-    paths.
+    engine name and shard knobs), same :class:`StabilizationSample` row,
+    converged on every path.  The sharded rows run with real forked worker
+    processes -- the engine's default mode.
     """
     rows = {}
-    for engine in ("scheduler", "scheduler-fullscan"):
+    for engine, shards in (
+        ("scheduler", None),
+        ("scheduler-fullscan", None),
+        ("scheduler-sharded", 2),
+        ("scheduler-sharded", 4),
+    ):
         spec = RunSpec(
             engine=engine,
             protocol=protocol,
             network=NetworkSpec(family="random_connected", size=9, seed=5),
             daemon=daemon,
             seed=13,
+            shards=shards,
         )
-        rows[engine] = run(spec).row
-    assert rows["scheduler"] == rows["scheduler-fullscan"]
-    assert rows["scheduler"]["converged"]
+        rows[(engine, shards)] = run(spec).row
+    reference = rows[("scheduler", None)]
+    for key, row in rows.items():
+        assert row == reference, key
+    assert reference["converged"]
 
 
+@pytest.mark.parametrize("shards", (None,) + SHARD_COUNTS)
 @pytest.mark.parametrize("scenario_name", scenario_names())
-def test_scenario_executions_are_identical_across_cores(scenario_name):
-    """Every library scenario replays identically on both scheduler cores.
+def test_scenario_executions_are_identical_across_cores(scenario_name, shards):
+    """Every library scenario replays identically on every scheduler core.
 
     Scenario events exercise every mid-run mutation path (corruption bursts
     via ``set_configuration``, crash/rejoin via ``freeze``/``unfreeze`` and
-    ``replace_node``, link changes via ``set_network``, daemon switches), so
-    identical reports here mean the dirty-set bookkeeping survives all of
-    them.
+    ``replace_node``, multi-node crashes, link changes via ``set_network``,
+    daemon switches), so identical reports here mean the dirty-set -- and,
+    sharded, the frontier-routing -- bookkeeping survives all of them.
+    ``shards=None`` is the historical full-scan pairing.
     """
     reports = {}
-    for incremental in (True, False):
+    for key, kwargs in (
+        ("reference", {"incremental": True}),
+        (
+            "candidate",
+            {"incremental": False}
+            if shards is None
+            else {
+                "scheduler_factory": partial(
+                    ShardedScheduler, shards=shards, mode="inline"
+                )
+            },
+        ),
+    ):
         network = generators.random_connected(8, extra_edge_probability=0.3, seed=3)
-        reports[incremental] = ScenarioRunner(
+        reports[key] = ScenarioRunner(
             network,
             build_dftno(),
             build_scenario(scenario_name),
             daemon=make_daemon("distributed"),
             seed=7,
-            incremental=incremental,
+            **kwargs,
         ).run()
-    assert reports[True].as_row() == reports[False].as_row()
-    assert reports[True].events == reports[False].events
+    assert reports["reference"].as_row() == reports["candidate"].as_row()
+    assert reports["reference"].events == reports["candidate"].events

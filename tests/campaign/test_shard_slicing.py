@@ -1,0 +1,124 @@
+"""Hash-keyed grid slicing: the multi-machine campaign split.
+
+``Grid.shard(i, k)`` must slice deterministically (same task -> same shard on
+every machine), disjointly, and completely -- and the per-shard stores must
+re-unite through the existing ``merge`` into exactly the store a single
+machine would have produced.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.cli import main as campaign_main
+from repro.campaign.grid import Grid, parse_shard
+from repro.campaign.runner import run_grid
+from repro.campaign.store import open_store
+
+GRID = dict(
+    sizes=(5, 6),
+    protocols=("dftno", "stno-bfs"),
+    families=("ring",),
+    daemons=("central", "distributed"),
+    trials=2,
+    seed=3,
+)
+
+
+@pytest.mark.parametrize("count", (1, 2, 3, 5))
+def test_shards_are_disjoint_and_cover_the_grid(count):
+    grid = Grid(**GRID)
+    slices = [grid.shard(index, count) for index in range(count)]
+    union = [task.config_hash for tasks in slices for task in tasks]
+    assert sorted(union) == sorted(task.config_hash for task in grid.expand())
+    assert len(union) == len(set(union))  # pairwise disjoint
+
+
+def test_sharding_is_deterministic_and_axis_order_independent() -> None:
+    """The slice key is the config hash, so reordering axes cannot move tasks."""
+    grid = Grid(**GRID)
+    reordered = Grid(**{**GRID, "protocols": ("stno-bfs", "dftno"), "sizes": (6, 5)})
+    for index in range(3):
+        mine = {task.config_hash for task in grid.shard(index, 3)}
+        theirs = {task.config_hash for task in reordered.shard(index, 3)}
+        assert mine == theirs
+
+
+def test_shard_validates_arguments():
+    grid = Grid(**GRID)
+    with pytest.raises(ValueError):
+        grid.shard(0, 0)
+    with pytest.raises(ValueError):
+        grid.shard(2, 2)
+    with pytest.raises(ValueError):
+        grid.shard(-1, 2)
+
+
+def test_parse_shard():
+    assert parse_shard("0/4") == (0, 4)
+    assert parse_shard(" 3/4 ") == (3, 4)
+    for bad in ("", "3", "4/4", "-1/4", "a/b", "1/2/3"):
+        with pytest.raises(ValueError):
+            parse_shard(bad)
+
+
+def test_sharded_runs_merge_back_into_the_single_machine_store(tmp_path):
+    """Run each slice into its own store; merge equals the one-shot store."""
+    grid = Grid(sizes=(5,), protocols=("dftno",), families=("ring",), daemons=("central",), trials=4, seed=7)
+
+    whole = open_store(tmp_path / "whole.jsonl")
+    run_grid(grid, store=whole)
+
+    shard_paths = []
+    for index in range(2):
+        path = tmp_path / f"shard-{index}.jsonl"
+        shard_paths.append(path)
+        result = run_grid(grid, store=open_store(path), shard=(index, 2))
+        assert result.total == len(grid.shard(index, 2))
+        assert result.stale_hashes == ()  # the other shard's absence is not staleness
+
+    assert campaign_main(
+        ["merge", str(shard_paths[0]), str(shard_paths[1]), "--out", str(tmp_path / "merged.jsonl")]
+    ) == 0
+    merged = open_store(tmp_path / "merged.jsonl")
+    assert merged.rows_by_hash() == whole.rows_by_hash()
+
+
+def test_cli_run_with_shard_flag(tmp_path, capsys):
+    exit_code = campaign_main(
+        [
+            "run",
+            "--protocol",
+            "dftno",
+            "--family",
+            "ring",
+            "--sizes",
+            "5",
+            "--trials",
+            "4",
+            "--seed",
+            "7",
+            "--shard",
+            "1/2",
+            "--quiet",
+            "--out",
+            str(tmp_path / "cli-shard.jsonl"),
+        ]
+    )
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "shard 1/2 of a 4-task grid" in out
+    # The store holds exactly the slice's hashes (CLI default daemon applies).
+    cli_grid = Grid(
+        sizes=(5,), protocols=("dftno",), families=("ring",), daemons=("distributed",), trials=4, seed=7
+    )
+    stored = set(open_store(tmp_path / "cli-shard.jsonl").rows_by_hash())
+    assert stored == {task.config_hash for task in cli_grid.shard(1, 2)}
+
+
+def test_cli_rejects_bad_shard_spec(tmp_path, capsys):
+    exit_code = campaign_main(
+        ["run", "--sizes", "5", "--shard", "9/3", "--out", str(tmp_path / "x.jsonl")]
+    )
+    assert exit_code == 2
+    assert "error:" in capsys.readouterr().err

@@ -15,6 +15,7 @@ from repro.scenarios.events import (
     CrashRejoin,
     DaemonSwitch,
     LinkChange,
+    MultiCrash,
 )
 from repro.scenarios.scenario import Scenario, TimedEvent
 
@@ -89,6 +90,52 @@ def test_frozen_node_is_never_selected(stabilized_scheduler):
         assert victim not in [node for node, _ in record.executed]
     scheduler.unfreeze((victim,))
     assert scheduler.frozen_nodes == frozenset()
+
+
+def test_multi_crash_freezes_the_set_simultaneously():
+    """During the downtime *every* victim is frozen at once (correlated loss)."""
+    network = generators.random_connected(9, extra_edge_probability=0.3, seed=11)
+    scheduler = Scheduler(network, build_dftno(), daemon=make_daemon("central"), seed=3)
+
+    witnessed: list[frozenset[int]] = []
+    original_step = scheduler.step
+
+    def spying_step():
+        witnessed.append(scheduler.frozen_nodes)
+        return original_step()
+
+    scheduler.step = spying_step
+    outcome = MultiCrash(fraction=0.4, downtime_steps=6).apply(
+        scheduler, random.Random(5)
+    )
+    assert outcome.kind == "multi_crash"
+    assert outcome.applied
+    assert len(outcome.affected_nodes) == max(1, round(0.4 * (network.n - 1)))
+    assert network.root not in outcome.affected_nodes  # include_root defaults off
+    victims = frozenset(outcome.affected_nodes)
+    assert witnessed and all(frozen == victims for frozen in witnessed)
+    assert scheduler.frozen_nodes == frozenset()  # everyone rejoined
+
+
+def test_multi_crash_rejoins_with_domain_valid_states(stabilized_scheduler):
+    rng = random.Random(9)
+    outcome = MultiCrash(fraction=0.5, downtime_steps=4, include_root=True).apply(
+        stabilized_scheduler, rng
+    )
+    protocol = stabilized_scheduler.protocol
+    network = stabilized_scheduler.network
+    for victim in outcome.affected_nodes:
+        state = stabilized_scheduler.configuration.state_of(victim)
+        assert set(state) == set(protocol.variable_names(network, victim))
+
+
+def test_multi_crash_validates_arguments():
+    with pytest.raises(ValueError):
+        MultiCrash(fraction=0.0)
+    with pytest.raises(ValueError):
+        MultiCrash(fraction=1.5)
+    with pytest.raises(ValueError):
+        MultiCrash(downtime_steps=-1)
 
 
 def test_link_change_add_and_remove_keep_connectivity(stabilized_scheduler):

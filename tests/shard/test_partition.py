@@ -1,0 +1,146 @@
+"""Partitioner invariants: the properties the sharded engine's soundness rests on.
+
+Every strategy, every topology family, every block count: the blocks must be
+an exact disjoint cover of the nodes, the ghost sets must equal the cut
+neighborhoods (a shard sees exactly the state its guards can read, nothing
+more), and the whole construction must be a pure function of its inputs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import generators
+from repro.shard.partition import (
+    PARTITION_STRATEGIES,
+    Partition,
+    PartitionError,
+    normalize_strategy,
+    partition_network,
+)
+
+FAMILIES = (
+    ("ring", 12),
+    ("random_tree", 13),
+    ("random_connected", 14),
+    ("complete", 9),
+)
+
+
+def _networks():
+    return [generators.family(name, size, seed=5) for name, size in FAMILIES]
+
+
+@pytest.mark.parametrize("strategy", PARTITION_STRATEGIES)
+@pytest.mark.parametrize("k", (1, 2, 3, 4, 7))
+def test_blocks_cover_every_node_exactly_once(strategy, k):
+    for network in _networks():
+        partition = partition_network(network, k, strategy=strategy)
+        seen = [node for block in partition.blocks for node in block]
+        assert sorted(seen) == list(network.nodes())
+        assert len(seen) == len(set(seen))
+        for block in partition.blocks:
+            assert block  # never empty
+        for node in network.nodes():
+            owner = partition.owner_of(node)
+            assert node in partition.block(owner)
+
+
+@pytest.mark.parametrize("strategy", PARTITION_STRATEGIES)
+@pytest.mark.parametrize("k", (1, 2, 3, 4))
+def test_ghost_sets_equal_cut_neighborhoods(strategy, k):
+    """ghosts(i) is exactly the set of outside nodes adjacent to block i."""
+    for network in _networks():
+        partition = partition_network(network, k, strategy=strategy)
+        for index, block in enumerate(partition.blocks):
+            members = set(block)
+            expected = {
+                neighbor
+                for node in block
+                for neighbor in network.neighbor_set(node)
+                if neighbor not in members
+            }
+            assert partition.ghosts(index) == expected
+            assert partition.scope(index) == members | expected
+        # Every cut edge contributes both endpoints to each other's ghosts.
+        for u, v in partition.cut_edges():
+            assert u in partition.ghosts(partition.owner_of(v))
+            assert v in partition.ghosts(partition.owner_of(u))
+
+
+@pytest.mark.parametrize("strategy", ("bfs", "contiguous"))
+def test_chunked_strategies_balance_block_sizes(strategy):
+    network = generators.random_connected(17, seed=3)
+    partition = partition_network(network, 4, strategy=strategy)
+    sizes = sorted(len(block) for block in partition.blocks)
+    assert max(sizes) - min(sizes) <= 1
+
+
+@pytest.mark.parametrize("strategy", PARTITION_STRATEGIES)
+def test_partitioning_is_deterministic(strategy):
+    network = generators.random_connected(15, seed=9)
+    first = partition_network(network, 3, strategy=strategy)
+    second = partition_network(network, 3, strategy=strategy)
+    assert first.blocks == second.blocks
+
+
+def test_k_one_is_the_whole_network_with_no_ghosts():
+    network = generators.random_connected(10, seed=1)
+    partition = partition_network(network, 1)
+    assert partition.blocks == (tuple(network.nodes()),)
+    assert partition.ghosts(0) == frozenset()
+    assert partition.cut_edges() == ()
+
+
+def test_shard_count_clamps_to_node_count():
+    network = generators.ring(5)
+    partition = partition_network(network, 40)
+    assert partition.k == 5
+    assert all(len(block) == 1 for block in partition.blocks)
+
+
+def test_bfs_beats_contiguous_on_shuffled_ring_labels():
+    """The BFS strategy exists to cut fewer edges than raw id ranges."""
+    import random as stdlib_random
+
+    rng = stdlib_random.Random(4)
+    n = 24
+    relabel = list(range(n))
+    rng.shuffle(relabel)
+    edges = [(relabel[i], relabel[(i + 1) % n]) for i in range(n)]
+    network = generators.RootedNetwork(n, edges, root=relabel[0], name="shuffled-ring")
+    bfs_cut = len(partition_network(network, 4, strategy="bfs").cut_edges())
+    contiguous_cut = len(partition_network(network, 4, strategy="contiguous").cut_edges())
+    # BFS chunks follow the cycle outward from the root (at most two arcs per
+    # block), so the cut is bounded by 2 per block boundary; id ranges over
+    # shuffled labels scatter across the ring.
+    assert bfs_cut <= 2 * 4
+    assert bfs_cut < contiguous_cut
+
+
+def test_rebind_keeps_blocks_and_recomputes_ghosts():
+    network = generators.ring(8)
+    partition = partition_network(network, 2)
+    # Add a chord: new cut edge if it crosses blocks.
+    edges = set(network.edges()) | {(0, 5)}
+    changed = generators.RootedNetwork(8, edges, root=0, name="ring+chord")
+    rebound = partition.rebind(changed)
+    assert rebound.blocks == partition.blocks
+    owner_u, owner_v = rebound.owner_of(0), rebound.owner_of(5)
+    if owner_u != owner_v:
+        assert 5 in rebound.ghosts(owner_u)
+        assert 0 in rebound.ghosts(owner_v)
+
+
+def test_validation_errors():
+    network = generators.ring(6)
+    with pytest.raises(PartitionError):
+        partition_network(network, 0)
+    with pytest.raises(PartitionError):
+        normalize_strategy("voronoi")
+    with pytest.raises(PartitionError):
+        Partition(network=network, blocks=((0, 1), (1, 2, 3, 4, 5)), strategy="bfs")
+    with pytest.raises(PartitionError):
+        Partition(network=network, blocks=((0, 1, 2), (3, 4)), strategy="bfs")
+    with pytest.raises(PartitionError):
+        partition_network(network, 2).rebind(generators.ring(7))

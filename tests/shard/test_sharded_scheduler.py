@@ -1,0 +1,189 @@
+"""ShardedScheduler semantics, driven through the inline harness.
+
+The inline harness runs the *same* ShardWorker objects and the same message
+protocol as the forked processes (``tests/shard/test_multiprocess.py`` covers
+the process half), so these tests pin the sharded algorithm itself: lockstep
+equality with the single-process incremental core, the k=1 degeneracy, and
+correct routing of every mid-run mutation path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dftno import build_dftno
+from repro.graphs import generators
+from repro.runtime.daemon import make_daemon
+from repro.runtime.scheduler import Scheduler
+from repro.shard import ShardError, ShardedScheduler
+from repro.substrates.spanning_tree import BFSSpanningTree
+
+
+def _pair(n=10, seed=4, daemon="distributed", shards=3, **kwargs):
+    network = generators.random_connected(n, extra_edge_probability=0.3, seed=seed)
+    plain = Scheduler(
+        network, build_dftno(), daemon=make_daemon(daemon), seed=seed, incremental=True
+    )
+    sharded = ShardedScheduler(
+        network,
+        build_dftno(),
+        daemon=make_daemon(daemon),
+        seed=seed,
+        shards=shards,
+        mode="inline",
+        **kwargs,
+    )
+    return plain, sharded
+
+
+def _lockstep(plain, sharded, steps=150):
+    for _ in range(steps):
+        assert plain.enabled_nodes() == sharded.enabled_nodes()
+        record_plain = plain.step()
+        record_sharded = sharded.step()
+        assert record_plain == record_sharded
+        if record_plain is None:
+            break
+    assert plain.configuration == sharded.configuration
+    assert plain.metrics == sharded.metrics
+    assert plain.rounds_completed == sharded.rounds_completed
+
+
+def test_k1_degenerates_to_the_plain_incremental_engine_byte_identically():
+    """One block, no ghosts, no frontier exchange: the full single-core run."""
+    plain, sharded = _pair(shards=1)
+    with sharded:
+        assert sharded.partition.k == 1
+        assert sharded.partition.ghosts(0) == frozenset()
+        result_plain = plain.run_until_legitimate(max_steps=60_000)
+        result_sharded = sharded.run_until_legitimate(max_steps=60_000)
+        assert result_plain.converged and result_sharded.converged
+        assert result_plain.steps == result_sharded.steps
+        assert result_plain.rounds == result_sharded.rounds
+        assert result_plain.moves == result_sharded.moves
+        assert result_plain.configuration == result_sharded.configuration
+        assert (
+            result_plain.first_legitimate_step == result_sharded.first_legitimate_step
+        )
+        assert plain.metrics == sharded.metrics
+
+
+@pytest.mark.parametrize("daemon", ("central", "distributed", "synchronous", "adversarial"))
+def test_lockstep_equality_every_daemon(daemon):
+    plain, sharded = _pair(daemon=daemon)
+    with sharded:
+        _lockstep(plain, sharded)
+
+
+@pytest.mark.parametrize("shards", (2, 3, 5))
+def test_lockstep_equality_across_shard_counts(shards):
+    plain, sharded = _pair(shards=shards)
+    with sharded:
+        _lockstep(plain, sharded)
+
+
+@pytest.mark.parametrize("partition", ("bfs", "greedy", "contiguous"))
+def test_lockstep_equality_is_partition_independent(partition):
+    """The execution is a function of the spec, never of the block layout."""
+    plain, sharded = _pair(partition=partition)
+    with sharded:
+        _lockstep(plain, sharded)
+
+
+def test_set_configuration_routes_a_corruption_to_every_shard():
+    plain, sharded = _pair()
+    with sharded:
+        for _ in range(30):
+            plain.step()
+            sharded.step()
+        import random
+
+        from repro.runtime.faults import corrupt_configuration
+
+        corrupted = corrupt_configuration(
+            plain.configuration,
+            plain.protocol,
+            plain.network,
+            node_fraction=1.0,
+            variable_fraction=1.0,
+            rng=random.Random(13),
+        )
+        plain.set_configuration(corrupted)
+        sharded.set_configuration(corrupted)
+        _lockstep(plain, sharded, steps=60)
+
+
+def test_replace_node_routes_to_owner_and_ghosting_shards():
+    """A single-node rejoin state reaches its block and the boundary mirrors."""
+    plain, sharded = _pair()
+    with sharded:
+        for _ in range(20):
+            plain.step()
+            sharded.step()
+        victim = max(
+            sharded.network.nodes(),
+            key=lambda node: len(sharded.network.neighbor_set(node)),
+        )
+        import random
+
+        fresh = plain.protocol.random_state(plain.network, victim, random.Random(99))
+        plain.configuration.replace_node(victim, fresh)
+        sharded.configuration.replace_node(victim, fresh)
+        _lockstep(plain, sharded, steps=60)
+
+
+def test_freeze_unfreeze_and_daemon_switch_stay_in_lockstep():
+    plain, sharded = _pair()
+    with sharded:
+        frozen = (1, 4)
+        plain.freeze(frozen)
+        sharded.freeze(frozen)
+        _lockstep(plain, sharded, steps=25)
+        plain.unfreeze(frozen)
+        sharded.unfreeze(frozen)
+        plain.set_daemon(make_daemon("central"))
+        sharded.set_daemon(make_daemon("central"))
+        _lockstep(plain, sharded, steps=40)
+
+
+def test_enabled_actions_reports_names_and_layers():
+    _, sharded = _pair()
+    with sharded:
+        enabled = sharded.enabled_actions()
+        assert enabled
+        assert list(enabled) == sorted(enabled)
+        for action in enabled.values():
+            assert isinstance(action.name, str) and action.name
+            assert isinstance(action.layer, str)
+
+
+def test_is_enabled_matches_the_merged_enabled_set():
+    _, sharded = _pair()
+    with sharded:
+        enabled = set(sharded.enabled_nodes())
+        for node in sharded.network.nodes():
+            assert sharded.is_enabled(node) == (node in enabled)
+
+
+def test_close_is_idempotent_and_blocks_further_use():
+    _, sharded = _pair()
+    sharded.close()
+    sharded.close()
+    with pytest.raises(ShardError):
+        sharded.step()
+
+
+def test_unknown_mode_is_rejected():
+    network = generators.ring(6)
+    with pytest.raises(ShardError):
+        ShardedScheduler(network, BFSSpanningTree(), seed=1, mode="threads")
+
+
+def test_guard_locality_checking_reaches_the_workers():
+    """check_guard_locality flows into worker-side guard evaluation."""
+    plain, sharded = _pair(check_guard_locality=True)
+    with sharded:
+        assert all(
+            handle.worker.check_guard_locality for handle in sharded._shards
+        )
+        _lockstep(plain, sharded, steps=30)
