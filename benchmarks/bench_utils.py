@@ -2,9 +2,17 @@
 
 from __future__ import annotations
 
+import json
+import time
+from pathlib import Path
 from typing import Any, Mapping, Sequence
 
 from repro.analysis.reporting import format_table
+
+#: The perf trajectory: every benchmark invocation appends one JSONL line
+#: here (CI uploads it as an artifact), so snapshots accumulate into a
+#: queryable history instead of each run overwriting the last.
+DEFAULT_HISTORY = Path(__file__).resolve().parent.parent / "BENCH_history.jsonl"
 
 
 def report(title: str, rows: Sequence[Mapping[str, Any]], benchmark=None, **summary: Any) -> None:
@@ -17,3 +25,20 @@ def report(title: str, rows: Sequence[Mapping[str, Any]], benchmark=None, **summ
         benchmark.extra_info["rows"] = [dict(row) for row in rows]
         for key, value in summary.items():
             benchmark.extra_info[key] = value
+
+
+def append_history(payload: Mapping[str, Any], path: Path | str | None = None) -> Path:
+    """Append one benchmark payload to the ``BENCH_history.jsonl`` trajectory.
+
+    One compact JSON object per line, stamped with a timezone-explicit UTC
+    ``recorded_at``; the artifact files (``BENCH_*.json``) keep the pretty
+    latest-run view, the history keeps every run.
+    """
+    target = Path(path) if path is not None else DEFAULT_HISTORY
+    line = dict(payload)
+    line.setdefault(
+        "recorded_at", time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+    )
+    with target.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(line, separators=(",", ":"), default=str) + "\n")
+    return target

@@ -21,7 +21,11 @@ trap 'rm -rf "$out"' EXIT
 # Times the incremental enabled-set core against the historical full scan on
 # small sizes and writes the BENCH_scheduler.json artifact; the full sweep
 # (n up to 500, with the 3x acceptance threshold) runs in CI and on demand.
-python benchmarks/bench_scheduler_core.py --quick --out "$out/BENCH_scheduler.json"
+# The quick bench also asserts the observability-layer thresholds
+# (disabled-path overhead <= 3%, enabled phase coverage >= 90%) and appends
+# one line to the perf-trajectory history.
+python benchmarks/bench_scheduler_core.py --quick \
+    --out "$out/BENCH_scheduler.json" --history "$out/BENCH_history.jsonl"
 test -s "$out/BENCH_scheduler.json" || {
     echo "smoke FAILED: scheduler bench artifact missing" >&2; exit 1;
 }
@@ -31,10 +35,16 @@ test -s "$out/BENCH_scheduler.json" || {
 # incremental core on a small size (and asserts the executions are
 # identical); the full sweep with the n=1000/k=4 speedup threshold runs in
 # CI's sharded job and on demand.
-python benchmarks/bench_sharded.py --quick --out "$out/BENCH_sharded.json"
+python benchmarks/bench_sharded.py --quick \
+    --out "$out/BENCH_sharded.json" --history "$out/BENCH_history.jsonl"
 test -s "$out/BENCH_sharded.json" || {
     echo "smoke FAILED: sharded bench artifact missing" >&2; exit 1;
 }
+history_lines="$(wc -l < "$out/BENCH_history.jsonl")"
+if [ "$history_lines" -ne 2 ]; then
+    echo "smoke FAILED: expected 2 perf-history lines, got $history_lines" >&2
+    exit 1
+fi
 
 python -m repro.campaign run --protocol dftno --family ring \
     --sizes 6,8 --trials 2 --jobs 2 --seed 1 --out "$out"
@@ -105,4 +115,14 @@ case "$sqlite_status" in
 esac
 
 python -m repro.campaign report --out "$scen/msgpass.sqlite" --key workload
+
+# --- observability: run --perf persists summaries, report --perf reads them
+python -m repro.campaign run --protocol dftno --family ring --sizes 6 \
+    --trials 1 --seed 4 --perf --out "$scen/perf.jsonl" --quiet
+perf_report="$(python -m repro.campaign report --out "$scen/perf.jsonl" --perf)"
+echo "$perf_report"
+case "$perf_report" in
+    *"guard_eval"*) ;;
+    *) echo "smoke FAILED: report --perf missing phase breakdown" >&2; exit 1 ;;
+esac
 echo "smoke OK"

@@ -29,6 +29,7 @@ from repro.graphs import generators
 from repro.graphs.properties import radius_from_root
 from repro.runtime.configuration import Configuration
 from repro.runtime.daemon import Daemon, DistributedDaemon
+from repro.obs.instrument import Instrumentation
 from repro.runtime.observers import Observer
 from repro.runtime.protocol import Protocol
 from repro.runtime.scheduler import Scheduler
@@ -92,6 +93,7 @@ def measure_layered_stabilization(
     observers: Sequence[Observer] = (),
     incremental: bool = True,
     scheduler_factory: Callable[..., Scheduler] | None = None,
+    instrumentation: Instrumentation | None = None,
 ) -> StabilizationSample:
     """Run ``protocol`` from an arbitrary configuration and time both predicates.
 
@@ -124,6 +126,7 @@ def measure_layered_stabilization(
         rng=rng,
         configuration=configuration,
         observers=observers,
+        instrumentation=instrumentation,
     )
     try:
         substrate_step: int | None = None
@@ -232,6 +235,7 @@ def measure_dftno(
     observers: Sequence[Observer] = (),
     incremental: bool = True,
     scheduler_factory: Callable[..., Scheduler] | None = None,
+    instrumentation: Instrumentation | None = None,
 ) -> StabilizationSample:
     """Measure DFTNO on ``network``: token-layer and full-orientation stabilization.
 
@@ -269,6 +273,7 @@ def measure_dftno(
         observers=observers,
         incremental=incremental,
         scheduler_factory=scheduler_factory,
+        instrumentation=instrumentation,
     )
 
 
@@ -283,6 +288,7 @@ def measure_stno(
     observers: Sequence[Observer] = (),
     incremental: bool = True,
     scheduler_factory: Callable[..., Scheduler] | None = None,
+    instrumentation: Instrumentation | None = None,
 ) -> StabilizationSample:
     """Measure STNO on ``network``: tree-layer and full-orientation stabilization.
 
@@ -325,6 +331,7 @@ def measure_stno(
         observers=observers,
         incremental=incremental,
         scheduler_factory=scheduler_factory,
+        instrumentation=instrumentation,
     )
 
 

@@ -22,10 +22,15 @@ New engines (an async scheduler, a sharded backend) register with
 
 from __future__ import annotations
 
+import time
 from abc import ABC, abstractmethod
+from dataclasses import replace
 from typing import Dict, Sequence
 
 from repro.api.spec import RunResult, RunSpec
+from repro.obs.instrument import Instrumentation, NULL_INSTRUMENTATION
+from repro.obs.profile import maybe_profile
+from repro.obs.spans import tracer_from_env
 from repro.runtime.observers import Observer
 
 
@@ -36,7 +41,12 @@ class Engine(ABC):
     name: str = "engine"
 
     @abstractmethod
-    def execute(self, spec: RunSpec, observers: Sequence[Observer] = ()) -> RunResult:
+    def execute(
+        self,
+        spec: RunSpec,
+        observers: Sequence[Observer] = (),
+        instrumentation: Instrumentation | None = None,
+    ) -> RunResult:
         """Run ``spec`` to completion and return the uniform result envelope."""
 
 
@@ -67,7 +77,11 @@ def get_engine(name: str) -> Engine:
     return _ENGINES[name]
 
 
-def run(spec: RunSpec, observers: Sequence[Observer] = ()) -> RunResult:
+def run(
+    spec: RunSpec,
+    observers: Sequence[Observer] = (),
+    instrumentation: Instrumentation | None = None,
+) -> RunResult:
     """Execute ``spec`` on the engine it names -- the single entry point.
 
     ``observers`` receive the engine's step/round/event/convergence
@@ -75,8 +89,49 @@ def run(spec: RunSpec, observers: Sequence[Observer] = ()) -> RunResult:
     :class:`~repro.runtime.observers.ProgressObserver` for progress lines, a
     :class:`~repro.runtime.observers.TraceObserver` to keep a trace, or any
     custom :class:`~repro.runtime.observers.Observer`.
+
+    ``instrumentation`` attaches a :class:`~repro.obs.Instrumentation`
+    registry; the engine's phase timers and counters land in the returned
+    result's ``perf`` summary (also embedded in ``row["perf"]``, which is how
+    campaign stores persist it).  Two environment hooks work without touching
+    the call site: ``REPRO_TRACE=<file.jsonl>`` attaches a span tracer (and,
+    when no registry was passed, creates one so the run -> round -> step
+    spans have somewhere to live), and ``REPRO_PROFILE=<dir>`` dumps a
+    cProfile of the whole run.
     """
-    return get_engine(spec.engine).execute(spec, observers=observers)
+    owns_tracer = False
+    if instrumentation is None:
+        tracer = tracer_from_env()
+        if tracer is not None:
+            instrumentation = Instrumentation(tracer=tracer)
+            owns_tracer = True
+    engine = get_engine(spec.engine)
+    instr = instrumentation
+    enabled = instr is not None and instr.enabled
+    tracer = instr.tracer if enabled else None
+    with maybe_profile(f"{spec.engine}-{spec.canonical_hash}"):
+        run_span = None
+        if tracer is not None:
+            run_span = tracer.span(
+                "run", kind="run", engine=spec.engine, spec=spec.canonical_hash
+            )
+            tracer.current_run = run_span
+        try:
+            result = engine.execute(spec, observers=observers, instrumentation=instr)
+        finally:
+            if tracer is not None:
+                if tracer.current_round is not None:
+                    tracer.current_round.close()
+                    tracer.current_round = None
+                run_span.close()
+                tracer.current_run = None
+                if owns_tracer:
+                    tracer.close()
+    if enabled:
+        summary = instr.summary()
+        result.row["perf"] = summary
+        result = replace(result, perf=summary)
+    return result
 
 
 # ----------------------------------------------------------------------
@@ -105,7 +160,12 @@ class SchedulerEngine(Engine):
         """How the measurement harness should build its scheduler."""
         return {"incremental": self.incremental}
 
-    def execute(self, spec: RunSpec, observers: Sequence[Observer] = ()) -> RunResult:
+    def execute(
+        self,
+        spec: RunSpec,
+        observers: Sequence[Observer] = (),
+        instrumentation: Instrumentation | None = None,
+    ) -> RunResult:
         from repro.analysis.convergence import measure_dftno, measure_stno
         from repro.runtime.daemon import make_daemon
 
@@ -121,6 +181,7 @@ class SchedulerEngine(Engine):
                 parameter=spec.parameter,
                 after_substrate=spec.stop.after_substrate,
                 observers=observers,
+                instrumentation=instrumentation,
                 **kwargs,
             )
         else:
@@ -133,6 +194,7 @@ class SchedulerEngine(Engine):
                 parameter=spec.parameter,
                 after_substrate=spec.stop.after_substrate,
                 observers=observers,
+                instrumentation=instrumentation,
                 **kwargs,
             )
         return RunResult(engine=self.name, spec=spec, row=sample.as_row(), report=sample)
@@ -186,7 +248,12 @@ class ScenarioEngine(Engine):
 
     name = "scenario"
 
-    def execute(self, spec: RunSpec, observers: Sequence[Observer] = ()) -> RunResult:
+    def execute(
+        self,
+        spec: RunSpec,
+        observers: Sequence[Observer] = (),
+        instrumentation: Instrumentation | None = None,
+    ) -> RunResult:
         from repro.runtime.daemon import make_daemon
         from repro.scenarios.library import build_scenario
         from repro.scenarios.runner import ScenarioRunner
@@ -199,6 +266,7 @@ class ScenarioEngine(Engine):
             seed=spec.seed,
             phase_budget=spec.stop.max_steps,
             observers=observers,
+            instrumentation=instrumentation,
         )
         report = runner.run()
         return RunResult(engine=self.name, spec=spec, row=report.as_row(), report=report)
@@ -217,7 +285,12 @@ class MsgpassEngine(Engine):
 
     name = "msgpass"
 
-    def execute(self, spec: RunSpec, observers: Sequence[Observer] = ()) -> RunResult:
+    def execute(
+        self,
+        spec: RunSpec,
+        observers: Sequence[Observer] = (),
+        instrumentation: Instrumentation | None = None,
+    ) -> RunResult:
         from repro.core.baseline import centralized_orientation
         from repro.sod.election import ring_election_oriented, ring_election_unoriented
         from repro.sod.traversal import (
@@ -227,6 +300,8 @@ class MsgpassEngine(Engine):
             dfs_traversal_without_sod,
         )
 
+        instr = instrumentation if instrumentation is not None else NULL_INSTRUMENTATION
+        started = time.perf_counter() if instr.enabled else 0.0
         network = spec.network.build()
         orientation = centralized_orientation(network)
         if spec.workload == "broadcast":
@@ -257,6 +332,15 @@ class MsgpassEngine(Engine):
             "rounds_unoriented": plain.rounds,
             "rounds_oriented": oriented.rounds,
         }
+        if instr.enabled:
+            # One engine-level phase: the synchronous simulator has no daemon
+            # step loop to decompose, so the whole paired workload is the unit.
+            instr.phase_time("workload_exec", time.perf_counter() - started)
+            instr.count("messages_sent", plain.messages + oriented.messages)
+            instr.count(
+                "rounds_completed",
+                (plain.rounds or 0) + (oriented.rounds or 0),
+            )
         return RunResult(
             engine=self.name,
             spec=spec,

@@ -325,12 +325,20 @@ class RunResult:
         row: a :class:`~repro.analysis.convergence.StabilizationSample`, a
         :class:`~repro.analysis.recovery.ScenarioReport`, or the ``msgpass``
         per-variant outcome mapping.
+    perf:
+        The run's :meth:`~repro.obs.Instrumentation.summary` -- phase timers,
+        counters, gauges, and (sharded) per-shard worker summaries.  ``None``
+        unless the run was executed with instrumentation attached; when
+        present the same dictionary is embedded in ``row["perf"]`` so campaign
+        stores persist it.  Uninstrumented rows are byte-identical to what
+        they were before the observability layer existed.
     """
 
     engine: str
     spec: RunSpec
     row: dict[str, object]
     report: object = None
+    perf: dict | None = None
 
     @property
     def converged(self) -> bool:

@@ -14,6 +14,8 @@
     python -m repro.campaign merge shard-a/ shard-b/ --out merged.jsonl
     python -m repro.campaign report --out results/ --metric recovery_steps_mean
     python -m repro.campaign report --out results/scenarios.jsonl --per-event
+    python -m repro.campaign run --protocol dftno --sizes 8:32 --perf --out results/
+    python -m repro.campaign report --out results/ --perf
 
 ``run`` expands the declarative grid, skips tasks the store already holds
 (``--resume``), executes the rest on ``--jobs`` workers and streams one line
@@ -35,6 +37,13 @@ distributed-execution path: shard one grid across machines, then merge the
 files (mixing backends is fine).  ``report`` aggregates a store into a table
 plus a linear fit, picking metric columns that match the stored task types;
 ``report --per-event`` aggregates scenario rows by event kind instead.
+
+``run --perf`` attaches the observability layer's instrumentation to every
+task, persisting each row's phase-timer/counter summary under ``perf``
+(hashes and measured results are unchanged); ``report --perf`` merges the
+stored summaries into a where-does-the-time-go table.  All timestamps the
+CLI renders (store creation, ETA) are timezone-explicit UTC ISO-8601, so two
+machines reading the same store agree on them.
 """
 
 from __future__ import annotations
@@ -51,6 +60,11 @@ from repro.campaign.registry import DEFAULT_TASK_TYPE, task_type_names
 from repro.campaign.runner import CampaignRunner
 from repro.campaign.store import open_store, resolve_store_path
 from repro.errors import ReproError
+
+
+def _utc_iso(timestamp: float) -> str:
+    """Timezone-explicit UTC ISO-8601 (trailing ``Z``), machine-independent."""
+    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(timestamp))
 
 
 def _format_duration(seconds: float) -> str:
@@ -205,6 +219,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--quiet", action="store_true", help="suppress per-task progress lines")
     run.add_argument(
+        "--perf",
+        action="store_true",
+        help="attach run instrumentation to every task and persist each row's "
+        "phase-timer/counter summary under 'perf' (read back with "
+        "'repro-campaign report --perf'); hashes and results are unchanged",
+    )
+    run.add_argument(
         "--live",
         nargs="?",
         const=1_000,
@@ -255,6 +276,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="aggregate stored scenario rows per event kind "
         "(recovery steps/disturbance by corruption, crash, link change, ...)",
     )
+    report.add_argument(
+        "--perf",
+        action="store_true",
+        help="merge the perf summaries persisted by 'run --perf' into a "
+        "phase-time / counter breakdown (per-shard where available)",
+    )
     return parser
 
 
@@ -270,9 +297,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if "created_at" not in store.metadata():
         now = time.time()
         updates["created_at"] = now
-        updates["created_at_iso"] = time.strftime("%Y-%m-%dT%H:%M:%S", time.localtime(now))
+        updates["created_at_iso"] = _utc_iso(now)
     store.update_metadata(**updates)
-    runner = CampaignRunner(store=store, jobs=args.jobs, live_every=args.live)
+    runner = CampaignRunner(
+        store=store, jobs=args.jobs, live_every=args.live, perf=args.perf
+    )
 
     def progress(row: dict[str, object]) -> None:
         if not args.quiet:
@@ -370,9 +399,7 @@ def _cmd_status(args: argparse.Namespace) -> int:
                 progress_line += f", {rate:.2f} rows/s"
                 if pending:
                     eta_seconds = len(pending) / rate
-                    done_at = time.strftime(
-                        "%Y-%m-%dT%H:%M:%S", time.localtime(time.time() + eta_seconds)
-                    )
+                    done_at = _utc_iso(time.time() + eta_seconds)
                     progress_line += f", ETA {_format_duration(eta_seconds)} (~{done_at})"
             elif pending:
                 progress_line += ", rate unknown (no store timestamps yet)"
@@ -428,6 +455,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
         return 1
     if args.per_event:
         return _report_per_event(rows)
+    if args.perf:
+        return _report_perf(rows)
     if any(args.key not in row for row in rows):
         # Grouping needs the key in *every* row, so offer only the columns
         # every row shares (a mixed-task-type store has per-type extras).
@@ -493,6 +522,69 @@ def _report_per_event(rows: list[dict[str, object]]) -> int:
     )
     if skipped:
         print(f"note: {skipped} row(s) without per-event records were skipped")
+    return 0
+
+
+def _report_perf(rows: list[dict[str, object]]) -> int:
+    """The ``report --perf`` view: where does the time go, across the store.
+
+    Merges every stored ``perf`` summary (they merge associatively, see
+    :func:`repro.obs.merge_summaries`) and renders the phase-time breakdown,
+    the headline counters, and -- when sharded rows contributed -- the
+    per-shard skew.  Rows without a summary (uninstrumented runs, pre-perf
+    stores) are counted and skipped.
+    """
+    from repro.obs import merge_summaries, phase_seconds
+
+    summaries = [row["perf"] for row in rows if isinstance(row.get("perf"), dict)]
+    if not summaries:
+        print(
+            "no stored rows carry perf summaries; run the campaign with "
+            "'repro-campaign run --perf' first"
+        )
+        return 1
+    merged = merge_summaries(*summaries)
+    total = phase_seconds(merged) or 1.0
+    phase_table = [
+        {
+            "phase": name,
+            "seconds": f"{stats['seconds']:.4f}",
+            "calls": stats["count"],
+            "share": f"{100.0 * stats['seconds'] / total:.1f}%",
+        }
+        for name, stats in sorted(
+            merged.get("phases", {}).items(),
+            key=lambda item: item[1]["seconds"],
+            reverse=True,
+        )
+    ]
+    print(
+        format_table(
+            phase_table,
+            title=f"phase time across {len(summaries)} instrumented rows",
+        )
+    )
+    counters = merged.get("counters", {})
+    if counters:
+        rendered = ", ".join(
+            f"{name}={value:g}" for name, value in sorted(counters.items())
+        )
+        print(f"counters: {rendered}")
+    shards = merged.get("shards", {})
+    if shards:
+        shard_table = [
+            {
+                "shard": index,
+                "guard_eval_s": f"{phase_seconds(summary, 'guard_eval'):.4f}",
+                "action_exec_s": f"{phase_seconds(summary, 'action_exec'):.4f}",
+                "guards": summary.get("counters", {}).get("guards_evaluated", 0),
+            }
+            for index, summary in sorted(shards.items(), key=lambda item: int(item[0]))
+        ]
+        print(format_table(shard_table, title="per-shard worker time"))
+    skipped = len(rows) - len(summaries)
+    if skipped:
+        print(f"note: {skipped} row(s) without perf summaries were skipped")
     return 0
 
 

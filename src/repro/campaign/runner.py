@@ -46,23 +46,31 @@ class _LiveProgressEmitter:
         print(f"  [{self.label}] {message}", flush=True)
 
 
-def _handler_accepts_observers(handler: Callable[..., dict]) -> bool:
-    """Whether a task handler can receive the ``observers`` keyword.
+def _handler_accepts(handler: Callable[..., dict], keyword: str) -> bool:
+    """Whether a task handler can receive ``keyword``.
 
-    Built-in handlers all do; third-party registrations predating the live
-    progress mode may not, and silently run without instrumentation.
+    Built-in handlers accept both ``observers`` and ``instrument``;
+    third-party registrations predating those modes may not, and silently
+    run without them.
     """
     try:
         parameters = inspect.signature(handler).parameters
     except (TypeError, ValueError):  # pragma: no cover - exotic callables
         return False
-    return "observers" in parameters or any(
+    return keyword in parameters or any(
         parameter.kind == inspect.Parameter.VAR_KEYWORD
         for parameter in parameters.values()
     )
 
 
-def run_task(spec: TaskSpec, live_every: int | None = None) -> dict[str, object]:
+def _handler_accepts_observers(handler: Callable[..., dict]) -> bool:
+    """Back-compat alias for :func:`_handler_accepts` with ``observers``."""
+    return _handler_accepts(handler, "observers")
+
+
+def run_task(
+    spec: TaskSpec, live_every: int | None = None, perf: bool = False
+) -> dict[str, object]:
     """Execute one campaign task and return its flat result row.
 
     The row merges the handler's measurement (``n``, ``converged``, and the
@@ -74,18 +82,26 @@ def run_task(spec: TaskSpec, live_every: int | None = None) -> dict[str, object]
     prefixed line every that many steps (plus scenario events and the
     convergence line) rides the engine's observer stream.  Observers never
     influence the measurement, so rows are identical with and without.
+
+    ``perf`` attaches an :class:`~repro.obs.Instrumentation` registry to the
+    run, embedding its phase-timer/counter summary in ``row["perf"]`` (read
+    back with ``repro-campaign report --perf``).  Perf changes neither the
+    measured execution nor the row's config hash -- only the extra ``perf``
+    entry distinguishes an instrumented row.
     """
     handler = get_task_handler(spec.task_type)
-    if live_every and _handler_accepts_observers(handler):
+    kwargs: dict[str, object] = {}
+    if live_every and _handler_accepts(handler, "observers"):
         from repro.runtime.observers import ProgressObserver
 
         observer = ProgressObserver(
             every_steps=live_every,
             emit=_LiveProgressEmitter(f"task {spec.index} {spec.protocol} n={spec.size}"),
         )
-        row = handler(spec, observers=(observer,))
-    else:
-        row = handler(spec)
+        kwargs["observers"] = (observer,)
+    if perf and _handler_accepts(handler, "instrument"):
+        kwargs["instrument"] = True
+    row = handler(spec, **kwargs)
     row.update(spec.identity())
     row["config_hash"] = spec.config_hash
     row["task_index"] = spec.index
@@ -132,6 +148,7 @@ class CampaignRunner:
         store: BaseResultStore | None = None,
         jobs: int = 1,
         live_every: int | None = None,
+        perf: bool = False,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -140,6 +157,7 @@ class CampaignRunner:
         self.store = store
         self.jobs = jobs
         self.live_every = live_every
+        self.perf = perf
 
     def iter_results(
         self, pending: list[TaskSpec]
@@ -147,8 +165,8 @@ class CampaignRunner:
         """Yield result rows for ``pending`` tasks as they complete, in order."""
         task_runner = (
             run_task
-            if self.live_every is None
-            else partial(run_task, live_every=self.live_every)
+            if self.live_every is None and not self.perf
+            else partial(run_task, live_every=self.live_every, perf=self.perf)
         )
         if self.jobs <= 1 or len(pending) <= 1:
             for spec in pending:
@@ -216,9 +234,10 @@ def run_grid(
     progress: ProgressCallback | None = None,
     live_every: int | None = None,
     shard: tuple[int, int] | None = None,
+    perf: bool = False,
 ) -> CampaignResult:
     """Convenience wrapper: ``CampaignRunner(store, jobs).run(grid, ...)``."""
-    return CampaignRunner(store=store, jobs=jobs, live_every=live_every).run(
+    return CampaignRunner(store=store, jobs=jobs, live_every=live_every, perf=perf).run(
         grid, resume=resume, progress=progress, shard=shard
     )
 

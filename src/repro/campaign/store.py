@@ -24,6 +24,11 @@ unique hash index and a per-row ``created_at`` timestamp -- the timestamps
 power ``repro-campaign status``'s rows-per-second / ETA estimate -- and
 metadata in a key/value table.  Appends commit per row, so a killed campaign
 loses at most the row being written, same as JSONL.
+
+Rows are opaque dictionaries to both backends: campaigns run with ``--perf``
+persist each row's instrumentation summary under a ``perf`` key (read back
+by ``repro-campaign report --perf``), and rows written without it are
+byte-identical to pre-observability stores -- same hashes, same shapes.
 """
 
 from __future__ import annotations

@@ -24,6 +24,7 @@ from typing import Sequence
 
 from repro.api import NetworkSpec, RunSpec, StopSpec, run
 from repro.api.spec import HEIGHT_TREE_FAMILY
+from repro.obs.instrument import Instrumentation
 from repro.campaign.grid import TaskSpec
 from repro.campaign.registry import register_task_type
 from repro.graphs.network import RootedNetwork
@@ -80,20 +81,36 @@ def build_task_protocol(spec: TaskSpec) -> Protocol:
     return build_protocol(spec.protocol)
 
 
+def _execute_task(
+    spec: TaskSpec, observers: Sequence[Observer], instrument: bool
+) -> dict[str, object]:
+    """Run the task's RunSpec; with ``instrument`` the row carries ``perf``."""
+    instrumentation = Instrumentation() if instrument else None
+    return run(
+        runspec_for_task(spec), observers=observers, instrumentation=instrumentation
+    ).row
+
+
 @register_task_type("stabilize")
-def run_stabilize(spec: TaskSpec, observers: Sequence[Observer] = ()) -> dict[str, object]:
+def run_stabilize(
+    spec: TaskSpec, observers: Sequence[Observer] = (), instrument: bool = False
+) -> dict[str, object]:
     """Measure stabilization of the spec's protocol on its network."""
-    return run(runspec_for_task(spec), observers=observers).row
+    return _execute_task(spec, observers, instrument)
 
 
 @register_task_type("scenario")
-def run_scenario_task(spec: TaskSpec, observers: Sequence[Observer] = ()) -> dict[str, object]:
+def run_scenario_task(
+    spec: TaskSpec, observers: Sequence[Observer] = (), instrument: bool = False
+) -> dict[str, object]:
     """Execute the spec's library scenario and report recovery aggregates."""
-    return run(runspec_for_task(spec), observers=observers).row
+    return _execute_task(spec, observers, instrument)
 
 
 @register_task_type("msgpass")
-def run_msgpass(spec: TaskSpec, observers: Sequence[Observer] = ()) -> dict[str, object]:
+def run_msgpass(
+    spec: TaskSpec, observers: Sequence[Observer] = (), instrument: bool = False
+) -> dict[str, object]:
     """Run the spec's message-passing workload with/without the orientation.
 
     The orientation is the centralized reference (the protocols' fixed
@@ -103,7 +120,7 @@ def run_msgpass(spec: TaskSpec, observers: Sequence[Observer] = ()) -> dict[str,
     measurement (sweeping them yields repeated trials on fresh networks);
     ``after_substrate`` has no meaning here and is rejected.
     """
-    return run(runspec_for_task(spec), observers=observers).row
+    return _execute_task(spec, observers, instrument)
 
 
 __all__ = [

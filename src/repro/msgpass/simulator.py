@@ -8,7 +8,7 @@ from typing import Any, Sequence
 from repro.errors import SimulationError
 from repro.graphs.network import RootedNetwork
 from repro.msgpass.node import Context, Message, NodeProgram
-from repro.runtime.observers import Observer
+from repro.runtime.observers import Observer, dispatch_safely
 
 
 @dataclass
@@ -65,7 +65,8 @@ class SynchronousSimulator:
         self.network = network
         self.program = program
         self.max_rounds = max_rounds
-        self.observers = tuple(observers)
+        # A list, not a tuple: a raising observer is disabled in place.
+        self.observers = list(observers)
 
     def run(self) -> SimulationResult:
         """Execute the program to quiescence and return the statistics."""
@@ -86,8 +87,7 @@ class SynchronousSimulator:
         total_messages += sent_this_round
         # Observers receive the number of *completed* rounds, matching the
         # Scheduler's on_round semantics (round 0 completing -> 1).
-        for observer in self.observers:
-            observer.on_round(self, round_index + 1)
+        dispatch_safely(self.observers, "on_round", self, round_index + 1)
 
         while in_flight:
             round_index += 1
@@ -116,8 +116,7 @@ class SynchronousSimulator:
 
             messages_per_round.append(sent_this_round)
             total_messages += sent_this_round
-            for observer in self.observers:
-                observer.on_round(self, round_index + 1)
+            dispatch_safely(self.observers, "on_round", self, round_index + 1)
 
         result = SimulationResult(
             rounds=round_index + 1,
@@ -126,8 +125,7 @@ class SynchronousSimulator:
             states=states,
             halted=halted,
         )
-        for observer in self.observers:
-            observer.on_converged(self, result)
+        dispatch_safely(self.observers, "on_converged", self, result)
         return result
 
     @staticmethod

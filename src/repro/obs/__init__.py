@@ -1,0 +1,62 @@
+"""Run-level observability: instrumentation registry, span traces, profiling.
+
+Three opt-in layers, cheapest first:
+
+* :class:`Instrumentation` -- counters, gauges and phase timers the engine
+  cores populate; its summary lands in ``RunResult.perf`` and campaign rows.
+  The default is the shared :data:`NULL_INSTRUMENTATION` no-op, so nothing is
+  paid until a caller passes a live registry.
+* :class:`SpanTracer` -- structured run → round → step spans emitted as
+  JSONL (attach via ``Instrumentation(tracer=...)`` or ``REPRO_TRACE=...``).
+* :func:`maybe_profile` -- cProfile dumps per run/task via ``REPRO_PROFILE``.
+"""
+
+from repro.obs.instrument import (
+    Instrumentation,
+    NullInstrumentation,
+    NULL_INSTRUMENTATION,
+    PHASE_ACTION_EXEC,
+    PHASE_DAEMON_SELECT,
+    PHASE_FRONTIER_EXCHANGE,
+    PHASE_GUARD_EVAL,
+    PHASE_OBSERVER_DISPATCH,
+    SUMMARY_SCHEMA,
+    merge_summaries,
+    phase_seconds,
+    summary_counter,
+)
+from repro.obs.profile import PROFILE_ENV, maybe_profile, profile_dir
+from repro.obs.spans import (
+    JsonlSpanSink,
+    ListSpanSink,
+    Span,
+    SpanSink,
+    SpanTracer,
+    TRACE_ENV,
+    tracer_from_env,
+)
+
+__all__ = [
+    "Instrumentation",
+    "JsonlSpanSink",
+    "ListSpanSink",
+    "NullInstrumentation",
+    "NULL_INSTRUMENTATION",
+    "PHASE_ACTION_EXEC",
+    "PHASE_DAEMON_SELECT",
+    "PHASE_FRONTIER_EXCHANGE",
+    "PHASE_GUARD_EVAL",
+    "PHASE_OBSERVER_DISPATCH",
+    "PROFILE_ENV",
+    "Span",
+    "SpanSink",
+    "SpanTracer",
+    "SUMMARY_SCHEMA",
+    "TRACE_ENV",
+    "maybe_profile",
+    "merge_summaries",
+    "phase_seconds",
+    "profile_dir",
+    "summary_counter",
+    "tracer_from_env",
+]

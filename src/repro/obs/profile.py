@@ -1,0 +1,66 @@
+"""Opt-in cProfile hook: ``REPRO_PROFILE=<dir>`` profiles runs to ``.prof``.
+
+:func:`maybe_profile` wraps a region of work -- one :func:`repro.api.run`
+call or one campaign task -- in a :class:`cProfile.Profile` when the
+``REPRO_PROFILE`` environment variable names a directory, dumping a
+``<label>.prof`` file there on exit.  When the variable is unset (the
+default, and the only mode CI runs in) the context manager is a shared
+no-op, so the hot path sees a single dictionary lookup per run.
+
+Dump files load straight into the standard tooling::
+
+    REPRO_PROFILE=/tmp/prof repro-campaign run campaign.json ...
+    python -m pstats /tmp/prof/<task-id>.prof
+"""
+
+from __future__ import annotations
+
+import cProfile
+import contextlib
+import os
+import re
+from typing import Iterator, Mapping
+
+#: Environment variable naming the directory profile dumps land in.
+PROFILE_ENV = "REPRO_PROFILE"
+
+_LABEL_UNSAFE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def profile_dir(environ: Mapping[str, str] | None = None) -> str | None:
+    """The configured profile directory, or ``None`` when profiling is off."""
+    environ = os.environ if environ is None else environ
+    path = environ.get(PROFILE_ENV, "").strip()
+    return path or None
+
+
+@contextlib.contextmanager
+def maybe_profile(label: str, environ: Mapping[str, str] | None = None) -> Iterator[None]:
+    """Profile the enclosed block into ``$REPRO_PROFILE/<label>.prof``.
+
+    A no-op context manager when ``REPRO_PROFILE`` is unset.  ``label`` is
+    sanitized to a safe filename; collisions get a numeric suffix rather than
+    overwriting an earlier dump, so campaign tasks sharing a label keep every
+    profile.
+    """
+    directory = profile_dir(environ)
+    if directory is None:
+        yield
+        return
+    os.makedirs(directory, exist_ok=True)
+    safe = _LABEL_UNSAFE.sub("_", label).strip("_") or "run"
+    path = os.path.join(directory, f"{safe}.prof")
+    suffix = 0
+    while os.path.exists(path):
+        suffix += 1
+        path = os.path.join(directory, f"{safe}.{suffix}.prof")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        profiler.dump_stats(path)
+
+
+__all__ = ["PROFILE_ENV", "maybe_profile", "profile_dir"]

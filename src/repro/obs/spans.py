@@ -1,0 +1,182 @@
+"""Span-based structured tracing: run → round → step → phase as JSONL.
+
+A :class:`SpanTracer` hands out nested :class:`Span` context managers; every
+span that closes is emitted to a pluggable sink as one flat record carrying
+its name, kind, start offset, duration, parent id and any attached fields.
+The default :class:`JsonlSpanSink` writes one JSON object per line, which is
+trivially greppable and loads straight into pandas; tests use
+:class:`ListSpanSink`.
+
+Tracing rides on the instrumentation layer: the execution cores only emit
+spans when a tracer is attached to their :class:`~repro.obs.Instrumentation`
+(``REPRO_TRACE=/path/to/file.jsonl`` attaches one from the environment via
+:func:`tracer_from_env`), so the default path never pays for it.  Spans are
+deliberately coarser than phase timers -- rounds and steps, not every guard
+probe -- because the aggregate timers already carry the per-phase totals.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, IO, Mapping
+
+#: Environment variable naming the JSONL file spans are appended to.
+TRACE_ENV = "REPRO_TRACE"
+
+
+class SpanSink:
+    """Receives one flat record per closed span."""
+
+    def emit(self, record: Mapping[str, Any]) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+
+class ListSpanSink(SpanSink):
+    """Collects span records in memory (tests, programmatic inspection)."""
+
+    def __init__(self) -> None:
+        self.records: list[dict[str, Any]] = []
+
+    def emit(self, record: Mapping[str, Any]) -> None:
+        self.records.append(dict(record))
+
+
+class JsonlSpanSink(SpanSink):
+    """Appends one JSON object per span to a file (or writes to a stream)."""
+
+    def __init__(self, path_or_stream: str | IO[str]) -> None:
+        if isinstance(path_or_stream, str):
+            self._stream: IO[str] = open(path_or_stream, "a", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = path_or_stream
+            self._owns_stream = False
+
+    def emit(self, record: Mapping[str, Any]) -> None:
+        self._stream.write(json.dumps(record, sort_keys=True) + "\n")
+
+    def close(self) -> None:
+        self._stream.flush()
+        if self._owns_stream:
+            self._stream.close()
+
+
+class Span:
+    """One timed region.  Close it (or exit the ``with``) to emit."""
+
+    __slots__ = ("_tracer", "span_id", "parent_id", "name", "kind", "fields", "_started", "_closed")
+
+    def __init__(
+        self,
+        tracer: "SpanTracer",
+        span_id: int,
+        parent_id: int | None,
+        name: str,
+        kind: str,
+        fields: dict[str, Any],
+    ) -> None:
+        self._tracer = tracer
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.kind = kind
+        self.fields = fields
+        self._started = time.perf_counter()
+        self._closed = False
+
+    def annotate(self, **fields: Any) -> None:
+        """Attach extra fields to the record this span will emit."""
+        self.fields.update(fields)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._tracer._finish(self, time.perf_counter() - self._started)
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class SpanTracer:
+    """Builds the run → round → step span tree and feeds the sink.
+
+    Span ids are sequential per tracer; ``t_offset`` is seconds since the
+    tracer was created, so records from one run line up on a shared clock.
+    The tracer keeps an explicit parent reference per span (passed by the
+    caller as ``parent=``) instead of thread-local nesting -- the execution
+    cores know their nesting statically.
+    """
+
+    def __init__(self, sink: SpanSink) -> None:
+        self.sink = sink
+        self._epoch = time.perf_counter()
+        self._next_id = 0
+        self.emitted = 0
+        #: Cross-layer parenting points: the engine parks its open run span
+        #: here and the step loop parents round/step spans on whichever is
+        #: set, so the layers compose without passing spans through APIs.
+        self.current_run: Span | None = None
+        self.current_round: Span | None = None
+
+    def span(
+        self,
+        name: str,
+        kind: str = "span",
+        parent: Span | None = None,
+        **fields: Any,
+    ) -> Span:
+        self._next_id += 1
+        return Span(
+            self,
+            self._next_id,
+            parent.span_id if parent is not None else None,
+            name,
+            kind,
+            fields,
+        )
+
+    def _finish(self, span: Span, duration: float) -> None:
+        record: dict[str, Any] = {
+            "span": span.span_id,
+            "parent": span.parent_id,
+            "name": span.name,
+            "kind": span.kind,
+            "t_offset": round(span._started - self._epoch, 9),
+            "seconds": round(duration, 9),
+        }
+        if span.fields:
+            record.update(span.fields)
+        self.sink.emit(record)
+        self.emitted += 1
+
+    def close(self) -> None:
+        self.sink.close()
+
+
+def tracer_from_env(environ: Mapping[str, str] | None = None) -> SpanTracer | None:
+    """Build a :class:`SpanTracer` from ``REPRO_TRACE``, or ``None`` if unset."""
+    environ = os.environ if environ is None else environ
+    path = environ.get(TRACE_ENV, "").strip()
+    if not path:
+        return None
+    return SpanTracer(JsonlSpanSink(path))
+
+
+__all__ = [
+    "JsonlSpanSink",
+    "ListSpanSink",
+    "Span",
+    "SpanSink",
+    "SpanTracer",
+    "TRACE_ENV",
+    "tracer_from_env",
+]

@@ -25,13 +25,56 @@ unchanged while external observers plug into exactly the same stream.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable
+import warnings
+from typing import TYPE_CHECKING, Any, Callable, MutableSequence
 
 from repro.runtime.metrics import ExecutionMetrics
 from repro.runtime.trace import Trace, TraceEvent
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.scheduler import StepRecord
+
+
+class ObserverFailureWarning(UserWarning):
+    """An observer raised inside a notification hook and was disabled."""
+
+
+def dispatch_safely(
+    observers: MutableSequence[Observer], hook: str, source: Any, payload: Any
+) -> None:
+    """Notify every observer, isolating failures from the run.
+
+    An observer whose hook raises must not corrupt the computation it is
+    merely watching: the exception is converted to a single
+    :class:`ObserverFailureWarning` and the observer is removed from
+    ``observers`` in place, so it is never called again.  Control-flow
+    exceptions (``KeyboardInterrupt`` and friends are not ``Exception``
+    subclasses) still propagate.
+
+    Every engine's notification loops route through this helper, so the
+    fault-isolation contract is identical for the daemon-step scheduler, the
+    scenario runner and the message-passing simulator.
+    """
+    failed: list[Observer] | None = None
+    for observer in observers:
+        try:
+            getattr(observer, hook)(source, payload)
+        except Exception as exc:
+            warnings.warn(
+                f"observer {type(observer).__name__} raised in {hook} and was "
+                f"disabled for the rest of the run: {type(exc).__name__}: {exc}",
+                ObserverFailureWarning,
+                stacklevel=2,
+            )
+            if failed is None:
+                failed = []
+            failed.append(observer)
+    if failed is not None:
+        for observer in failed:
+            try:
+                observers.remove(observer)
+            except ValueError:  # already removed (re-entrant dispatch)
+                pass
 
 
 class Observer:
@@ -81,11 +124,22 @@ class TraceObserver(Observer):
     """Records a :class:`~repro.runtime.trace.Trace` of every executed move.
 
     Registered by the scheduler when ``record_trace=True``; usable explicitly
-    to trace any engine that emits step records.
+    to trace any engine that emits step records.  ``max_records`` bounds the
+    trace with a ring buffer (the newest ``max_records`` moves are retained,
+    ``trace.dropped`` counts evictions), so long chaotic-phase runs can trace
+    without unbounded growth; it takes precedence over the legacy ``limit``
+    alias when both are given.
     """
 
-    def __init__(self, limit: int | None = 100_000, trace: Trace | None = None) -> None:
-        self.trace = trace if trace is not None else Trace(limit=limit)
+    def __init__(
+        self,
+        limit: int | None = 100_000,
+        trace: Trace | None = None,
+        max_records: int | None = None,
+    ) -> None:
+        if trace is None:
+            trace = Trace(limit=max_records if max_records is not None else limit)
+        self.trace = trace
 
     def on_step(self, source: Any, record: "StepRecord") -> None:
         for move in record.moves:
@@ -177,6 +231,8 @@ __all__ = [
     "CallbackObserver",
     "MetricsObserver",
     "Observer",
+    "ObserverFailureWarning",
     "ProgressObserver",
     "TraceObserver",
+    "dispatch_safely",
 ]

@@ -17,16 +17,25 @@ from __future__ import annotations
 
 import os
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping, Sequence
 
 from repro.errors import ConvergenceError, ProtocolError, SchedulingError
 from repro.graphs.network import RootedNetwork
+from repro.obs.instrument import (
+    Instrumentation,
+    NULL_INSTRUMENTATION,
+    PHASE_ACTION_EXEC,
+    PHASE_DAEMON_SELECT,
+    PHASE_GUARD_EVAL,
+    PHASE_OBSERVER_DISPATCH,
+)
 from repro.runtime.actions import Action
 from repro.runtime.configuration import Configuration
 from repro.runtime.daemon import Daemon, DistributedDaemon
 from repro.runtime.metrics import ExecutionMetrics
-from repro.runtime.observers import MetricsObserver, Observer, TraceObserver
+from repro.runtime.observers import MetricsObserver, Observer, TraceObserver, dispatch_safely
 from repro.runtime.processor import ProcessorView
 from repro.runtime.protocol import Protocol
 from repro.runtime.trace import Trace
@@ -172,7 +181,19 @@ class Scheduler:
         outside its closed neighborhood -- the invariant the incremental path
         relies on.  Defaults to the ``REPRO_DEBUG_GUARDS`` environment
         variable.
+    instrumentation:
+        An :class:`~repro.obs.Instrumentation` registry the step loop feeds
+        with phase timers (guard-eval, daemon-select, action-exec,
+        observer-dispatch), guard-evaluation counters, and dirty/enabled-set
+        gauges.  Defaults to the shared no-op
+        :data:`~repro.obs.NULL_INSTRUMENTATION`; the disabled path hoists its
+        ``enabled`` flag once per call and skips all timing behind it.
     """
+
+    #: The phase name :meth:`_refresh_enabled` attributes its time to; the
+    #: sharded coordinator overrides its refresh with a frontier exchange and
+    #: re-labels accordingly.
+    _refresh_phase = PHASE_GUARD_EVAL
 
     def __init__(
         self,
@@ -187,6 +208,7 @@ class Scheduler:
         observers: Sequence[Observer] = (),
         incremental: bool = True,
         check_guard_locality: bool | None = None,
+        instrumentation: Instrumentation | None = None,
     ) -> None:
         self.network = network
         self.protocol = protocol
@@ -219,6 +241,8 @@ class Scheduler:
         self._round_index = 0
         self._round_pending: set[int] | None = None
         self._frozen: set[int] = set()
+
+        self._instr = instrumentation if instrumentation is not None else NULL_INSTRUMENTATION
 
         self.incremental = incremental
         if check_guard_locality is None:
@@ -256,22 +280,24 @@ class Scheduler:
         """Every registered observer (built-ins first)."""
         return tuple(self._observers)
 
+    @property
+    def instrumentation(self) -> Instrumentation:
+        """The run's instrumentation registry (the shared no-op by default)."""
+        return self._instr
+
     def add_observer(self, observer: Observer) -> None:
         """Register ``observer`` for subsequent step/round notifications."""
         self._observers.append(observer)
 
     def _notify_step(self, record: StepRecord) -> None:
-        for observer in self._observers:
-            observer.on_step(self, record)
+        dispatch_safely(self._observers, "on_step", self, record)
 
     def _notify_round(self, round_index: int) -> None:
-        for observer in self._observers:
-            observer.on_round(self, round_index)
+        dispatch_safely(self._observers, "on_round", self, round_index)
 
     def notify_converged(self, result: object) -> None:
         """Tell every observer the run's stop condition was reached."""
-        for observer in self._observers:
-            observer.on_converged(self, result)
+        dispatch_safely(self._observers, "on_converged", self, result)
 
     # ------------------------------------------------------------------
     # Enabled actions
@@ -300,13 +326,23 @@ class Scheduler:
         if self.incremental:
             self._refresh_enabled()
             if self._enabled_order is None:
+                # The rebuild is enabled-set maintenance like the refresh
+                # itself, so it books under the same phase.
+                instr = self._instr
+                timed = instr.enabled
+                started = time.perf_counter() if timed else 0.0
                 order = tuple(
                     sorted(node for node in self._enabled if node not in self._frozen)
                 )
                 self._enabled_order = order
                 self._enabled_members = frozenset(order)
+                if timed:
+                    instr.phase_time(self._refresh_phase, time.perf_counter() - started)
             assert self._enabled_members is not None
             return self._enabled_order, self._enabled, self._enabled_members
+        instr = self._instr
+        timed = instr.enabled
+        started = time.perf_counter() if timed else 0.0
         enabled: dict[int, Action] = {}
         for node in self.network.nodes():
             if node in self._frozen:
@@ -315,6 +351,9 @@ class Scheduler:
             if action is not None:
                 enabled[node] = action
         order = tuple(enabled)  # network.nodes() iterates ascending
+        if timed:
+            instr.count("guards_evaluated", self.network.n - len(self._frozen))
+            instr.phase_time(PHASE_GUARD_EVAL, time.perf_counter() - started)
         return order, enabled, frozenset(order)
 
     def enabled_nodes(self) -> tuple[int, ...]:
@@ -355,7 +394,15 @@ class Scheduler:
         The re-evaluated *dirty frontier* is the changed nodes plus their
         closed neighborhoods: a guard reads only its own node and its
         neighbors, so no other processor's enabled-status can have flipped.
+
+        Attributes its own wall clock to the ``guard_eval`` phase (the
+        sharded subclass re-labels it ``frontier_exchange``), so callers --
+        including the nested re-check round bookkeeping performs -- never
+        double-count it.
         """
+        instr = self._instr
+        timed = instr.enabled
+        started = time.perf_counter() if timed else 0.0
         if self._needs_full_rescan:
             self.configuration.drain_dirty()
             self._enabled = {}
@@ -365,9 +412,15 @@ class Scheduler:
                     self._enabled[node] = action
             self._needs_full_rescan = False
             self._invalidate_enabled_view()
+            if timed:
+                instr.count("guards_evaluated", self.network.n)
+                instr.count("full_rescans")
+                instr.phase_time(self._refresh_phase, time.perf_counter() - started)
             return
         dirty = self.configuration.drain_dirty()
         if not dirty:
+            if timed:
+                instr.phase_time(self._refresh_phase, time.perf_counter() - started)
             return
         frontier: set[int] = set()
         for node in dirty:
@@ -384,19 +437,46 @@ class Scheduler:
                 if node not in self._enabled:
                     self._invalidate_enabled_view()
                 self._enabled[node] = action
+        if timed:
+            instr.count("guards_evaluated", len(frontier))
+            instr.gauge("dirty_set_size", len(dirty))
+            instr.gauge("frontier_size", len(frontier))
+            instr.phase_time(self._refresh_phase, time.perf_counter() - started)
 
     # ------------------------------------------------------------------
     # Stepping
     # ------------------------------------------------------------------
     def step(self) -> StepRecord | None:
         """Execute one computation step; ``None`` if no processor is enabled."""
+        instr = self._instr
+        timed = instr.enabled
+        step_started = time.perf_counter() if timed else 0.0
+
         order, enabled, members = self._enabled_view()
         if not order:
             return None
 
+        tracer = instr.tracer if timed else None
         if self._round_pending is None:
             self._round_pending = set(order)
+            if tracer is not None:
+                tracer.current_round = tracer.span(
+                    "round", kind="round", parent=tracer.current_run, round=self._round_index
+                )
+        step_span = (
+            tracer.span(
+                "step",
+                kind="step",
+                parent=tracer.current_round or tracer.current_run,
+                step=self._step_index,
+            )
+            if tracer is not None
+            else None
+        )
 
+        if timed:
+            instr.gauge("enabled_set_size", len(order))
+            mark = time.perf_counter()
         selected = self.daemon.select(order, self._step_index, self.rng)
         if not selected:
             raise SchedulingError(f"daemon {self.daemon.name!r} selected an empty set")
@@ -405,6 +485,10 @@ class Scheduler:
             raise SchedulingError(
                 f"daemon {self.daemon.name!r} selected processors that are not enabled: {invalid}"
             )
+        if timed:
+            now = time.perf_counter()
+            instr.phase_time(PHASE_DAEMON_SELECT, now - mark)
+            mark = now
 
         executed, pending_writes = self._execute_selected(enabled, selected)
 
@@ -435,12 +519,33 @@ class Scheduler:
             changed_nodes=tuple(changed_nodes),
             moves=tuple(moves),
         )
+        if timed:
+            now = time.perf_counter()
+            instr.phase_time(PHASE_ACTION_EXEC, now - mark)
+            instr.gauge("selected_set_size", len(selected))
 
         self._step_index += 1
         completed_round = self._advance_round(set(selected))
+        if timed:
+            mark = time.perf_counter()
         self._notify_step(record)
         if completed_round is not None:
             self._notify_round(completed_round)
+        if timed:
+            now = time.perf_counter()
+            instr.phase_time(PHASE_OBSERVER_DISPATCH, now - mark)
+            instr.count("steps_timed")
+            instr.count("step_seconds", now - step_started)
+            instr.count("moves_executed", len(selected))
+            if step_span is not None:
+                step_span.annotate(selected=len(selected), changed=len(changed_nodes))
+                step_span.close()
+            if completed_round is not None and tracer is not None:
+                round_span = tracer.current_round
+                if round_span is not None:
+                    round_span.annotate(completed=completed_round)
+                    round_span.close()
+                tracer.current_round = None
         return record
 
     def _execute_selected(

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator
 
@@ -46,24 +47,32 @@ class TraceEvent:
 
 
 class Trace:
-    """A bounded buffer of :class:`TraceEvent` records.
+    """A bounded ring buffer of :class:`TraceEvent` records.
 
     ``limit`` caps memory use for long runs; when exceeded, the oldest events
-    are discarded and :attr:`dropped` counts how many were lost.
+    are discarded in O(1) (the buffer is a ``deque(maxlen=limit)``) and
+    :attr:`dropped` counts how many were lost.
     """
 
     def __init__(self, limit: int | None = 100_000) -> None:
-        self._events: list[TraceEvent] = []
+        self._events: deque[TraceEvent] = deque(maxlen=limit)
         self._limit = limit
-        self.dropped = 0
+        self._recorded = 0
+
+    @property
+    def limit(self) -> int | None:
+        """The ring capacity (``None`` means unbounded)."""
+        return self._limit
+
+    @property
+    def dropped(self) -> int:
+        """How many of the recorded events the ring has evicted."""
+        return self._recorded - len(self._events)
 
     def record(self, event: TraceEvent) -> None:
-        """Append ``event``, evicting the oldest entries beyond the limit."""
+        """Append ``event``; the ring evicts the oldest entry beyond the limit."""
         self._events.append(event)
-        if self._limit is not None and len(self._events) > self._limit:
-            overflow = len(self._events) - self._limit
-            del self._events[:overflow]
-            self.dropped += overflow
+        self._recorded += 1
 
     def events(self) -> tuple[TraceEvent, ...]:
         """All retained events in execution order."""
@@ -87,7 +96,9 @@ class Trace:
 
     def format(self, last: int | None = None) -> str:
         """Multi-line rendering of the (optionally last ``last``) events."""
-        events = self._events if last is None else self._events[-last:]
+        events = list(self._events)
+        if last is not None:
+            events = events[-last:]
         return "\n".join(event.format() for event in events)
 
     def __len__(self) -> int:

@@ -24,8 +24,9 @@ from typing import Callable, Sequence
 from repro.analysis.recovery import EventRecovery, ScenarioReport, disturbed_nodes
 from repro.core.specification import VAR_EDGE_LABELS, VAR_NAME
 from repro.graphs.network import RootedNetwork
+from repro.obs.instrument import Instrumentation
 from repro.runtime.daemon import Daemon
-from repro.runtime.observers import Observer
+from repro.runtime.observers import Observer, dispatch_safely
 from repro.runtime.protocol import Protocol
 from repro.runtime.scheduler import Scheduler
 from repro.scenarios.scenario import Scenario
@@ -73,6 +74,10 @@ class ScenarioRunner:
         paths, fault injection routes to the owning shard with no
         scenario-side changes.  A factory-built scheduler exposing
         ``close()`` is closed when the run ends.
+    instrumentation:
+        Forwarded to the scheduler: the whole scenario execution -- initial
+        stabilization, event windows, recoveries -- accumulates into one
+        :class:`~repro.obs.Instrumentation` registry.
     """
 
     def __init__(
@@ -87,6 +92,7 @@ class ScenarioRunner:
         observers: Sequence[Observer] = (),
         incremental: bool = True,
         scheduler_factory: Callable[..., Scheduler] | None = None,
+        instrumentation: Instrumentation | None = None,
     ) -> None:
         self.network = network
         self.protocol = protocol
@@ -100,9 +106,12 @@ class ScenarioRunner:
         )
         self.confirm_steps = 3 * (network.n + network.num_edges()) + 10
         self.watch_variables = watch_variables
-        self.observers = tuple(observers)
+        # A list, not a tuple: failure isolation disables (removes) an
+        # observer that raises, here exactly as inside the scheduler.
+        self.observers = list(observers)
         self.incremental = incremental
         self.scheduler_factory = scheduler_factory
+        self.instrumentation = instrumentation
 
     def run(self) -> ScenarioReport:
         """Execute the scenario once and return the full recovery report."""
@@ -116,6 +125,7 @@ class ScenarioRunner:
             daemon=self.daemon,
             rng=random.Random(rng.randrange(1 << 30)),
             observers=self.observers,
+            instrumentation=self.instrumentation,
         )
         try:
             return self._run(scheduler, rng)
@@ -188,8 +198,7 @@ class ScenarioRunner:
                 deadlocked=recovery.terminated and not recovered,
             )
             recoveries.append(record)
-            for observer in self.observers:
-                observer.on_event(self, record)
+            dispatch_safely(self.observers, "on_event", self, record)
 
         report = ScenarioReport(
             scenario=self.scenario.name,
@@ -207,8 +216,7 @@ class ScenarioRunner:
             total_rounds=scheduler.rounds_completed,
         )
         if report.converged:
-            for observer in self.observers:
-                observer.on_converged(self, report)
+            dispatch_safely(self.observers, "on_converged", self, report)
         return report
 
 

@@ -32,13 +32,16 @@ journal and ships the states.
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 import random
+import time
 import weakref
 from dataclasses import dataclass
 from functools import partial
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.graphs.network import RootedNetwork
+from repro.obs.instrument import Instrumentation, PHASE_FRONTIER_EXCHANGE
 from repro.runtime.configuration import Configuration
 from repro.runtime.daemon import Daemon
 from repro.runtime.observers import Observer
@@ -156,7 +159,16 @@ class ShardedScheduler(Scheduler):
     every substrate, daemon, and library scenario.  Call :meth:`close` (or
     use the scheduler as a context manager) to reap the worker processes;
     a garbage-collected coordinator reaps them automatically.
+
+    With instrumentation attached, the coordinator attributes its
+    enabled-set maintenance to the ``frontier_exchange`` phase (payload
+    routing, pipe round-trips, delta folding), counts the pickled frontier
+    bytes in each direction, and merges the per-worker summaries that
+    piggyback on ``apply`` replies, so a sharded run's ``perf`` reports
+    per-shard guard-evaluation skew next to the exchange cost.
     """
+
+    _refresh_phase = PHASE_FRONTIER_EXCHANGE
 
     def __init__(
         self,
@@ -173,6 +185,7 @@ class ShardedScheduler(Scheduler):
         partition: str = DEFAULT_STRATEGY,
         mode: str | None = None,
         check_guard_locality: bool | None = None,
+        instrumentation: Instrumentation | None = None,
     ) -> None:
         super().__init__(
             network,
@@ -186,6 +199,7 @@ class ShardedScheduler(Scheduler):
             observers=observers,
             incremental=True,
             check_guard_locality=check_guard_locality,
+            instrumentation=instrumentation,
         )
         if mode is None:
             mode = default_mode()
@@ -204,6 +218,7 @@ class ShardedScheduler(Scheduler):
                 block,
                 tuple(self.partition.ghosts(index)),
                 self.check_guard_locality,
+                self._instr.enabled,
             )
             self._shards.append(handle_type(factory))
         self._closed = False
@@ -287,22 +302,46 @@ class ShardedScheduler(Scheduler):
         node's state travels only to the shards whose scope contains it --
         interior changes stay with their owner, boundary-crossing changes
         additionally refresh the neighbors' ghosts.
+
+        The whole exchange -- payload building, pipe round-trips, delta
+        folding -- self-attributes to the ``frontier_exchange`` phase;
+        per-worker summaries piggybacked on ``apply`` replies are filed under
+        their shard index as they arrive.
         """
+        instr = self._instr
+        timed = instr.enabled
+        started = time.perf_counter() if timed else 0.0
         if self._needs_full_rescan:
             self.configuration.drain_dirty()
             messages = {
                 index: ("load", self._states_payload(self.partition.scope(index)))
                 for index in range(self.partition.k)
             }
+            if timed:
+                instr.count("full_rescans")
+                instr.count("frontier_messages", len(messages))
+                instr.count(
+                    "frontier_bytes_sent",
+                    sum(len(pickle.dumps(message[1])) for message in messages.values()),
+                )
+            answers = self._command(messages)
             self._enabled = {}
-            for enabled in self._command(messages).values():
+            for enabled in answers.values():
                 for node, (name, layer) in enabled.items():
                     self._enabled[node] = _RemoteAction(name, layer)
             self._needs_full_rescan = False
             self._invalidate_enabled_view()
+            if timed:
+                instr.count(
+                    "frontier_bytes_received",
+                    sum(len(pickle.dumps(reply)) for reply in answers.values()),
+                )
+                instr.phase_time(PHASE_FRONTIER_EXCHANGE, time.perf_counter() - started)
             return
         detail = self.configuration.drain_dirty_detail()
         if not detail:
+            if timed:
+                instr.phase_time(PHASE_FRONTIER_EXCHANGE, time.perf_counter() - started)
             return
         dirty = {node for node in detail if node in self._actions}
         messages = {}
@@ -311,8 +350,21 @@ class ShardedScheduler(Scheduler):
             if relevant:
                 messages[index] = ("apply", self._delta_payload(relevant, detail))
         if not messages:
+            if timed:
+                instr.phase_time(PHASE_FRONTIER_EXCHANGE, time.perf_counter() - started)
             return
-        for delta in self._command(messages).values():
+        if timed:
+            instr.count("frontier_messages", len(messages))
+            instr.count(
+                "frontier_bytes_sent",
+                sum(len(pickle.dumps(message[1])) for message in messages.values()),
+            )
+            instr.gauge("dirty_set_size", len(dirty))
+        answers = self._command(messages)
+        for index, delta in answers.items():
+            perf = delta.get("perf")
+            if perf is not None:
+                instr.record_shard(index, perf)
             for node in delta["clear"]:
                 if self._enabled.pop(node, None) is not None:
                     self._invalidate_enabled_view()
@@ -320,6 +372,12 @@ class ShardedScheduler(Scheduler):
                 if node not in self._enabled:
                     self._invalidate_enabled_view()
                 self._enabled[node] = _RemoteAction(name, layer)
+        if timed:
+            instr.count(
+                "frontier_bytes_received",
+                sum(len(pickle.dumps(reply)) for reply in answers.values()),
+            )
+            instr.phase_time(PHASE_FRONTIER_EXCHANGE, time.perf_counter() - started)
 
     def _execute_selected(
         self, enabled: Mapping[int, Any], selected: Sequence[int]
@@ -363,12 +421,30 @@ class ShardedScheduler(Scheduler):
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Stop and reap the shard workers (idempotent)."""
+        """Stop and reap the shard workers (idempotent).
+
+        With instrumentation attached, each worker's final cumulative summary
+        is drained first (best effort -- a crashed worker just keeps its last
+        piggybacked snapshot), so ``load``/``execute`` time that never rode an
+        ``apply`` reply still reaches the per-shard report.
+        """
         if self._closed:
             return
+        if self._instr.enabled:
+            self._collect_worker_perf()
         self._closed = True
         self._finalizer.detach()
         _close_handles(self._shards)
+
+    def _collect_worker_perf(self) -> None:
+        for index, shard in enumerate(self._shards):
+            try:
+                shard.send(("perf",))
+                reply = shard.recv()
+            except Exception:  # worker already gone; keep the last snapshot
+                continue
+            if reply and reply[0] == "ok":
+                self._instr.record_shard(index, reply[1])
 
     def __enter__(self) -> "ShardedScheduler":
         return self

@@ -27,11 +27,18 @@ in production are literally the same code.
 
 from __future__ import annotations
 
+import time
 import traceback
 from typing import Any, Mapping, Sequence
 
 from repro.errors import ReproError
 from repro.graphs.network import RootedNetwork
+from repro.obs.instrument import (
+    Instrumentation,
+    NULL_INSTRUMENTATION,
+    PHASE_ACTION_EXEC,
+    PHASE_GUARD_EVAL,
+)
 from repro.runtime.configuration import Configuration
 from repro.runtime.processor import ProcessorView
 from repro.runtime.protocol import Protocol
@@ -53,6 +60,7 @@ class ShardWorker:
         block: Sequence[int],
         ghosts: Sequence[int],
         check_guard_locality: bool = False,
+        instrument: bool = False,
     ) -> None:
         self.shard_index = shard_index
         self.network = network
@@ -60,6 +68,13 @@ class ShardWorker:
         self.block = tuple(block)
         self.ghosts = frozenset(ghosts)
         self.check_guard_locality = check_guard_locality
+        #: Local phase timers and counters; cumulative for the worker's
+        #: lifetime.  Summaries piggyback on ``apply`` replies and answer the
+        #: ``perf`` command, so the coordinator's view is always the latest
+        #: totals -- no extra round-trips on the hot path.
+        self.instrumentation: Instrumentation = (
+            Instrumentation() if instrument else NULL_INSTRUMENTATION
+        )
         self._members = frozenset(self.block)
         self._actions = {
             node: tuple(protocol.actions(network, node)) for node in self.block
@@ -76,12 +91,19 @@ class ShardWorker:
 
         Returns the full enabled map ``node -> (action name, layer)``.
         """
+        instr = self.instrumentation
+        timed = instr.enabled
+        started = time.perf_counter() if timed else 0.0
         self.configuration = Configuration(states)
         self.enabled = {}
         for node in self.block:
             action = self._first_enabled(node)
             if action is not None:
                 self.enabled[node] = action
+        if timed:
+            instr.count("guards_evaluated", len(self.block))
+            instr.count("full_rescans")
+            instr.phase_time(PHASE_GUARD_EVAL, time.perf_counter() - started)
         return {node: (action.name, action.layer) for node, action in self.enabled.items()}
 
     def apply(
@@ -97,8 +119,14 @@ class ShardWorker:
         block-side neighbors of every changed node -- the sharded restriction
         of the incremental scheduler's dirty frontier.  Returns the enabled
         delta: ``set`` maps newly enabled (or action-changed) nodes to
-        ``(name, layer)``, ``clear`` lists nodes that became disabled.
+        ``(name, layer)``, ``clear`` lists nodes that became disabled.  When
+        instrumented, the reply also carries ``perf``: the worker's
+        cumulative summary, piggybacked so the coordinator's per-shard view
+        costs no extra round-trip.
         """
+        instr = self.instrumentation
+        timed = instr.enabled
+        started = time.perf_counter() if timed else 0.0
         frontier: set[int] = set()
         for node, (kind, values) in deltas.items():
             if kind == "full":
@@ -124,7 +152,14 @@ class ShardWorker:
                     or previous.layer != action.layer
                 ):
                     updates[node] = (action.name, action.layer)
-        return {"set": updates, "clear": cleared}
+        reply: dict[str, Any] = {"set": updates, "clear": cleared}
+        if timed:
+            instr.count("guards_evaluated", len(frontier))
+            instr.gauge("frontier_size", len(frontier))
+            instr.gauge("delta_batch_size", len(deltas))
+            instr.phase_time(PHASE_GUARD_EVAL, time.perf_counter() - started)
+            reply["perf"] = instr.summary()
+        return reply
 
     def execute(self, nodes: Sequence[int]) -> dict[int, tuple[str, dict[str, Any]]]:
         """Run the cached enabled action of each selected block node.
@@ -134,6 +169,9 @@ class ShardWorker:
         which is exactly the composite-atomicity semantics of the
         single-process step.
         """
+        instr = self.instrumentation
+        timed = instr.enabled
+        started = time.perf_counter() if timed else 0.0
         out: dict[int, tuple[str, dict[str, Any]]] = {}
         for node in nodes:
             action = self.enabled.get(node)
@@ -145,7 +183,14 @@ class ShardWorker:
             view = ProcessorView(node, self.network, self.configuration)
             action.execute(view)
             out[node] = (action.name, view.pending_writes)
+        if timed:
+            instr.count("actions_executed", len(out))
+            instr.phase_time(PHASE_ACTION_EXEC, time.perf_counter() - started)
         return out
+
+    def perf(self) -> dict[str, Any]:
+        """The worker's cumulative instrumentation summary (``perf`` command)."""
+        return self.instrumentation.summary()
 
     def set_network(self, network: RootedNetwork, ghosts: Sequence[int]) -> None:
         """Swap the topology: new action tables, new ghost set.
@@ -173,6 +218,8 @@ class ShardWorker:
             return self.execute(message[1])
         if command == "network":
             return self.set_network(message[1], message[2])
+        if command == "perf":
+            return self.perf()
         raise ShardError(f"unknown shard command {command!r}")
 
     def _first_enabled(self, node: int):

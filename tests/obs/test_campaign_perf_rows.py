@@ -1,0 +1,64 @@
+"""Perf summaries through the campaign layer: rows, stores, and hashes."""
+
+from __future__ import annotations
+
+from repro.campaign.grid import Grid
+from repro.campaign.runner import CampaignRunner, run_grid, run_task
+from repro.campaign import ResultStore, SqliteResultStore
+from repro.obs import merge_summaries, summary_counter
+
+TINY_GRID = Grid(sizes=(5, 6), protocols=("dftno",), families=("ring",), trials=1, seed=11)
+
+
+def test_run_task_perf_attaches_a_summary_without_touching_anything_else():
+    spec = TINY_GRID.expand()[0]
+    plain = run_task(spec)
+    measured = run_task(spec, perf=True)
+    assert "perf" not in plain
+    perf = measured["perf"]
+    assert summary_counter(perf, "steps_timed") > 0
+    assert "guard_eval" in perf["phases"]
+    stripped = {key: value for key, value in measured.items() if key != "perf"}
+    assert stripped == plain
+    assert measured["config_hash"] == plain["config_hash"]
+
+
+def test_perf_rows_round_trip_through_the_jsonl_store(tmp_path):
+    path = tmp_path / "perf.jsonl"
+    result = run_grid(TINY_GRID, store=ResultStore(path), perf=True)
+    stored = ResultStore(path).rows()
+    assert stored == result.rows
+    assert all(isinstance(row["perf"], dict) for row in stored)
+    merged = merge_summaries(*(row["perf"] for row in stored))
+    assert summary_counter(merged, "steps_timed") > 0
+
+
+def test_perf_rows_round_trip_through_the_sqlite_store(tmp_path):
+    path = tmp_path / "perf.sqlite"
+    store = SqliteResultStore(path)
+    result = run_grid(TINY_GRID, store=store, perf=True)
+    store.close()
+    reopened = SqliteResultStore(path)
+    stored = reopened.rows()
+    reopened.close()
+    assert stored == result.rows
+    assert all(isinstance(row["perf"], dict) for row in stored)
+
+
+def test_perf_campaigns_share_hashes_with_plain_campaigns(tmp_path):
+    plain = run_grid(TINY_GRID, store=ResultStore(tmp_path / "plain.jsonl"))
+    measured = run_grid(TINY_GRID, store=ResultStore(tmp_path / "perf.jsonl"), perf=True)
+    for plain_row, perf_row in zip(plain.rows, measured.rows):
+        assert plain_row["config_hash"] == perf_row["config_hash"]
+        stripped = {k: v for k, v in perf_row.items() if k != "perf"}
+        assert stripped == plain_row
+
+
+def test_perf_resume_skips_rows_recorded_without_perf(tmp_path):
+    """A perf rerun must respect completed work, not redo it for summaries."""
+    path = tmp_path / "campaign.jsonl"
+    run_grid(TINY_GRID, store=ResultStore(path))
+    runner = CampaignRunner(store=ResultStore(path), perf=True)
+    result = runner.run(TINY_GRID, resume=True)
+    assert result.skipped == len(TINY_GRID.expand())
+    assert all("perf" not in row for row in ResultStore(path).rows())

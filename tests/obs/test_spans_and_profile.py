@@ -1,0 +1,87 @@
+"""Span tracing (sinks, parenting, env hookup) and the cProfile hook."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import (
+    JsonlSpanSink,
+    ListSpanSink,
+    PROFILE_ENV,
+    SpanTracer,
+    TRACE_ENV,
+    maybe_profile,
+    tracer_from_env,
+)
+
+
+def test_spans_emit_flat_records_with_parent_links():
+    sink = ListSpanSink()
+    tracer = SpanTracer(sink)
+    with tracer.span("run", kind="run", engine="scheduler") as run_span:
+        with tracer.span("round", kind="round", parent=run_span, round=0) as round_span:
+            with tracer.span("step", kind="step", parent=round_span, step=1):
+                pass
+    tracer.close()
+    assert tracer.emitted == 3
+    by_name = {record["name"]: record for record in sink.records}
+    # Innermost closes (and therefore emits) first.
+    assert [r["name"] for r in sink.records] == ["step", "round", "run"]
+    assert by_name["run"]["parent"] is None
+    assert by_name["round"]["parent"] == by_name["run"]["span"]
+    assert by_name["step"]["parent"] == by_name["round"]["span"]
+    assert by_name["run"]["engine"] == "scheduler"
+    assert by_name["step"]["step"] == 1
+    for record in sink.records:
+        assert record["seconds"] >= 0.0
+        assert record["t_offset"] >= 0.0
+
+
+def test_span_close_is_idempotent_and_annotate_lands_in_the_record():
+    sink = ListSpanSink()
+    tracer = SpanTracer(sink)
+    span = tracer.span("step", kind="step")
+    span.annotate(moves=3)
+    span.close()
+    span.close()
+    assert len(sink.records) == 1
+    assert sink.records[0]["moves"] == 3
+
+
+def test_jsonl_sink_appends_one_object_per_line(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    tracer = SpanTracer(JsonlSpanSink(str(path)))
+    tracer.span("a").close()
+    tracer.span("b").close()
+    tracer.close()
+    lines = path.read_text().splitlines()
+    assert [json.loads(line)["name"] for line in lines] == ["a", "b"]
+
+
+def test_tracer_from_env_respects_the_variable(tmp_path):
+    assert tracer_from_env({}) is None
+    assert tracer_from_env({TRACE_ENV: "  "}) is None
+    path = tmp_path / "trace.jsonl"
+    tracer = tracer_from_env({TRACE_ENV: str(path)})
+    assert tracer is not None
+    tracer.span("run").close()
+    tracer.close()
+    assert json.loads(path.read_text())["name"] == "run"
+
+
+def test_maybe_profile_is_inert_without_the_variable(tmp_path):
+    with maybe_profile("label", environ={}) as profiler:
+        assert profiler is None
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_maybe_profile_dumps_a_profile_per_label(tmp_path):
+    environ = {PROFILE_ENV: str(tmp_path)}
+    with maybe_profile("scheduler-abc", environ=environ):
+        sum(range(1000))
+    assert (tmp_path / "scheduler-abc.prof").exists()
+    # A second run with the same label must not clobber the first.
+    with maybe_profile("scheduler-abc", environ=environ):
+        sum(range(1000))
+    profiles = {p.name for p in tmp_path.glob("*.prof")}
+    assert profiles == {"scheduler-abc.prof", "scheduler-abc.1.prof"}
