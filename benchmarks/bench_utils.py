@@ -14,6 +14,30 @@ from repro.analysis.reporting import format_table
 #: queryable history instead of each run overwriting the last.
 DEFAULT_HISTORY = Path(__file__).resolve().parent.parent / "BENCH_history.jsonl"
 
+#: Iterations of the calibration loop (see :func:`machine_calibration`).
+CALIBRATION_ITERATIONS = 200_000
+
+
+def machine_calibration(iterations: int = CALIBRATION_ITERATIONS, repeats: int = 3) -> float:
+    """Wall seconds for a fixed pure-Python loop on *this* machine, best of 3.
+
+    Every history line carries this number so trajectory comparisons
+    (``scripts/check_perf.py``) can normalize absolute phase times recorded
+    on different machines: ``seconds / calibration`` is a machine-neutral
+    "calibration units" measure.  The loop is dict/int bound -- the same mix
+    the scheduler hot path is made of -- and takes ~10-40ms, so stamping it
+    on each bench line costs nothing.
+    """
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        counters: dict[int, int] = {}
+        started = time.perf_counter()
+        for i in range(iterations):
+            key = i & 63
+            counters[key] = counters.get(key, 0) + 1
+        best = min(best, time.perf_counter() - started)
+    return best
+
 
 def report(title: str, rows: Sequence[Mapping[str, Any]], benchmark=None, **summary: Any) -> None:
     """Print the regenerated table and attach it to the benchmark record."""
@@ -39,6 +63,7 @@ def append_history(payload: Mapping[str, Any], path: Path | str | None = None) -
     line.setdefault(
         "recorded_at", time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
     )
+    line.setdefault("calibration_seconds", round(machine_calibration(), 6))
     with target.open("a", encoding="utf-8") as handle:
         handle.write(json.dumps(line, separators=(",", ":"), default=str) + "\n")
     return target

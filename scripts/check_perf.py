@@ -1,0 +1,292 @@
+#!/usr/bin/env python3
+"""Perf regression gate: compare a quick-bench run against the trajectory.
+
+``BENCH_history.jsonl`` accumulates one line per benchmark invocation
+(appended by the benches themselves, locally via ``scripts/smoke.sh`` and in
+CI); this script closes the loop by judging the *current* run against that
+history with explicit thresholds::
+
+    PYTHONPATH=src python scripts/check_perf.py                       # defaults
+    PYTHONPATH=src python scripts/check_perf.py \
+        --current BENCH_scheduler.json --history BENCH_history.jsonl \
+        --max-ratio 2.0 --require-history                             # CI gate
+
+Three gates, machine-robust by construction:
+
+1. **Absolute invariants** from the current payload alone -- the disabled
+   instrumentation path within its budget, phase coverage above its floor
+   (both thresholds are recorded in the payload itself, so gate and bench
+   cannot drift apart).
+2. **Speedup trajectory** -- the incremental-vs-fullscan speedup at each
+   size is a ratio of two timings on the *same* machine, hence directly
+   comparable across machines.  The current speedup must stay within
+   ``--max-ratio`` of the history median per size.
+3. **Phase-time trajectory** -- absolute phase seconds are not comparable
+   across machines, so both sides are normalized to *calibration units*:
+   per-step phase seconds divided by ``calibration_seconds``, the fixed
+   pure-Python loop every history line carries (see
+   ``benchmarks.bench_utils.machine_calibration``).  The current run's
+   normalized per-step cost of each phase must stay within ``--max-ratio``
+   of the history median; phases under ``--min-share`` of total phase time
+   are skipped as noise.
+
+Medians (not means) make the gate robust to one slow outlier line -- and to
+the current run's own just-appended history entry.  An empty or
+non-comparable history is a loud warning but a clean exit unless
+``--require-history`` is given (CI passes it: the repo commits a baseline,
+so "no history" there means the gate is silently disabled -- exactly the
+failure mode this flag exists to catch).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+DEFAULT_CURRENT = REPO_ROOT / "BENCH_scheduler.json"
+DEFAULT_HISTORY = REPO_ROOT / "BENCH_history.jsonl"
+
+#: A phase-time regression is a normalized per-step cost more than this many
+#: times the history median.
+DEFAULT_MAX_RATIO = 2.0
+
+#: Phases below this share of total phase time are noise, not signal.
+DEFAULT_MIN_SHARE = 0.05
+
+
+def load_history(path: Path, benchmark: str) -> list[dict]:
+    """The trajectory lines for ``benchmark``, oldest first; bad lines skipped."""
+    if not path.exists():
+        return []
+    lines: list[dict] = []
+    for raw in path.read_text(encoding="utf-8").splitlines():
+        raw = raw.strip()
+        if not raw:
+            continue
+        try:
+            line = json.loads(raw)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(line, dict) and line.get("benchmark") == benchmark:
+            lines.append(line)
+    return lines
+
+
+def normalized_phases(payload: dict) -> dict[str, float] | None:
+    """Per-phase cost in calibration units per step, or ``None`` if absent.
+
+    Needs the ``instrumentation`` block with raw ``phases`` seconds and a
+    step count, plus the machine's ``calibration_seconds`` -- older history
+    lines predating either are simply not comparable.
+    """
+    instrumentation = payload.get("instrumentation")
+    calibration = payload.get("calibration_seconds")
+    if not isinstance(instrumentation, dict) or not calibration:
+        return None
+    phases = instrumentation.get("phases")
+    steps = instrumentation.get("steps")
+    if not isinstance(phases, dict) or not phases or not steps:
+        return None
+    return {
+        name: float(seconds) / (float(steps) * float(calibration))
+        for name, seconds in phases.items()
+        if isinstance(seconds, (int, float))
+    }
+
+
+def check_absolute(current: dict, failures: list[str]) -> None:
+    """Gate 1: the payload's own recorded thresholds must hold."""
+    instrumentation = current.get("instrumentation")
+    if not isinstance(instrumentation, dict):
+        return
+    disabled = instrumentation.get("disabled_overhead")
+    budget = instrumentation.get("max_disabled_overhead")
+    if disabled is not None and budget is not None and disabled > budget:
+        failures.append(
+            f"disabled instrumentation path costs {100 * disabled:.2f}% "
+            f"of step wall (budget {100 * budget:.0f}%)"
+        )
+    coverage = instrumentation.get("phase_coverage")
+    floor = instrumentation.get("min_phase_coverage")
+    if coverage is not None and floor is not None and coverage < floor:
+        failures.append(
+            f"phase coverage {100 * coverage:.1f}% below floor {100 * floor:.0f}%"
+        )
+
+
+def check_speedups(
+    current: dict, history: list[dict], max_ratio: float, failures: list[str]
+) -> int:
+    """Gate 2: incremental-core speedups vs the history median per size."""
+    current_speedups = current.get("speedup_by_n") or {}
+    compared = 0
+    for size, speedup in sorted(current_speedups.items()):
+        past = [
+            float(line["speedup_by_n"][size])
+            for line in history
+            if isinstance(line.get("speedup_by_n"), dict)
+            and line["speedup_by_n"].get(size)
+        ]
+        if not past or not speedup:
+            continue
+        compared += 1
+        median = statistics.median(past)
+        floor = median / max_ratio
+        if float(speedup) < floor:
+            failures.append(
+                f"speedup at n={size} regressed: {speedup:.2f}x vs history "
+                f"median {median:.2f}x over {len(past)} runs "
+                f"(floor {floor:.2f}x at max-ratio {max_ratio:g})"
+            )
+    return compared
+
+
+def check_phases(
+    current: dict,
+    history: list[dict],
+    max_ratio: float,
+    min_share: float,
+    failures: list[str],
+    emit=print,
+) -> int:
+    """Gate 3: normalized per-step phase costs vs the history median."""
+    now = normalized_phases(current)
+    if now is None:
+        return 0
+    past_by_phase: dict[str, list[float]] = {}
+    for line in history:
+        normalized = normalized_phases(line)
+        if normalized is None:
+            continue
+        for name, value in normalized.items():
+            past_by_phase.setdefault(name, []).append(value)
+    total = sum(now.values()) or 1.0
+    compared = 0
+    for name, value in sorted(now.items()):
+        share = now[name] / total
+        past = past_by_phase.get(name)
+        if not past:
+            continue
+        if share < min_share:
+            emit(
+                f"  phase {name}: {100 * share:.1f}% of phase time, "
+                f"below --min-share {100 * min_share:.0f}% -- skipped"
+            )
+            continue
+        compared += 1
+        median = statistics.median(past)
+        ratio = value / median if median else 1.0
+        verdict = "ok" if ratio <= max_ratio else "REGRESSED"
+        emit(
+            f"  phase {name}: {value:.4f} calib-units/step vs history median "
+            f"{median:.4f} over {len(past)} runs -> x{ratio:.2f} {verdict}"
+        )
+        if ratio > max_ratio:
+            failures.append(
+                f"phase {name} per-step time regressed x{ratio:.2f} "
+                f"(max-ratio {max_ratio:g}) vs {len(past)}-run history median"
+            )
+    return compared
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--current",
+        type=Path,
+        default=DEFAULT_CURRENT,
+        metavar="PATH",
+        help=f"current bench artifact (default {DEFAULT_CURRENT.name})",
+    )
+    parser.add_argument(
+        "--history",
+        type=Path,
+        default=DEFAULT_HISTORY,
+        metavar="PATH",
+        help=f"trajectory JSONL (default {DEFAULT_HISTORY.name})",
+    )
+    parser.add_argument(
+        "--benchmark",
+        default="scheduler_core",
+        metavar="NAME",
+        help="history lines to compare against (default scheduler_core)",
+    )
+    parser.add_argument(
+        "--max-ratio",
+        type=float,
+        default=DEFAULT_MAX_RATIO,
+        metavar="R",
+        help=f"fail when a metric worsens more than Rx vs the history median "
+        f"(default {DEFAULT_MAX_RATIO})",
+    )
+    parser.add_argument(
+        "--min-share",
+        type=float,
+        default=DEFAULT_MIN_SHARE,
+        metavar="F",
+        help="skip phases under this fraction of total phase time "
+        f"(default {DEFAULT_MIN_SHARE})",
+    )
+    parser.add_argument(
+        "--require-history",
+        action="store_true",
+        help="fail (exit 1) when the history holds nothing comparable -- the "
+        "CI mode, where an empty trajectory means the gate is silently off",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.current.exists():
+        print(f"error: current artifact {args.current} does not exist", file=sys.stderr)
+        return 2
+    try:
+        current = json.loads(args.current.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        print(f"error: {args.current} is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    if "calibration_seconds" not in current:
+        # Artifact files predate the calibration stamp (history lines carry
+        # it); measure this machine now so gate 3 can normalize.
+        from bench_utils import machine_calibration
+
+        current["calibration_seconds"] = machine_calibration()
+
+    history = load_history(args.history, args.benchmark)
+    print(
+        f"check_perf: {args.current.name} vs {len(history)} "
+        f"{args.benchmark!r} history line(s) in {args.history.name}"
+    )
+
+    failures: list[str] = []
+    check_absolute(current, failures)
+    compared = check_speedups(current, history, args.max_ratio, failures)
+    compared += check_phases(
+        current, history, args.max_ratio, args.min_share, failures
+    )
+
+    if failures:
+        for failure in failures:
+            print(f"FAILED: {failure}", file=sys.stderr)
+        return 1
+    if compared == 0:
+        message = (
+            "warning: nothing comparable in the trajectory (empty history, or "
+            "lines without speedups/phases/calibration) -- the regression gate "
+            "did not actually gate anything"
+        )
+        if args.require_history:
+            print(f"FAILED: {message}", file=sys.stderr)
+            return 1
+        print(message)
+        return 0
+    print(f"ok: {compared} trajectory comparison(s), no regression")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,10 +22,13 @@ trap 'rm -rf "$out"' EXIT
 # small sizes and writes the BENCH_scheduler.json artifact; the full sweep
 # (n up to 500, with the 3x acceptance threshold) runs in CI and on demand.
 # The quick bench also asserts the observability-layer thresholds
-# (disabled-path overhead <= 3%, enabled phase coverage >= 90%) and appends
-# one line to the perf-trajectory history.
+# (disabled-path overhead <= 3%, enabled phase coverage >= 90%, telemetry
+# never perturbs the execution) and appends one line to the repo's
+# perf-trajectory history -- local runs feed BENCH_history.jsonl too, so the
+# trajectory the check_perf gate compares against actually accumulates.
+history_before="$( [ -f BENCH_history.jsonl ] && wc -l < BENCH_history.jsonl || echo 0 )"
 python benchmarks/bench_scheduler_core.py --quick \
-    --out "$out/BENCH_scheduler.json" --history "$out/BENCH_history.jsonl"
+    --out "$out/BENCH_scheduler.json"
 test -s "$out/BENCH_scheduler.json" || {
     echo "smoke FAILED: scheduler bench artifact missing" >&2; exit 1;
 }
@@ -36,15 +39,20 @@ test -s "$out/BENCH_scheduler.json" || {
 # identical); the full sweep with the n=1000/k=4 speedup threshold runs in
 # CI's sharded job and on demand.
 python benchmarks/bench_sharded.py --quick \
-    --out "$out/BENCH_sharded.json" --history "$out/BENCH_history.jsonl"
+    --out "$out/BENCH_sharded.json"
 test -s "$out/BENCH_sharded.json" || {
     echo "smoke FAILED: sharded bench artifact missing" >&2; exit 1;
 }
-history_lines="$(wc -l < "$out/BENCH_history.jsonl")"
-if [ "$history_lines" -ne 2 ]; then
-    echo "smoke FAILED: expected 2 perf-history lines, got $history_lines" >&2
+history_after="$(wc -l < BENCH_history.jsonl)"
+if [ "$((history_after - history_before))" -ne 2 ]; then
+    echo "smoke FAILED: expected the perf history to grow by 2 lines" \
+         "(was $history_before, now $history_after)" >&2
     exit 1
 fi
+
+# --- perf regression gate against the accumulated trajectory ---------------
+python scripts/check_perf.py --current "$out/BENCH_scheduler.json" \
+    --history BENCH_history.jsonl --require-history
 
 python -m repro.campaign run --protocol dftno --family ring \
     --sizes 6,8 --trials 2 --jobs 2 --seed 1 --out "$out"
@@ -124,5 +132,35 @@ echo "$perf_report"
 case "$perf_report" in
     *"guard_eval"*) ;;
     *) echo "smoke FAILED: report --perf missing phase breakdown" >&2; exit 1 ;;
+esac
+
+# --- protocol-health: telemetry + watchdog rows, live watch, health report -
+# The campaign runs in the background while watch tails its store -- the
+# live-dashboard-against-a-store-being-written acceptance path.
+python -m repro.campaign run --protocol dftno --family ring --sizes 6,8 \
+    --trials 2 --seed 5 --telemetry --health --perf \
+    --out "$scen/health.jsonl" --quiet &
+run_pid=$!
+watch_log="$(python -m repro.campaign watch --out "$scen/health.jsonl" \
+    --protocol dftno --family ring --sizes 6,8 --trials 2 --seed 5 \
+    --interval 0.3 --iterations 4 --no-clear)"
+wait "$run_pid"
+echo "$watch_log" | tail -n 20
+case "$watch_log" in
+    *"campaign watch --"*) ;;
+    *) echo "smoke FAILED: watch rendered no dashboard frames" >&2; exit 1 ;;
+esac
+health_report="$(python -m repro.campaign report --out "$scen/health.jsonl" --health)"
+echo "$health_report"
+case "$health_report" in
+    *"4/4 rows monitored, 0 anomalous"*) ;;
+    *) echo "smoke FAILED: health report mismatch (watchdog false positive?)" >&2; exit 1 ;;
+esac
+shard_view="$(python -m repro.campaign status --out "$scen/health.jsonl" \
+    --protocol dftno --family ring --sizes 6,8 --trials 2 --seed 5 --shard /2)"
+echo "$shard_view"
+case "$shard_view" in
+    *"per-shard status (2 slices)"*) ;;
+    *) echo "smoke FAILED: status --shard missing per-shard table" >&2; exit 1 ;;
 esac
 echo "smoke OK"

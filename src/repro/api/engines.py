@@ -28,9 +28,11 @@ from dataclasses import replace
 from typing import Dict, Sequence
 
 from repro.api.spec import RunResult, RunSpec
+from repro.obs.health import HealthMonitor
 from repro.obs.instrument import Instrumentation, NULL_INSTRUMENTATION
 from repro.obs.profile import maybe_profile
 from repro.obs.spans import tracer_from_env
+from repro.obs.telemetry import ConvergenceTelemetryObserver
 from repro.runtime.observers import Observer
 
 
@@ -77,10 +79,42 @@ def get_engine(name: str) -> Engine:
     return _ENGINES[name]
 
 
+def _coerce_telemetry(
+    telemetry: "bool | int | ConvergenceTelemetryObserver | None",
+) -> ConvergenceTelemetryObserver | None:
+    """``telemetry=`` argument -> observer (``True`` default stride, int = stride)."""
+    if telemetry is None or telemetry is False:
+        return None
+    if isinstance(telemetry, ConvergenceTelemetryObserver):
+        return telemetry
+    if telemetry is True:
+        return ConvergenceTelemetryObserver()
+    if isinstance(telemetry, int):
+        return ConvergenceTelemetryObserver(stride=telemetry)
+    raise TypeError(f"telemetry must be bool, int or observer, got {telemetry!r}")
+
+
+def _coerce_health(
+    health: "bool | int | HealthMonitor | None",
+) -> HealthMonitor | None:
+    """``health=`` argument -> monitor (``True`` defaults, int = round budget)."""
+    if health is None or health is False:
+        return None
+    if isinstance(health, HealthMonitor):
+        return health
+    if health is True:
+        return HealthMonitor()
+    if isinstance(health, int):
+        return HealthMonitor(round_budget=health)
+    raise TypeError(f"health must be bool, int or HealthMonitor, got {health!r}")
+
+
 def run(
     spec: RunSpec,
     observers: Sequence[Observer] = (),
     instrumentation: Instrumentation | None = None,
+    telemetry: "bool | int | ConvergenceTelemetryObserver | None" = None,
+    health: "bool | int | HealthMonitor | None" = None,
 ) -> RunResult:
     """Execute ``spec`` on the engine it names -- the single entry point.
 
@@ -98,7 +132,26 @@ def run(
     when no registry was passed, creates one so the run -> round -> step
     spans have somewhere to live), and ``REPRO_PROFILE=<dir>`` dumps a
     cProfile of the whole run.
+
+    ``telemetry`` samples the protocol-health time-series: ``True`` for the
+    default stride, an ``int`` for an explicit stride, or a pre-built
+    :class:`~repro.obs.ConvergenceTelemetryObserver`.  The snapshot lands in
+    ``RunResult.telemetry`` and ``row["telemetry"]``.  ``health`` likewise
+    attaches a :class:`~repro.obs.HealthMonitor` stall/budget watchdog
+    (``True`` for the derived round budget, an ``int`` for an explicit one);
+    its snapshot lands in ``RunResult.health`` and ``row["health"]``.  Both
+    ride the observer stream only -- they never perturb the execution, and a
+    run without them pays nothing.
     """
+    telemetry_observer = _coerce_telemetry(telemetry)
+    health_monitor = _coerce_health(health)
+    if telemetry_observer is not None or health_monitor is not None:
+        extra = [
+            obs
+            for obs in (telemetry_observer, health_monitor)
+            if obs is not None and obs not in tuple(observers)
+        ]
+        observers = tuple(observers) + tuple(extra)
     owns_tracer = False
     if instrumentation is None:
         tracer = tracer_from_env()
@@ -131,6 +184,14 @@ def run(
         summary = instr.summary()
         result.row["perf"] = summary
         result = replace(result, perf=summary)
+    if telemetry_observer is not None:
+        snapshot = telemetry_observer.snapshot()
+        result.row["telemetry"] = snapshot
+        result = replace(result, telemetry=snapshot)
+    if health_monitor is not None:
+        snapshot = health_monitor.snapshot()
+        result.row["health"] = snapshot
+        result = replace(result, health=snapshot)
     return result
 
 

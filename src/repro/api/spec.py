@@ -332,6 +332,15 @@ class RunResult:
         present the same dictionary is embedded in ``row["perf"]`` so campaign
         stores persist it.  Uninstrumented rows are byte-identical to what
         they were before the observability layer existed.
+    telemetry:
+        The run's :meth:`~repro.obs.ConvergenceTelemetryObserver.snapshot` --
+        convergence time-series, guard heat map, writes per node.  ``None``
+        unless the run asked for telemetry (``run(spec, telemetry=...)``);
+        when present the same blob is embedded in ``row["telemetry"]``.
+    health:
+        The run's :meth:`~repro.obs.HealthMonitor.snapshot` -- structured
+        stall / round-budget anomalies.  ``None`` unless the run asked for
+        health monitoring; embedded in ``row["health"]`` when present.
     """
 
     engine: str
@@ -339,6 +348,8 @@ class RunResult:
     row: dict[str, object]
     report: object = None
     perf: dict | None = None
+    telemetry: dict | None = None
+    health: dict | None = None
 
     @property
     def converged(self) -> bool:

@@ -16,6 +16,11 @@
     python -m repro.campaign report --out results/scenarios.jsonl --per-event
     python -m repro.campaign run --protocol dftno --sizes 8:32 --perf --out results/
     python -m repro.campaign report --out results/ --perf
+    python -m repro.campaign run --protocol dftno --sizes 8:32 --telemetry --health \\
+        --out results/
+    python -m repro.campaign watch --out results/ --protocol dftno --sizes 8:32
+    python -m repro.campaign report --out results/ --health
+    python -m repro.campaign status --out results/ --protocol dftno --sizes 8:64 --shard /4
 
 ``run`` expands the declarative grid, skips tasks the store already holds
 (``--resume``), executes the rest on ``--jobs`` workers and streams one line
@@ -41,9 +46,15 @@ plus a linear fit, picking metric columns that match the stored task types;
 ``run --perf`` attaches the observability layer's instrumentation to every
 task, persisting each row's phase-timer/counter summary under ``perf``
 (hashes and measured results are unchanged); ``report --perf`` merges the
-stored summaries into a where-does-the-time-go table.  All timestamps the
-CLI renders (store creation, ETA) are timezone-explicit UTC ISO-8601, so two
-machines reading the same store agree on them.
+stored summaries into a where-does-the-time-go table.  ``run --telemetry``
+and ``run --health`` likewise persist each row's convergence time-series and
+stall-watchdog anomalies (``telemetry`` / ``health`` keys; read back with
+``report --health`` and the ``watch`` anomaly feed).  ``watch`` tails a
+store with a live dashboard (progress, ETA, rolling phase breakdown,
+anomaly feed) while a concurrent ``run`` writes to it; ``status --shard
+[I]/K`` breaks the grid comparison down per hash-keyed slice.  All
+timestamps the CLI renders (store creation, ETA) are timezone-explicit UTC
+ISO-8601, so two machines reading the same store agree on them.
 """
 
 from __future__ import annotations
@@ -59,24 +70,8 @@ from repro.campaign.grid import DAEMONS, Grid, PROTOCOLS, parse_axis, parse_shar
 from repro.campaign.registry import DEFAULT_TASK_TYPE, task_type_names
 from repro.campaign.runner import CampaignRunner
 from repro.campaign.store import open_store, resolve_store_path
+from repro.campaign.watch import _format_duration, _utc_iso, watch
 from repro.errors import ReproError
-
-
-def _utc_iso(timestamp: float) -> str:
-    """Timezone-explicit UTC ISO-8601 (trailing ``Z``), machine-independent."""
-    return time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(timestamp))
-
-
-def _format_duration(seconds: float) -> str:
-    """Render a duration like ``2m 03s`` / ``1h 04m`` (coarse on purpose)."""
-    seconds = max(0, int(round(seconds)))
-    if seconds < 60:
-        return f"{seconds}s"
-    minutes, secs = divmod(seconds, 60)
-    if minutes < 60:
-        return f"{minutes}m {secs:02d}s"
-    hours, minutes = divmod(minutes, 60)
-    return f"{hours}h {minutes:02d}m"
 
 #: Grid-defining options shared by ``run`` and ``status``; used to detect
 #: whether a ``status`` invocation asked for a grid comparison at all.
@@ -226,6 +221,30 @@ def build_parser() -> argparse.ArgumentParser:
         "'repro-campaign report --perf'); hashes and results are unchanged",
     )
     run.add_argument(
+        "--telemetry",
+        nargs="?",
+        const=0,
+        type=int,
+        default=None,
+        metavar="STRIDE",
+        help="sample each task's convergence time-series (enabled-set drain, "
+        "guard heat map, writes per node) every STRIDE steps (default stride "
+        "when the flag is given bare) and persist it under 'telemetry'; "
+        "hashes and results are unchanged",
+    )
+    run.add_argument(
+        "--health",
+        nargs="?",
+        const=0,
+        type=int,
+        default=None,
+        metavar="BUDGET",
+        help="attach the stall/divergence watchdog to every task (round "
+        "budget BUDGET, derived from the topology when the flag is given "
+        "bare) and persist its anomalies under 'health' (read back with "
+        "'repro-campaign report --health' or the watch anomaly feed)",
+    )
+    run.add_argument(
         "--live",
         nargs="?",
         const=1_000,
@@ -243,6 +262,48 @@ def build_parser() -> argparse.ArgumentParser:
     )
     status.add_argument("--out", default="results", metavar="PATH", help="store path")
     _add_grid_options(status)
+    status.add_argument(
+        "--shard",
+        default=None,
+        metavar="[I]/K",
+        help="with grid options: per-shard completed/pending/stale view -- "
+        "'--shard 1/4' reports slice 1 of 4, '--shard /4' tabulates all "
+        "4 slices (the multi-machine split 'run --shard' executes)",
+    )
+
+    watch_cmd = sub.add_parser(
+        "watch",
+        help="live dashboard tailing a store while a campaign writes to it",
+    )
+    watch_cmd.add_argument("--out", default="results", metavar="PATH", help="store path")
+    _add_grid_options(watch_cmd)
+    watch_cmd.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="refresh period (default 2.0)",
+    )
+    watch_cmd.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="render N frames and exit (default: run until Ctrl-C)",
+    )
+    watch_cmd.add_argument(
+        "--rolling",
+        type=int,
+        default=20,
+        metavar="ROWS",
+        help="perf rows feeding the rolling phase breakdown (default 20)",
+    )
+    watch_cmd.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="never clear the screen between frames (frames append; use when "
+        "piping output to a file)",
+    )
 
     merge = sub.add_parser("merge", help="union campaign stores by config hash")
     merge.add_argument(
@@ -282,6 +343,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="merge the perf summaries persisted by 'run --perf' into a "
         "phase-time / counter breakdown (per-shard where available)",
     )
+    report.add_argument(
+        "--health",
+        action="store_true",
+        help="summarize the health blobs persisted by 'run --health': "
+        "monitored/anomalous row counts, anomalies by kind, and the "
+        "flagged rows' identities",
+    )
     return parser
 
 
@@ -299,8 +367,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
         updates["created_at"] = now
         updates["created_at_iso"] = _utc_iso(now)
     store.update_metadata(**updates)
+    # Bare --telemetry / --health (argparse const 0) means "defaults, on".
+    telemetry = True if args.telemetry == 0 else (args.telemetry or False)
+    health = True if args.health == 0 else (args.health or False)
     runner = CampaignRunner(
-        store=store, jobs=args.jobs, live_every=args.live, perf=args.perf
+        store=store,
+        jobs=args.jobs,
+        live_every=args.live,
+        perf=args.perf,
+        telemetry=telemetry,
+        health=health,
     )
 
     def progress(row: dict[str, object]) -> None:
@@ -331,6 +407,61 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"grid (see 'repro-campaign status' with the same grid options)"
         )
     return 0 if result.converged == result.total else 1
+
+
+def _parse_status_shard(text: str) -> tuple[int | None, int]:
+    """``status --shard`` spec: ``I/K`` one slice, ``/K`` (or ``all/K``) all.
+
+    Returns ``(index, count)`` with ``index=None`` meaning "tabulate every
+    slice"; delegates single-slice validation to :func:`parse_shard`.
+    """
+    head, sep, tail = text.strip().partition("/")
+    if sep and head in ("", "all", "*"):
+        try:
+            count = int(tail)
+        except ValueError as exc:
+            raise ValueError(
+                f"bad shard spec {text!r}; use INDEX/COUNT or /COUNT"
+            ) from exc
+        if count < 1:
+            raise ValueError(f"bad shard spec {text!r}; COUNT must be >= 1")
+        return None, count
+    return parse_shard(text)
+
+
+def _shard_status_table(
+    grid: Grid, stored: set[str], index: int | None, count: int
+) -> list[dict[str, object]]:
+    """Per-shard completed/pending/stale rows for the ``status --shard`` view.
+
+    Staleness is judged against the *whole* grid (matching ``run --shard``):
+    a stored hash no shard's grid produces is stale, and is charged to the
+    slice its hash keys to -- so K machines each see their own orphans.
+    """
+    grid_hashes = {task.config_hash for task in grid.expand()}
+    indices = range(count) if index is None else (index,)
+    table = []
+    for i in indices:
+        shard_hashes = {h for h in grid_hashes if int(h, 16) % count == i}
+        shard_stale = {
+            h for h in stored if h not in grid_hashes and int(h, 16) % count == i
+        }
+        completed = shard_hashes & stored
+        table.append(
+            {
+                "shard": f"{i}/{count}",
+                "tasks": len(shard_hashes),
+                "completed": len(completed),
+                "pending": len(shard_hashes - stored),
+                "stale": len(shard_stale),
+                "done": (
+                    f"{100.0 * len(completed) / len(shard_hashes):.0f}%"
+                    if shard_hashes
+                    else "-"
+                ),
+            }
+        )
+    return table
 
 
 def _cmd_status(args: argparse.Namespace) -> int:
@@ -377,6 +508,11 @@ def _cmd_status(args: argparse.Namespace) -> int:
         ]
         print(format_table(table))
 
+    if args.shard and not _grid_requested(args):
+        raise ValueError(
+            "status --shard needs the grid options the campaign ran with "
+            "(e.g. --protocol/--sizes), so the slices can be recomputed"
+        )
     if _grid_requested(args):
         grid = _build_grid(args)
         grid_hashes = {task.config_hash for task in grid.expand()}
@@ -404,6 +540,10 @@ def _cmd_status(args: argparse.Namespace) -> int:
             elif pending:
                 progress_line += ", rate unknown (no store timestamps yet)"
             print(progress_line)
+        if args.shard:
+            index, count = _parse_status_shard(args.shard)
+            table = _shard_status_table(grid, stored, index, count)
+            print(format_table(table, title=f"per-shard status ({count} slices)"))
         if stale:
             print(
                 "stale rows (in the store but not in this grid -- the grid "
@@ -415,6 +555,18 @@ def _cmd_status(args: argparse.Namespace) -> int:
             if len(stale) > len(shown):
                 print(f"  ... and {len(stale) - len(shown)} more")
     return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    grid = _build_grid(args) if _grid_requested(args) else None
+    return watch(
+        args.out,
+        grid=grid,
+        interval=args.interval,
+        iterations=args.iterations,
+        rolling=args.rolling,
+        clear=False if args.no_clear else None,
+    )
 
 
 def _cmd_merge(args: argparse.Namespace) -> int:
@@ -457,6 +609,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
         return _report_per_event(rows)
     if args.perf:
         return _report_perf(rows)
+    if args.health:
+        return _report_health(rows)
     if any(args.key not in row for row in rows):
         # Grouping needs the key in *every* row, so offer only the columns
         # every row shares (a mixed-task-type store has per-type extras).
@@ -538,11 +692,15 @@ def _report_perf(rows: list[dict[str, object]]) -> int:
 
     summaries = [row["perf"] for row in rows if isinstance(row.get("perf"), dict)]
     if not summaries:
+        # Not an error: an uninstrumented store is the default state.  Say
+        # clearly how to get perf rows and exit clean so scripts composing
+        # 'report --perf' over many stores do not trip on the plain ones.
         print(
-            "no stored rows carry perf summaries; run the campaign with "
-            "'repro-campaign run --perf' first"
+            f"none of the {len(rows)} stored rows carry perf summaries; "
+            "re-run the campaign with 'repro-campaign run --perf' to collect "
+            "phase timers (hashes and measured results are unchanged)"
         )
-        return 1
+        return 0
     merged = merge_summaries(*summaries)
     total = phase_seconds(merged) or 1.0
     phase_table = [
@@ -588,6 +746,39 @@ def _report_perf(rows: list[dict[str, object]]) -> int:
     return 0
 
 
+def _report_health(rows: list[dict[str, object]]) -> int:
+    """The ``report --health`` view: watchdog anomalies across the store.
+
+    Aggregates the ``health`` blobs persisted by ``run --health`` (see
+    :func:`repro.obs.health_summary`): monitored/anomalous counts, anomalies
+    by kind, and one table row per flagged task.  Exits 1 iff anomalies were
+    recorded, so the command doubles as a scriptable campaign health gate.
+    """
+    from repro.obs import health_summary
+
+    summary = health_summary(rows)
+    if not summary["monitored"]:
+        print(
+            f"none of the {len(rows)} stored rows carry health records; "
+            "re-run the campaign with 'repro-campaign run --health' to attach "
+            "the stall/divergence watchdog"
+        )
+        return 0
+    print(
+        f"health: {summary['monitored']}/{summary['rows']} rows monitored, "
+        f"{summary['anomalous']} anomalous"
+    )
+    if not summary["anomalous"]:
+        print("no anomalies recorded -- all monitored runs progressed and converged")
+        return 0
+    by_kind = ", ".join(
+        f"{kind}={count}" for kind, count in sorted(summary["by_kind"].items())
+    )
+    print(f"anomalies by kind: {by_kind}")
+    print(format_table(summary["flagged"], title="anomalous rows"))
+    return 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -595,6 +786,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             return _cmd_run(args)
         if args.command == "status":
             return _cmd_status(args)
+        if args.command == "watch":
+            return _cmd_watch(args)
         if args.command == "merge":
             return _cmd_merge(args)
         return _cmd_report(args)

@@ -69,7 +69,11 @@ def _handler_accepts_observers(handler: Callable[..., dict]) -> bool:
 
 
 def run_task(
-    spec: TaskSpec, live_every: int | None = None, perf: bool = False
+    spec: TaskSpec,
+    live_every: int | None = None,
+    perf: bool = False,
+    telemetry: bool | int = False,
+    health: bool | int = False,
 ) -> dict[str, object]:
     """Execute one campaign task and return its flat result row.
 
@@ -88,6 +92,12 @@ def run_task(
     back with ``repro-campaign report --perf``).  Perf changes neither the
     measured execution nor the row's config hash -- only the extra ``perf``
     entry distinguishes an instrumented row.
+
+    ``telemetry`` (``True`` or an int stride) samples the convergence
+    time-series into ``row["telemetry"]``; ``health`` (``True`` or an int
+    round budget) attaches the stall/budget watchdog, its anomalies landing
+    in ``row["health"]``.  Like ``perf``, both are observer-stream-only:
+    rows differ from unmonitored ones only by the extra keys.
     """
     handler = get_task_handler(spec.task_type)
     kwargs: dict[str, object] = {}
@@ -101,6 +111,10 @@ def run_task(
         kwargs["observers"] = (observer,)
     if perf and _handler_accepts(handler, "instrument"):
         kwargs["instrument"] = True
+    if telemetry and _handler_accepts(handler, "telemetry"):
+        kwargs["telemetry"] = telemetry
+    if health and _handler_accepts(handler, "health"):
+        kwargs["health"] = health
     row = handler(spec, **kwargs)
     row.update(spec.identity())
     row["config_hash"] = spec.config_hash
@@ -149,6 +163,8 @@ class CampaignRunner:
         jobs: int = 1,
         live_every: int | None = None,
         perf: bool = False,
+        telemetry: bool | int = False,
+        health: bool | int = False,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -158,15 +174,29 @@ class CampaignRunner:
         self.jobs = jobs
         self.live_every = live_every
         self.perf = perf
+        self.telemetry = telemetry
+        self.health = health
 
     def iter_results(
         self, pending: list[TaskSpec]
     ) -> Iterator[dict[str, object]]:
         """Yield result rows for ``pending`` tasks as they complete, in order."""
+        plain = (
+            self.live_every is None
+            and not self.perf
+            and not self.telemetry
+            and not self.health
+        )
         task_runner = (
             run_task
-            if self.live_every is None and not self.perf
-            else partial(run_task, live_every=self.live_every, perf=self.perf)
+            if plain
+            else partial(
+                run_task,
+                live_every=self.live_every,
+                perf=self.perf,
+                telemetry=self.telemetry,
+                health=self.health,
+            )
         )
         if self.jobs <= 1 or len(pending) <= 1:
             for spec in pending:
@@ -235,11 +265,18 @@ def run_grid(
     live_every: int | None = None,
     shard: tuple[int, int] | None = None,
     perf: bool = False,
+    telemetry: bool | int = False,
+    health: bool | int = False,
 ) -> CampaignResult:
     """Convenience wrapper: ``CampaignRunner(store, jobs).run(grid, ...)``."""
-    return CampaignRunner(store=store, jobs=jobs, live_every=live_every, perf=perf).run(
-        grid, resume=resume, progress=progress, shard=shard
-    )
+    return CampaignRunner(
+        store=store,
+        jobs=jobs,
+        live_every=live_every,
+        perf=perf,
+        telemetry=telemetry,
+        health=health,
+    ).run(grid, resume=resume, progress=progress, shard=shard)
 
 
 __all__ = ["CampaignResult", "CampaignRunner", "ProgressCallback", "run_grid", "run_task"]

@@ -82,34 +82,54 @@ def build_task_protocol(spec: TaskSpec) -> Protocol:
 
 
 def _execute_task(
-    spec: TaskSpec, observers: Sequence[Observer], instrument: bool
+    spec: TaskSpec,
+    observers: Sequence[Observer],
+    instrument: bool,
+    telemetry: bool | int = False,
+    health: bool | int = False,
 ) -> dict[str, object]:
-    """Run the task's RunSpec; with ``instrument`` the row carries ``perf``."""
+    """Run the task's RunSpec; opt-in rows carry ``perf``/``telemetry``/``health``."""
     instrumentation = Instrumentation() if instrument else None
     return run(
-        runspec_for_task(spec), observers=observers, instrumentation=instrumentation
+        runspec_for_task(spec),
+        observers=observers,
+        instrumentation=instrumentation,
+        telemetry=telemetry or None,
+        health=health or None,
     ).row
 
 
 @register_task_type("stabilize")
 def run_stabilize(
-    spec: TaskSpec, observers: Sequence[Observer] = (), instrument: bool = False
+    spec: TaskSpec,
+    observers: Sequence[Observer] = (),
+    instrument: bool = False,
+    telemetry: bool | int = False,
+    health: bool | int = False,
 ) -> dict[str, object]:
     """Measure stabilization of the spec's protocol on its network."""
-    return _execute_task(spec, observers, instrument)
+    return _execute_task(spec, observers, instrument, telemetry, health)
 
 
 @register_task_type("scenario")
 def run_scenario_task(
-    spec: TaskSpec, observers: Sequence[Observer] = (), instrument: bool = False
+    spec: TaskSpec,
+    observers: Sequence[Observer] = (),
+    instrument: bool = False,
+    telemetry: bool | int = False,
+    health: bool | int = False,
 ) -> dict[str, object]:
     """Execute the spec's library scenario and report recovery aggregates."""
-    return _execute_task(spec, observers, instrument)
+    return _execute_task(spec, observers, instrument, telemetry, health)
 
 
 @register_task_type("msgpass")
 def run_msgpass(
-    spec: TaskSpec, observers: Sequence[Observer] = (), instrument: bool = False
+    spec: TaskSpec,
+    observers: Sequence[Observer] = (),
+    instrument: bool = False,
+    telemetry: bool | int = False,
+    health: bool | int = False,
 ) -> dict[str, object]:
     """Run the spec's message-passing workload with/without the orientation.
 
@@ -120,7 +140,7 @@ def run_msgpass(
     measurement (sweeping them yields repeated trials on fresh networks);
     ``after_substrate`` has no meaning here and is rejected.
     """
-    return _execute_task(spec, observers, instrument)
+    return _execute_task(spec, observers, instrument, telemetry, health)
 
 
 __all__ = [

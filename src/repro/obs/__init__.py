@@ -9,8 +9,23 @@ Three opt-in layers, cheapest first:
 * :class:`SpanTracer` -- structured run → round → step spans emitted as
   JSONL (attach via ``Instrumentation(tracer=...)`` or ``REPRO_TRACE=...``).
 * :func:`maybe_profile` -- cProfile dumps per run/task via ``REPRO_PROFILE``.
+
+On top of those ride two protocol-health observers (opt-in, observer-stream
+only -- zero hot-loop cost when absent):
+
+* :class:`ConvergenceTelemetryObserver` -- compact convergence time-series
+  (enabled-set drain, dirty frontier, guard heat map, writes per node),
+  persisted as the ``telemetry`` blob in ``RunResult`` / campaign rows.
+* :class:`HealthMonitor` -- stall / round-budget watchdog emitting
+  structured anomalies into the span stream and the ``health`` blob.
 """
 
+from repro.obs.health import (
+    HEALTH_SCHEMA,
+    HealthMonitor,
+    configuration_fingerprint,
+    health_summary,
+)
 from repro.obs.instrument import (
     Instrumentation,
     NullInstrumentation,
@@ -35,8 +50,17 @@ from repro.obs.spans import (
     TRACE_ENV,
     tracer_from_env,
 )
+from repro.obs.telemetry import (
+    ConvergenceTelemetryObserver,
+    TELEMETRY_SCHEMA,
+    enabled_trajectory,
+    guard_heat_table,
+)
 
 __all__ = [
+    "ConvergenceTelemetryObserver",
+    "HEALTH_SCHEMA",
+    "HealthMonitor",
     "Instrumentation",
     "JsonlSpanSink",
     "ListSpanSink",
@@ -52,7 +76,12 @@ __all__ = [
     "SpanSink",
     "SpanTracer",
     "SUMMARY_SCHEMA",
+    "TELEMETRY_SCHEMA",
     "TRACE_ENV",
+    "configuration_fingerprint",
+    "enabled_trajectory",
+    "guard_heat_table",
+    "health_summary",
     "maybe_profile",
     "merge_summaries",
     "phase_seconds",

@@ -1,0 +1,174 @@
+"""Telemetry / health blobs through the campaign layer: rows, stores, CLI."""
+
+from __future__ import annotations
+
+import json
+
+from repro.campaign import ResultStore, SqliteResultStore
+from repro.campaign.cli import main as campaign_main
+from repro.campaign.grid import Grid
+from repro.campaign.runner import run_grid, run_task
+
+TINY_GRID = Grid(sizes=(5, 6), protocols=("dftno",), families=("ring",), trials=1, seed=11)
+
+
+def _canonical(row: dict) -> str:
+    return json.dumps(row, sort_keys=True, separators=(",", ":"), default=str)
+
+
+def test_run_task_telemetry_and_health_attach_without_touching_anything_else():
+    spec = TINY_GRID.expand()[0]
+    plain = run_task(spec)
+    monitored = run_task(spec, telemetry=True, health=True)
+    assert "telemetry" not in plain and "health" not in plain
+    assert monitored["telemetry"]["samples"]
+    assert monitored["telemetry"]["guard_heat"]
+    assert monitored["health"]["anomalies"] == []
+    stripped = {
+        key: value
+        for key, value in monitored.items()
+        if key not in ("telemetry", "health")
+    }
+    assert stripped == plain
+    assert monitored["config_hash"] == plain["config_hash"]
+
+
+def test_telemetry_stride_is_forwarded():
+    spec = TINY_GRID.expand()[0]
+    coarse = run_task(spec, telemetry=64)
+    fine = run_task(spec, telemetry=1)
+    assert fine["telemetry"]["stride"] <= 64
+    assert len(fine["telemetry"]["samples"]) >= len(coarse["telemetry"]["samples"])
+
+
+def test_monitored_rows_round_trip_byte_stable_through_both_backends(tmp_path):
+    for name, store_type in (
+        ("health.jsonl", ResultStore),
+        ("health.sqlite", SqliteResultStore),
+    ):
+        path = tmp_path / name
+        result = run_grid(
+            TINY_GRID, store=store_type(path), telemetry=True, health=True
+        )
+        stored = store_type(path).rows()
+        assert [_canonical(row) for row in stored] == [
+            _canonical(row) for row in result.rows
+        ], name
+        assert all(isinstance(row["telemetry"], dict) for row in stored)
+        assert all(isinstance(row["health"], dict) for row in stored)
+
+
+def test_monitored_campaigns_share_hashes_with_plain_campaigns(tmp_path):
+    plain = run_grid(TINY_GRID, store=ResultStore(tmp_path / "plain.jsonl"))
+    monitored = run_grid(
+        TINY_GRID,
+        store=ResultStore(tmp_path / "monitored.jsonl"),
+        telemetry=True,
+        health=True,
+    )
+    for plain_row, monitored_row in zip(plain.rows, monitored.rows):
+        assert plain_row["config_hash"] == monitored_row["config_hash"]
+        stripped = {
+            k: v for k, v in monitored_row.items() if k not in ("telemetry", "health")
+        }
+        assert stripped == plain_row
+
+
+def test_parallel_monitored_rows_match_serial(tmp_path):
+    """Telemetry/health kwargs must pickle into pool workers unchanged."""
+    serial = run_grid(TINY_GRID, telemetry=True, health=True, jobs=1)
+    parallel = run_grid(TINY_GRID, telemetry=True, health=True, jobs=2)
+    for serial_row, parallel_row in zip(serial.rows, parallel.rows):
+        assert _canonical(serial_row) == _canonical(parallel_row)
+
+
+# ----------------------------------------------------------------------
+# CLI: run --telemetry/--health, report --health, report --perf graceful
+# ----------------------------------------------------------------------
+def _store_args(tmp_path) -> list[str]:
+    return ["--out", str(tmp_path / "cli.jsonl")]
+
+
+def _grid_args() -> list[str]:
+    return ["--protocol", "dftno", "--family", "ring", "--sizes", "5", "--trials", "1"]
+
+
+def test_cli_run_and_report_health(tmp_path, capsys):
+    assert (
+        campaign_main(
+            ["run", *_grid_args(), *_store_args(tmp_path), "--telemetry",
+             "--health", "--quiet"]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    assert campaign_main(["report", *_store_args(tmp_path), "--health"]) == 0
+    out = capsys.readouterr().out
+    assert "1/1 rows monitored, 0 anomalous" in out
+    row = ResultStore(tmp_path / "cli.jsonl").rows()[0]
+    assert row["telemetry"]["samples"]
+    assert row["health"]["anomalies"] == []
+
+
+def test_cli_report_health_flags_anomalous_rows(tmp_path, capsys):
+    store = ResultStore(tmp_path / "cli.jsonl")
+    store.append(
+        {
+            "config_hash": "abc",
+            "task_index": 0,
+            "converged": False,
+            "health": {"anomalies": [{"kind": "stall", "step": 5, "detail": "x"}]},
+        }
+    )
+    assert campaign_main(["report", *_store_args(tmp_path), "--health"]) == 1
+    out = capsys.readouterr().out
+    assert "1 anomalous" in out
+    assert "stall=1" in out
+
+
+def test_cli_report_health_without_records_is_clean(tmp_path, capsys):
+    assert (
+        campaign_main(["run", *_grid_args(), *_store_args(tmp_path), "--quiet"]) == 0
+    )
+    capsys.readouterr()
+    assert campaign_main(["report", *_store_args(tmp_path), "--health"]) == 0
+    assert "run --health" in capsys.readouterr().out
+
+
+def test_cli_report_perf_without_summaries_exits_clean(tmp_path, capsys):
+    """The satellite fix: no perf rows is a message, not an error exit."""
+    assert (
+        campaign_main(["run", *_grid_args(), *_store_args(tmp_path), "--quiet"]) == 0
+    )
+    capsys.readouterr()
+    assert campaign_main(["report", *_store_args(tmp_path), "--perf"]) == 0
+    assert "run --perf" in capsys.readouterr().out
+
+
+def test_cli_status_shard_view(tmp_path, capsys):
+    args = ["--protocol", "dftno", "--family", "ring", "--sizes", "5,6",
+            "--trials", "2", "--seed", "11"]
+    assert (
+        campaign_main(["run", *args, *_store_args(tmp_path), "--quiet"]) == 0
+    )
+    capsys.readouterr()
+    # All-slices view: per-shard totals must cover the whole grid.
+    assert campaign_main(
+        ["status", *args, *_store_args(tmp_path), "--shard", "/2"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "per-shard status (2 slices)" in out
+    assert "0/2" in out and "1/2" in out
+    # Single-slice view renders only the requested slice.
+    assert campaign_main(
+        ["status", *args, *_store_args(tmp_path), "--shard", "1/2"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "per-shard status" in out
+    assert "1/2" in out and "0/2" not in out
+
+
+def test_cli_status_shard_requires_grid_options(tmp_path, capsys):
+    (tmp_path / "cli.jsonl").write_text("")
+    assert campaign_main(["status", *_store_args(tmp_path), "--shard", "0/2"]) == 2
+    assert "grid options" in capsys.readouterr().err
