@@ -163,4 +163,15 @@ case "$shard_view" in
     *"per-shard status (2 slices)"*) ;;
     *) echo "smoke FAILED: status --shard missing per-shard table" >&2; exit 1 ;;
 esac
+# --- repro-lint: static verifier over every shipped layer, then a quick
+# --- sharded race check (k=2, one substrate) -------------------------------
+python -m repro.lint src/repro
+lint_seeded=0
+python -m repro.lint "$(dirname "$0")/../tests/lint/fixtures/guard_mutates.py" >/dev/null || lint_seeded=$?
+if [ "$lint_seeded" -ne 1 ]; then
+    echo "smoke FAILED: repro-lint did not flag the seeded violation (exit $lint_seeded)" >&2
+    exit 1
+fi
+python -m repro.lint --race dftno --shards 2 --size 8 --seed 1
+
 echo "smoke OK"

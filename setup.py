@@ -10,7 +10,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-dattagpv00",
-    version="0.3.0",
+    version="0.4.0",
     description=(
         "Reproduction of self-stabilizing network orientation protocols "
         "(DFTNO/STNO) with a unified experiment API and campaign engine"
@@ -21,6 +21,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-campaign=repro.campaign.cli:main",
+            "repro-lint=repro.lint.cli:main",
         ],
     },
 )

@@ -77,7 +77,7 @@ from repro.core import (
     extract_orientation,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # errors

@@ -218,7 +218,24 @@ class SchedulerEngine(Engine):
     incremental = True
 
     def _scheduler_kwargs(self, spec: RunSpec) -> dict[str, object]:
-        """How the measurement harness should build its scheduler."""
+        """How the measurement harness should build its scheduler.
+
+        ``spec.debug["check_guard_locality"]`` arms the per-guard read
+        tracker (:class:`~repro.errors.GuardLocalityError` on violation)
+        without touching the ``REPRO_DEBUG_GUARDS`` environment.
+        """
+        if spec.debug and spec.debug.get("check_guard_locality"):
+            from functools import partial
+
+            from repro.runtime.scheduler import Scheduler
+
+            return {
+                "scheduler_factory": partial(
+                    Scheduler,
+                    incremental=self.incremental,
+                    check_guard_locality=True,
+                )
+            }
         return {"incremental": self.incremental}
 
     def execute(
@@ -294,11 +311,14 @@ class ShardedSchedulerEngine(SchedulerEngine):
 
         from repro.shard import ShardedScheduler
 
-        return {
-            "scheduler_factory": partial(
-                ShardedScheduler, shards=spec.shards or 2, partition=spec.partition or "bfs"
-            )
+        kwargs: dict[str, object] = {
+            "shards": spec.shards or 2,
+            "partition": spec.partition or "bfs",
         }
+        if spec.debug and spec.debug.get("check_guard_locality"):
+            # Reaches the forked shard workers through the worker factory.
+            kwargs["check_guard_locality"] = True
+        return {"scheduler_factory": partial(ShardedScheduler, **kwargs)}
 
 
 # ----------------------------------------------------------------------

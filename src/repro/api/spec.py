@@ -165,6 +165,16 @@ class RunSpec:
         :data:`repro.shard.partition.PARTITION_STRATEGIES`).  They never
         change the measured execution -- only how it is computed -- but they
         are part of the canonical hash like every other syntactic field.
+    debug:
+        Diagnostic switches, **excluded from the canonical hash**: they may
+        change how a run is checked but never what it computes, so a debug
+        re-run dedups against (and is comparable to) the original row.
+        Currently understood by the scheduler engines:
+        ``{"check_guard_locality": True}`` arms the per-guard read tracker
+        (the programmatic form of ``REPRO_DEBUG_GUARDS=1``; reaches forked
+        shard workers too), raising
+        :class:`~repro.errors.GuardLocalityError` on any out-of-neighborhood
+        guard read.  Unknown keys are preserved but ignored.
     """
 
     engine: str = "scheduler"
@@ -178,6 +188,7 @@ class RunSpec:
     parameter: int | None = None
     shards: int | None = None
     partition: str | None = None
+    debug: Mapping[str, object] | None = None
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINE_NAMES:
@@ -188,6 +199,12 @@ class RunSpec:
             object.__setattr__(self, "network", NetworkSpec(**dict(self.network)))
         if isinstance(self.stop, Mapping):
             object.__setattr__(self, "stop", StopSpec(**dict(self.stop)))
+        if self.debug is not None:
+            if not isinstance(self.debug, Mapping):
+                raise ValueError(
+                    f"debug must be a mapping of switches (got {type(self.debug).__name__})"
+                )
+            object.__setattr__(self, "debug", dict(self.debug))
 
         # Validate names eagerly so a bad spec fails at construction, not at
         # execution on some pool worker an hour into a campaign.
@@ -280,6 +297,9 @@ class RunSpec:
         campaign grid plays with ``task_type``.
         """
         data = self.to_dict()
+        # Unconditionally hash-excluded: debug switches change how a run is
+        # checked, never what it computes.
+        data.pop("debug", None)
         data["network"] = _strip_defaults(data["network"], _NETWORK_DEFAULTS)
         data["stop"] = _strip_defaults(data["stop"], _STOP_DEFAULTS)
         defaults: dict[str, Any] = {

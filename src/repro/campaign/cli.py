@@ -255,6 +255,12 @@ def build_parser() -> argparse.ArgumentParser:
         "STEPS scheduler steps (default 1000 when the flag is given bare), plus "
         "scenario events and convergence",
     )
+    run.add_argument(
+        "--lint",
+        action="store_true",
+        help="pre-flight: statically lint (repro-lint) every protocol layer the "
+        "grid references and refuse to start the campaign on any finding",
+    )
 
     status = sub.add_parser(
         "status",
@@ -355,6 +361,25 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     grid = _build_grid(args)
+    if args.lint:
+        # Pre-flight before the store is even opened: a protocol layer that
+        # fails the static verifier would burn the whole campaign's compute
+        # on runs whose locality assumptions are broken.
+        from repro.lint import format_findings, lint_paths, modules_for_protocols
+
+        modules = modules_for_protocols(grid.protocols)
+        findings = lint_paths(modules)
+        if findings:
+            print(format_findings(findings, title="campaign pre-flight lint"))
+            print(
+                f"repro-campaign: refusing to start: {len(findings)} lint "
+                f"finding(s) in {len(modules)} protocol module(s)",
+                file=sys.stderr,
+            )
+            return 2
+        if not args.quiet:
+            names = ", ".join(grid.protocols)
+            print(f"pre-flight lint OK: {names} ({len(modules)} modules clean)")
     shard = parse_shard(args.shard) if args.shard else None
     store = open_store(resolve_store_path(args.out))
     # Provenance: every run stamps the grid it executed, the code version and

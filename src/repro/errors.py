@@ -25,6 +25,35 @@ class ProtocolError(ReproError):
     """
 
 
+class GuardLocalityError(ProtocolError):
+    """A guard read state outside its closed neighborhood (debug tracker).
+
+    Raised by :func:`repro.runtime.scheduler.first_enabled_action` when
+    ``check_guard_locality`` is on.  Carries enough attribution to tell
+    *which* layer and guard tripped -- the node, the action's layer and name,
+    the lint rule id, and the offending ``(processor, variable)`` reads -- so
+    the failure formats like a ``repro-lint`` finding
+    (:func:`repro.lint.findings.finding_from_guard_error`) instead of an
+    anonymous mid-step crash.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        node: int | None = None,
+        layer: str = "",
+        action: str = "",
+        rule: str = "RL004",
+        reads: tuple = (),
+    ) -> None:
+        super().__init__(message)
+        self.node = node
+        self.layer = layer
+        self.action = action
+        self.rule = rule
+        self.reads = tuple(reads)
+
+
 class SchedulingError(ReproError):
     """Raised when the scheduler or a daemon is used incorrectly."""
 

@@ -1,0 +1,50 @@
+"""repro-lint: static protocol verifier and shard race detector.
+
+Two halves with one findings vocabulary (:data:`~repro.lint.findings.RULES`):
+
+* the **static** pass (:mod:`repro.lint.static`) walks every layer's
+  guard/action source through the :class:`~repro.runtime.processor.ProcessorView`
+  API and reports locality and purity violations (``RL001``-``RL006``),
+  deriving per-action read/write sets (:mod:`repro.lint.summary`) on the way;
+* the **dynamic** sanitizer (:mod:`repro.lint.racecheck`) attaches to the
+  sharded engine and reports frontier-exchange races (``RC101``-``RC103``).
+
+Runtime :class:`~repro.errors.GuardLocalityError` failures route through the
+same formatter via :func:`~repro.lint.findings.finding_from_guard_error`.
+"""
+
+from repro.lint.findings import (
+    Finding,
+    RULES,
+    finding_from_guard_error,
+    findings_to_json,
+    format_findings,
+    severity_of,
+)
+from repro.lint.racecheck import ShardRaceChecker, run_race_check
+from repro.lint.static import (
+    ActionSummary,
+    analyze_paths,
+    iter_source_files,
+    lint_paths,
+    modules_for_protocols,
+)
+from repro.lint.summary import build_summary, write_summary
+
+__all__ = [
+    "ActionSummary",
+    "Finding",
+    "RULES",
+    "ShardRaceChecker",
+    "analyze_paths",
+    "build_summary",
+    "finding_from_guard_error",
+    "findings_to_json",
+    "format_findings",
+    "iter_source_files",
+    "lint_paths",
+    "modules_for_protocols",
+    "run_race_check",
+    "severity_of",
+    "write_summary",
+]

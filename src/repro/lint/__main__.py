@@ -1,0 +1,7 @@
+"""``python -m repro.lint`` -- the ``repro-lint`` entry point without install."""
+
+import sys
+
+from repro.lint.cli import main
+
+sys.exit(main())

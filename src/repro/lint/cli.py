@@ -1,0 +1,155 @@
+"""``repro-lint``: static protocol verifier + shard race detector.
+
+Static mode (default) runs the AST pass over the given files/directories and
+prints findings (exit 1 when any are found)::
+
+    repro-lint src/repro                       # lint everything
+    repro-lint --protocols dftno stno-bfs      # lint just those layers' modules
+    repro-lint src/repro --format json         # machine-readable findings
+    repro-lint src/repro --summary rwsets.json # also write read/write sets
+
+Race mode runs one sharded execution with the variable-level race sanitizer
+attached and reports any frontier-exchange divergence (exit 1 on findings or
+non-convergence)::
+
+    repro-lint --race dftno --shards 2 --size 8 --seed 1
+
+Exit codes: 0 clean, 1 findings (or race-mode non-convergence), 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.lint.findings import findings_to_json, format_findings
+from repro.lint.static import lint_paths, modules_for_protocols
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Static protocol verifier and shard race detector.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--protocols",
+        nargs="+",
+        metavar="NAME",
+        help="lint the modules backing these protocol names (dftno, stno-bfs, stno-dfs)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="findings output format (default: text)",
+    )
+    parser.add_argument(
+        "--summary",
+        metavar="FILE",
+        help="also write the per-layer static read/write sets to FILE as JSON",
+    )
+    race = parser.add_argument_group("race check (dynamic)")
+    race.add_argument(
+        "--race",
+        metavar="PROTOCOL",
+        help="run the sharded race sanitizer on this protocol instead of static lint",
+    )
+    race.add_argument("--shards", type=int, default=2, help="shard count (default: 2)")
+    race.add_argument("--size", type=int, default=8, help="network size (default: 8)")
+    race.add_argument(
+        "--family",
+        default="random_connected",
+        help="network family (default: random_connected)",
+    )
+    race.add_argument("--seed", type=int, default=1, help="seed (default: 1)")
+    race.add_argument(
+        "--partition", default="bfs", help="partition strategy (default: bfs)"
+    )
+    race.add_argument(
+        "--mode",
+        choices=("inline", "fork"),
+        default="inline",
+        help="shard harness for --race (default: inline)",
+    )
+    race.add_argument(
+        "--steps", type=int, default=None, help="step budget override for --race"
+    )
+    return parser
+
+
+def _emit(findings, fmt: str, title: str) -> None:
+    if fmt == "json":
+        print(findings_to_json(findings))
+    else:
+        print(format_findings(findings, title=title))
+
+
+def _run_static(args: argparse.Namespace) -> int:
+    paths: list[Path] = [Path(p) for p in args.paths]
+    if args.protocols:
+        paths.extend(modules_for_protocols(args.protocols))
+    if not paths:
+        package_root = Path(__file__).resolve().parent.parent
+        paths = [package_root]
+    missing = [path for path in paths if not path.exists()]
+    if missing:
+        print(f"repro-lint: no such path: {missing[0]}", file=sys.stderr)
+        return 2
+    findings = lint_paths(paths)
+    if args.summary:
+        from repro.lint.summary import write_summary
+
+        write_summary(paths, args.summary)
+    _emit(findings, args.format, title="static analysis")
+    return 1 if findings else 0
+
+
+def _run_race(args: argparse.Namespace) -> int:
+    from repro.lint.racecheck import run_race_check
+
+    checker, converged = run_race_check(
+        protocol=args.race,
+        family=args.family,
+        size=args.size,
+        shards=args.shards,
+        seed=args.seed,
+        partition=args.partition,
+        max_steps=args.steps,
+        mode=args.mode,
+    )
+    _emit(checker.findings, args.format, title="race check")
+    if args.format == "text":
+        print(
+            f"race check: {args.race} on {args.family}({args.size}) seed {args.seed}, "
+            f"{args.shards} shards ({args.mode}); {checker.mirror_audits} mirror audits, "
+            f"{checker.execution_audits} execution audits; "
+            f"{'converged' if converged else 'DID NOT CONVERGE'}"
+        )
+    if checker.findings:
+        return 1
+    if not converged:
+        print("repro-lint: race check run did not converge", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.race:
+            return _run_race(args)
+        return _run_static(args)
+    except (ValueError, OSError) as exc:
+        print(f"repro-lint: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

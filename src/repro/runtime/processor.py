@@ -18,18 +18,47 @@ from repro.graphs.network import RootedNetwork
 from repro.runtime.configuration import Configuration
 
 
+class _ReadTrackingConfiguration:
+    """Debug-mode proxy recording every ``(node, variable)`` a view reads.
+
+    Wrapping the configuration (rather than only instrumenting the view's
+    read methods) means even code that reaches *around* the view's API --
+    ``view._configuration.get(far_node, ...)`` in a sneaky guard -- still
+    lands in the read log, so the locality tracker catches it.
+    """
+
+    __slots__ = ("_inner", "_log")
+
+    def __init__(self, inner: Configuration, log: set) -> None:
+        self._inner = inner
+        self._log = log
+
+    def get(self, node: int, variable: str) -> Any:
+        self._log.add((node, variable))
+        return self._inner.get(node, variable)
+
+    def has(self, node: int, variable: str) -> bool:
+        self._log.add((node, variable))
+        return self._inner.has(node, variable)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._inner, name)
+
+
 class ProcessorView:
     """Restricted view of a :class:`Configuration` for one processor.
 
-    With ``track_reads=True`` the view also records which processors' state
-    it read (:attr:`read_nodes`).  The incremental scheduler's debug mode
-    uses this to assert the locality invariant its dirty-frontier propagation
-    relies on: a guard's value may depend only on the node itself and its
-    neighbors, so a change at ``p`` can only flip enabled-status inside
-    ``N_p ∪ {p}``.
+    With ``track_reads=True`` the view also records every ``(processor,
+    variable)`` pair it read (:attr:`read_variables`, node-level rollup in
+    :attr:`read_nodes`).  The incremental scheduler's debug mode uses this to
+    assert the locality invariant its dirty-frontier propagation relies on: a
+    guard's value may depend only on the node itself and its neighbors, so a
+    change at ``p`` can only flip enabled-status inside ``N_p ∪ {p}``.  The
+    variable granularity is what the sharded race checker and the
+    guard-attribution of :class:`~repro.errors.GuardLocalityError` consume.
     """
 
-    __slots__ = ("_node", "_network", "_configuration", "_writes", "_read_nodes")
+    __slots__ = ("_node", "_network", "_configuration", "_writes", "_read_vars")
 
     def __init__(
         self,
@@ -40,9 +69,11 @@ class ProcessorView:
     ) -> None:
         self._node = node
         self._network = network
-        self._configuration = configuration
         self._writes: dict[str, Any] = {}
-        self._read_nodes: set[int] | None = set() if track_reads else None
+        self._read_vars: set[tuple[int, str]] | None = set() if track_reads else None
+        if track_reads:
+            configuration = _ReadTrackingConfiguration(configuration, self._read_vars)
+        self._configuration = configuration
 
     # ------------------------------------------------------------------
     # Identity / topology helpers
@@ -87,8 +118,8 @@ class ProcessorView:
         just assigned -- matching the sequential reading of the paper's
         macros.
         """
-        if self._read_nodes is not None:
-            self._read_nodes.add(self._node)
+        if self._read_vars is not None:
+            self._read_vars.add((self._node, variable))
         if variable in self._writes:
             return self._writes[variable]
         return self._configuration.get(self._node, variable)
@@ -102,8 +133,8 @@ class ProcessorView:
         needs the descendant the token just returned from, before the token
         layer repoints its child variable).
         """
-        if self._read_nodes is not None:
-            self._read_nodes.add(self._node)
+        if self._read_vars is not None:
+            self._read_vars.add((self._node, variable))
         return self._configuration.get(self._node, variable)
 
     def read_neighbor(self, neighbor: int, variable: str) -> Any:
@@ -117,8 +148,8 @@ class ProcessorView:
             raise ProtocolError(
                 f"processor {self._node} tried to read non-neighbor {neighbor}"
             )
-        if self._read_nodes is not None:
-            self._read_nodes.add(neighbor)
+        if self._read_vars is not None:
+            self._read_vars.add((neighbor, variable))
         return self._configuration.get(neighbor, variable)
 
     def try_read_neighbor(self, neighbor: int, variable: str, default: Any = None) -> Any:
@@ -127,8 +158,8 @@ class ProcessorView:
             raise ProtocolError(
                 f"processor {self._node} tried to read non-neighbor {neighbor}"
             )
-        if self._read_nodes is not None:
-            self._read_nodes.add(neighbor)
+        if self._read_vars is not None:
+            self._read_vars.add((neighbor, variable))
         if not self._configuration.has(neighbor, variable):
             return default
         return self._configuration.get(neighbor, variable)
@@ -149,7 +180,12 @@ class ProcessorView:
     @property
     def read_nodes(self) -> frozenset[int]:
         """Processors whose state was read (only tracked with ``track_reads``)."""
-        return frozenset(self._read_nodes or ())
+        return frozenset(node for node, _ in self._read_vars or ())
+
+    @property
+    def read_variables(self) -> frozenset[tuple[int, str]]:
+        """``(processor, variable)`` pairs read (only tracked with ``track_reads``)."""
+        return frozenset(self._read_vars or ())
 
     def __repr__(self) -> str:
         return f"ProcessorView(node={self._node}, writes={sorted(self._writes)})"

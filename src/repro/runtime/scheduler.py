@@ -21,7 +21,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping, Sequence
 
-from repro.errors import ConvergenceError, ProtocolError, SchedulingError
+from repro.errors import ConvergenceError, GuardLocalityError, SchedulingError
 from repro.graphs.network import RootedNetwork
 from repro.obs.instrument import (
     Instrumentation,
@@ -55,23 +55,40 @@ def first_enabled_action(
     guards -- and enforce the guard-locality invariant in debug mode --
     identically.
     """
-    view = ProcessorView(node, network, configuration, track_reads=check_guard_locality)
-    found: Action | None = None
+    if not check_guard_locality:
+        view = ProcessorView(node, network, configuration)
+        for action in actions:
+            if action.enabled(view):
+                return action
+        return None
+    # Debug path: diff the (node, variable) read log around each guard so a
+    # violation is attributed to the exact action/layer/variable that tripped.
+    view = ProcessorView(node, network, configuration, track_reads=True)
+    allowed = set(network.neighbor_set(node))
+    allowed.add(node)
     for action in actions:
-        if action.enabled(view):
-            found = action
-            break
-    if check_guard_locality:
-        allowed = set(network.neighbor_set(node))
-        allowed.add(node)
-        illegal = view.read_nodes - allowed
+        before = view.read_variables
+        enabled = action.enabled(view)
+        illegal = sorted(
+            (source, name)
+            for source, name in view.read_variables - before
+            if source not in allowed
+        )
         if illegal:
-            raise ProtocolError(
-                f"guard locality violated: an action of processor {node} read "
-                f"processors {sorted(illegal)} outside its closed neighborhood "
-                f"{sorted(allowed)}"
+            reads = ", ".join(f"{name!r} of processor {source}" for source, name in illegal)
+            raise GuardLocalityError(
+                f"guard locality violated (RL004): guard of action {action.name!r} "
+                f"(layer {action.layer!r}) on processor {node} read {reads} outside "
+                f"its closed neighborhood {sorted(allowed)}",
+                node=node,
+                layer=action.layer,
+                action=action.name,
+                rule="RL004",
+                reads=illegal,
             )
-    return found
+        if enabled:
+            return action
+    return None
 
 
 @dataclass(frozen=True)
@@ -177,7 +194,9 @@ class Scheduler:
         ``scheduler-fullscan`` engine).
     check_guard_locality:
         Debug mode: track every configuration read during guard evaluation
-        and raise :class:`~repro.errors.ProtocolError` if a guard reads
+        and raise :class:`~repro.errors.GuardLocalityError` (a
+        :class:`~repro.errors.ProtocolError`, carrying the layer, action and
+        offending variables) if a guard reads
         outside its closed neighborhood -- the invariant the incremental path
         relies on.  Defaults to the ``REPRO_DEBUG_GUARDS`` environment
         variable.

@@ -186,6 +186,7 @@ class ShardedScheduler(Scheduler):
         mode: str | None = None,
         check_guard_locality: bool | None = None,
         instrumentation: Instrumentation | None = None,
+        race_checker=None,
     ) -> None:
         super().__init__(
             network,
@@ -206,6 +207,10 @@ class ShardedScheduler(Scheduler):
         if mode not in MODES:
             raise ShardError(f"unknown shard mode {mode!r}; choose from {MODES}")
         self.mode = mode
+        #: Optional :class:`repro.lint.racecheck.ShardRaceChecker`; when set,
+        #: every frontier exchange is followed by a mirror audit and every
+        #: execute fan-out by a write-ownership audit.
+        self.race_checker = race_checker
         self.partition: Partition = partition_network(network, shards, strategy=partition)
         handle_type = _ProcessShard if mode == "fork" else _InlineShard
         self._shards = []
@@ -337,6 +342,8 @@ class ShardedScheduler(Scheduler):
                     sum(len(pickle.dumps(reply)) for reply in answers.values()),
                 )
                 instr.phase_time(PHASE_FRONTIER_EXCHANGE, time.perf_counter() - started)
+            if self.race_checker is not None:
+                self.race_checker.audit_mirrors(self)
             return
         detail = self.configuration.drain_dirty_detail()
         if not detail:
@@ -378,6 +385,8 @@ class ShardedScheduler(Scheduler):
                 sum(len(pickle.dumps(reply)) for reply in answers.values()),
             )
             instr.phase_time(PHASE_FRONTIER_EXCHANGE, time.perf_counter() - started)
+        if self.race_checker is not None:
+            self.race_checker.audit_mirrors(self)
 
     def _execute_selected(
         self, enabled: Mapping[int, Any], selected: Sequence[int]
@@ -393,8 +402,11 @@ class ShardedScheduler(Scheduler):
         for node in selected:
             by_shard.setdefault(self.partition.owner_of(node), []).append(node)
         messages = {index: ("execute", nodes) for index, nodes in by_shard.items()}
+        answers = self._command(messages)
+        if self.race_checker is not None:
+            self.race_checker.audit_execution(self, by_shard, answers)
         results: dict[int, tuple[str, dict[str, object]]] = {}
-        for answer in self._command(messages).values():
+        for answer in answers.values():
             results.update(answer)
         executed = [(node, results[node][0]) for node in selected]
         pending_writes = {node: results[node][1] for node in selected}

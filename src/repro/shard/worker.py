@@ -192,6 +192,22 @@ class ShardWorker:
         """The worker's cumulative instrumentation summary (``perf`` command)."""
         return self.instrumentation.summary()
 
+    def mirror(self) -> dict[int, dict[str, Any]]:
+        """Snapshot of the worker's mirrored states (``mirror`` command).
+
+        The race checker (:mod:`repro.lint.racecheck`) compares this against
+        the coordinator's authoritative journal: any divergence means a
+        frontier-exchange gap -- a ghost (or even an own node) this shard
+        would read stale.  Shallow per-node copies only; values are never
+        mutated in place by either side.
+        """
+        present = set(self.configuration.nodes())
+        out: dict[int, dict[str, Any]] = {}
+        for node in list(self.block) + sorted(self.ghosts):
+            if node in present:
+                out[node] = dict(self.configuration.peek_state(node))
+        return out
+
     def set_network(self, network: RootedNetwork, ghosts: Sequence[int]) -> None:
         """Swap the topology: new action tables, new ghost set.
 
@@ -220,6 +236,8 @@ class ShardWorker:
             return self.set_network(message[1], message[2])
         if command == "perf":
             return self.perf()
+        if command == "mirror":
+            return self.mirror()
         raise ShardError(f"unknown shard command {command!r}")
 
     def _first_enabled(self, node: int):

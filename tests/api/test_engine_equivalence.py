@@ -174,6 +174,40 @@ def test_sharded_equals_incremental_property(seed, protocol_key, daemon, n, shar
     _lockstep(protocol_key, daemon, seed=seed, n=n, max_steps=80, shards=shards)
 
 
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+@pytest.mark.parametrize("protocol_key", sorted(PROTOCOLS))
+def test_sharded_runs_have_no_frontier_races(protocol_key, shards):
+    """The variable-level race sanitizer rides the equivalence matrix.
+
+    Every substrate, k in {1, 2, 4}: after every frontier exchange each
+    worker's mirror must agree with the coordinator's journal, and every
+    step's writes must come from the owning shard only -- zero findings
+    (see ``repro.lint.racecheck``; the must-fail twin lives in
+    ``tests/lint/test_racecheck.py``).
+    """
+    from repro.lint import ShardRaceChecker
+
+    factory, family = PROTOCOLS[protocol_key]
+    checker = ShardRaceChecker()
+    with ShardedScheduler(
+        generators.family(family, 7, seed=11),
+        factory(),
+        daemon=make_daemon("distributed"),
+        seed=11,
+        shards=shards,
+        mode="inline",
+        race_checker=checker,
+    ) as scheduler:
+        for _ in range(150):
+            if scheduler.step() is None:
+                break
+    assert checker.findings == [], (
+        f"races in ({protocol_key}, shards={shards}): "
+        + "; ".join(f.message for f in checker.findings)
+    )
+    assert checker.mirror_audits > 0
+
+
 @pytest.mark.parametrize("daemon", ("central", "distributed"))
 @pytest.mark.parametrize("protocol", ("dftno", "stno-bfs"))
 def test_engine_registry_rows_are_identical(protocol, daemon):

@@ -25,7 +25,7 @@ def test_public_api_surface_is_importable():
     # Everything advertised in __all__ must resolve.
     for name in repro.__all__:
         assert getattr(repro, name, None) is not None, name
-    assert repro.__version__ == "1.1.0"
+    assert repro.__version__ == "1.2.0"
 
 
 def test_quickstart_docstring_example():

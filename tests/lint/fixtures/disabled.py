@@ -1,0 +1,21 @@
+"""Fixture: the guard-mutation violation, silenced by the escape hatch.
+Zero findings."""
+
+
+class DisabledViolation:
+    """Same shape as guard_mutates, with the disable comment on the line."""
+
+    name = "disabled-violation"
+
+    def variables(self, network, node):
+        return [int_variable("dv_x", 0)]
+
+    def actions(self, network, node):
+        def guard(view):
+            view.write("dv_x", 1)  # repro-lint: disable=RL001
+            return view.read("dv_x") == 0
+
+        def step(view):
+            view.write("dv_x", 0)
+
+        return [Action("DV-Reset", guard, step, layer=self.name)]

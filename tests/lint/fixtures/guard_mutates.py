@@ -1,0 +1,20 @@
+"""Fixture: a guard that writes state.  Exactly one RL001."""
+
+
+class GuardMutates:
+    """Broken layer: the guard 'caches' a value by writing it."""
+
+    name = "guard-mutates"
+
+    def variables(self, network, node):
+        return [int_variable("gm_x", 0)]
+
+    def actions(self, network, node):
+        def guard(view):
+            view.write("gm_x", 1)
+            return view.read("gm_x") == 0
+
+        def step(view):
+            view.write("gm_x", 0)
+
+        return [Action("GM-Reset", guard, step, layer=self.name)]

@@ -1,0 +1,20 @@
+"""Fixture: a guard performing I/O.  Exactly one RL002."""
+
+
+class IOGuard:
+    """Broken layer: the guard prints while deciding."""
+
+    name = "io-guard"
+
+    def variables(self, network, node):
+        return [int_variable("io_x", 0)]
+
+    def actions(self, network, node):
+        def guard(view):
+            print("evaluating", view.node)
+            return view.read("io_x") == 0
+
+        def step(view):
+            view.write("io_x", 1)
+
+        return [Action("IO-Log", guard, step, layer=self.name)]

@@ -1,0 +1,21 @@
+"""Fixture: a statement writing a *neighbor's* state through the view's
+private configuration handle.  Exactly one RL005."""
+
+
+class NeighborWrite:
+    """Broken layer: the statement pushes its value into the neighbor."""
+
+    name = "neighbor-write"
+
+    def variables(self, network, node):
+        return [int_variable("nw_x", 0)]
+
+    def actions(self, network, node):
+        def guard(view):
+            return view.read("nw_x") == 0
+
+        def step(view):
+            for neighbor in view.neighbors:
+                view._configuration.set(neighbor, "nw_x", 1)
+
+        return [Action("NW-Push", guard, step, layer=self.name)]

@@ -1,0 +1,20 @@
+"""Fixture: a guard that reads a non-neighbor through the view's private
+configuration handle.  Exactly one RL004."""
+
+
+class NonLocalRead:
+    """Broken layer: the guard peeks at processor 0 from everywhere."""
+
+    name = "nonlocal-read"
+
+    def variables(self, network, node):
+        return [int_variable("nl_x", 0)]
+
+    def actions(self, network, node):
+        def guard(view):
+            return view._configuration.get(0, "nl_x") == view.read("nl_x")
+
+        def step(view):
+            view.write("nl_x", view.read("nl_x") + 1)
+
+        return [Action("NL-Copy", guard, step, layer=self.name)]

@@ -1,0 +1,21 @@
+"""Fixture: a guard consulting an RNG.  Exactly one RL003."""
+
+import random
+
+
+class RNGGuard:
+    """Broken layer: the guard flips a coin."""
+
+    name = "rng-guard"
+
+    def variables(self, network, node):
+        return [int_variable("rg_x", 0)]
+
+    def actions(self, network, node):
+        def guard(view):
+            return random.random() < 0.5 and view.read("rg_x") == 0
+
+        def step(view):
+            view.write("rg_x", 1)
+
+        return [Action("RG-Flip", guard, step, layer=self.name)]

@@ -1,0 +1,20 @@
+"""Fixture: a statement writing a variable no layer ever declared.
+Exactly one RL006."""
+
+
+class UndeclaredWrite:
+    """Broken layer: the statement invents a variable on the fly."""
+
+    name = "undeclared-write"
+
+    def variables(self, network, node):
+        return [int_variable("uw_x", 0)]
+
+    def actions(self, network, node):
+        def guard(view):
+            return view.read("uw_x") == 0
+
+        def step(view):
+            view.write("uw_scratch", 1)
+
+        return [Action("UW-Scribble", guard, step, layer=self.name)]

@@ -1,0 +1,129 @@
+"""The dynamic race sanitizer: silent on correct sharded runs, loud on an
+intentionally-skipped frontier exchange, and loud on write-ownership races."""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro.core.dftno import build_dftno
+from repro.errors import ReproError
+from repro.graphs import generators
+from repro.lint import ShardRaceChecker, run_race_check
+from repro.shard import ShardedScheduler
+
+
+def _sharded(network, shards: int, checker: ShardRaceChecker | None, seed: int = 5):
+    protocol = build_dftno()
+    return ShardedScheduler(
+        network,
+        protocol,
+        seed=seed,
+        configuration=protocol.initial_configuration(network),
+        shards=shards,
+        mode="inline",
+        race_checker=checker,
+    )
+
+
+@pytest.mark.parametrize("shards", [1, 2, 4])
+def test_correct_sharded_runs_have_zero_findings(shards: int) -> None:
+    network = generators.random_connected(10, seed=4)
+    checker = ShardRaceChecker()
+    with _sharded(network, shards, checker) as scheduler:
+        result = scheduler.run_until_legitimate()
+    assert result.converged
+    assert checker.findings == []
+    assert checker.mirror_audits > 0
+    assert checker.execution_audits > 0
+
+
+def test_run_race_check_helper_is_clean_on_shipped_protocols() -> None:
+    checker, converged = run_race_check(
+        protocol="dftno", family="random_connected", size=8, shards=2, seed=1
+    )
+    assert converged
+    assert checker.findings == []
+
+
+def test_skipped_frontier_exchange_is_detected() -> None:
+    """Drop one shard's ``apply`` message once: the canonical frontier-
+    exchange gap.  The next mirror audit must flag the starved shard."""
+    network = generators.random_connected(10, seed=4)
+    checker = ShardRaceChecker()
+    with _sharded(network, 2, checker) as scheduler:
+        original = scheduler._command
+        state = {"dropped": False}
+
+        def dropping_command(messages):
+            if not state["dropped"]:
+                for index, message in list(messages.items()):
+                    if message[0] == "apply":
+                        del messages[index]
+                        state["dropped"] = True
+                        break
+            return original(messages)
+
+        scheduler.__dict__["_command"] = dropping_command
+        try:
+            scheduler.run_until_legitimate(max_steps=200)
+        except ReproError:
+            pass  # a starved shard may also answer out of protocol; fine
+    assert state["dropped"], "the fault was injected"
+    assert checker.findings, "the skipped exchange went unnoticed"
+    rules = {finding.rule for finding in checker.findings}
+    assert rules <= {"RC101", "RC102"}
+    # The starved shard's own nodes and/or its ghosts diverged.
+    assert any(f.rule in ("RC101", "RC102") for f in checker.findings)
+    assert all("stale mirror" in f.message for f in checker.findings)
+
+
+def test_foreign_and_double_writes_are_detected() -> None:
+    network = generators.random_connected(10, seed=4)
+    checker = ShardRaceChecker()
+    with _sharded(network, 2, checker) as scheduler:
+        scheduler.enabled_nodes()  # force the initial load
+        blocks = scheduler.partition.blocks
+        own = blocks[0][0]
+        foreign = blocks[1][0]
+        # Shard 0 reports a write for a node shard 1 owns, and both shards
+        # report the same node: one RC103 each.
+        answers = {
+            0: {own: ("A", {"x": 1}), foreign: ("A", {"x": 2})},
+            1: {foreign: ("B", {"x": 3})},
+        }
+        checker.audit_execution(scheduler, {0: [own], 1: [foreign]}, answers)
+    rules = [finding.rule for finding in checker.findings]
+    assert rules == ["RC103", "RC103"]
+    assert "does not own" in checker.findings[0].message
+    assert "applied twice" in checker.findings[1].message
+
+
+def test_stride_skips_intermediate_audits() -> None:
+    network = generators.random_connected(8, seed=2)
+    eager = ShardRaceChecker(stride=1)
+    with _sharded(network, 2, eager) as scheduler:
+        scheduler.run_until_legitimate()
+    sparse = ShardRaceChecker(stride=5)
+    with _sharded(network, 2, sparse) as scheduler:
+        scheduler.run_until_legitimate()
+    assert sparse.findings == []
+    assert 0 < sparse.mirror_audits < eager.mirror_audits
+
+
+def test_checker_rejects_bad_stride() -> None:
+    with pytest.raises(ValueError):
+        ShardRaceChecker(stride=0)
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="fork start method unavailable",
+)
+def test_race_check_runs_under_fork_mode() -> None:
+    checker, converged = run_race_check(
+        protocol="dftno", family="ring", size=6, shards=2, seed=2, mode="fork"
+    )
+    assert converged
+    assert checker.findings == []
