@@ -60,6 +60,28 @@ DEFAULT_MAX_RATIO = 2.0
 DEFAULT_MIN_SHARE = 0.05
 
 
+def _as_float(value: object) -> float | None:
+    """``value`` as a finite float, or ``None`` when it is nothing of the sort.
+
+    The trajectory file is append-only and shared by every benchmark, present
+    and future -- a line from an unknown bench (or an older schema) may carry
+    strings, nulls, nested dicts or booleans where this gate expects numbers.
+    Unparseable entries must degrade to "not comparable", never to a crash.
+    """
+    if isinstance(value, bool):  # bool subclasses int; True is not a timing
+        return None
+    if isinstance(value, (int, float)):
+        result = float(value)
+    elif isinstance(value, str):
+        try:
+            result = float(value)
+        except ValueError:
+            return None
+    else:
+        return None
+    return result if result == result and result not in (float("inf"), float("-inf")) else None
+
+
 def load_history(path: Path, benchmark: str) -> list[dict]:
     """The trajectory lines for ``benchmark``, oldest first; bad lines skipped."""
     if not path.exists():
@@ -86,18 +108,19 @@ def normalized_phases(payload: dict) -> dict[str, float] | None:
     lines predating either are simply not comparable.
     """
     instrumentation = payload.get("instrumentation")
-    calibration = payload.get("calibration_seconds")
-    if not isinstance(instrumentation, dict) or not calibration:
+    calibration = _as_float(payload.get("calibration_seconds"))
+    if not isinstance(instrumentation, dict) or not calibration or calibration <= 0:
         return None
     phases = instrumentation.get("phases")
-    steps = instrumentation.get("steps")
-    if not isinstance(phases, dict) or not phases or not steps:
+    steps = _as_float(instrumentation.get("steps"))
+    if not isinstance(phases, dict) or not phases or not steps or steps <= 0:
         return None
-    return {
-        name: float(seconds) / (float(steps) * float(calibration))
-        for name, seconds in phases.items()
-        if isinstance(seconds, (int, float))
-    }
+    normalized = {}
+    for name, seconds in phases.items():
+        value = _as_float(seconds)
+        if value is not None:
+            normalized[str(name)] = value / (steps * calibration)
+    return normalized or None
 
 
 def check_absolute(current: dict, failures: list[str]) -> None:
@@ -105,15 +128,15 @@ def check_absolute(current: dict, failures: list[str]) -> None:
     instrumentation = current.get("instrumentation")
     if not isinstance(instrumentation, dict):
         return
-    disabled = instrumentation.get("disabled_overhead")
-    budget = instrumentation.get("max_disabled_overhead")
+    disabled = _as_float(instrumentation.get("disabled_overhead"))
+    budget = _as_float(instrumentation.get("max_disabled_overhead"))
     if disabled is not None and budget is not None and disabled > budget:
         failures.append(
             f"disabled instrumentation path costs {100 * disabled:.2f}% "
             f"of step wall (budget {100 * budget:.0f}%)"
         )
-    coverage = instrumentation.get("phase_coverage")
-    floor = instrumentation.get("min_phase_coverage")
+    coverage = _as_float(instrumentation.get("phase_coverage"))
+    floor = _as_float(instrumentation.get("min_phase_coverage"))
     if coverage is not None and floor is not None and coverage < floor:
         failures.append(
             f"phase coverage {100 * coverage:.1f}% below floor {100 * floor:.0f}%"
@@ -124,21 +147,26 @@ def check_speedups(
     current: dict, history: list[dict], max_ratio: float, failures: list[str]
 ) -> int:
     """Gate 2: incremental-core speedups vs the history median per size."""
-    current_speedups = current.get("speedup_by_n") or {}
+    current_speedups = current.get("speedup_by_n")
+    if not isinstance(current_speedups, dict):
+        return 0
     compared = 0
-    for size, speedup in sorted(current_speedups.items()):
-        past = [
-            float(line["speedup_by_n"][size])
-            for line in history
-            if isinstance(line.get("speedup_by_n"), dict)
-            and line["speedup_by_n"].get(size)
-        ]
+    # str() keys: history lines from other benches may use non-string sizes.
+    for size, raw in sorted(current_speedups.items(), key=lambda item: str(item[0])):
+        speedup = _as_float(raw)
+        past = []
+        for line in history:
+            speedups = line.get("speedup_by_n")
+            if isinstance(speedups, dict):
+                value = _as_float(speedups.get(size))
+                if value:
+                    past.append(value)
         if not past or not speedup:
             continue
         compared += 1
         median = statistics.median(past)
         floor = median / max_ratio
-        if float(speedup) < floor:
+        if speedup < floor:
             failures.append(
                 f"speedup at n={size} regressed: {speedup:.2f}x vs history "
                 f"median {median:.2f}x over {len(past)} runs "

@@ -43,9 +43,20 @@ python benchmarks/bench_sharded.py --quick \
 test -s "$out/BENCH_sharded.json" || {
     echo "smoke FAILED: sharded bench artifact missing" >&2; exit 1;
 }
+
+# --- vectorized-engine micro-bench (quick variant) -------------------------
+# Times the batch-kernel synchronous engine against per-node dispatch on a
+# small size (and asserts the executions are identical); the full sweep with
+# the n=5000 speedup threshold runs in CI's vectorized job and on demand.
+# Degrades honestly ("threshold: not applicable") when numpy is absent.
+python benchmarks/bench_vectorized.py --quick \
+    --out "$out/BENCH_vectorized.json"
+test -s "$out/BENCH_vectorized.json" || {
+    echo "smoke FAILED: vectorized bench artifact missing" >&2; exit 1;
+}
 history_after="$(wc -l < BENCH_history.jsonl)"
-if [ "$((history_after - history_before))" -ne 2 ]; then
-    echo "smoke FAILED: expected the perf history to grow by 2 lines" \
+if [ "$((history_after - history_before))" -ne 3 ]; then
+    echo "smoke FAILED: expected the perf history to grow by 3 lines" \
          "(was $history_before, now $history_after)" >&2
     exit 1
 fi

@@ -10,7 +10,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-dattagpv00",
-    version="0.4.0",
+    version="0.5.0",
     description=(
         "Reproduction of self-stabilizing network orientation protocols "
         "(DFTNO/STNO) with a unified experiment API and campaign engine"
@@ -18,6 +18,12 @@ setup(
     package_dir={"": "src"},
     packages=find_packages(where="src"),
     python_requires=">=3.10",
+    # The core engines are pure-Python on purpose; numpy only powers the
+    # opt-in vectorized synchronous engine (``scheduler-vectorized``) and the
+    # sharded engine's shared-memory mirrors.  Without it those paths degrade
+    # gracefully (EngineUnavailableError / pickled deltas), so it is an extra:
+    #     pip install .[vectorized]
+    extras_require={"vectorized": ["numpy"]},
     entry_points={
         "console_scripts": [
             "repro-campaign=repro.campaign.cli:main",

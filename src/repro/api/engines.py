@@ -291,6 +291,45 @@ class FullScanSchedulerEngine(SchedulerEngine):
     incremental = False
 
 
+class VectorizedSchedulerEngine(SchedulerEngine):
+    """The batch-kernel twin of :class:`SchedulerEngine`.
+
+    Same measurement, executed by
+    :class:`~repro.runtime.vectorized.VectorizedScheduler`: under the
+    synchronous daemon, protocols whose layers register
+    :class:`~repro.runtime.actions.BatchAction` kernels evaluate guards and
+    compute writes as whole numpy columns; everything else (non-synchronous
+    daemons, kernel-less layers, unencodable values) falls back to the
+    incremental per-node path.  Rows and spec hashes are byte-identical to
+    the ``scheduler`` engine's -- the equivalence suite holds all four
+    scheduler engines together.
+
+    Requires numpy (``pip install .[vectorized]``); requesting the engine
+    without it raises :class:`~repro.errors.EngineUnavailableError`.
+    """
+
+    name = "scheduler-vectorized"
+
+    def _scheduler_kwargs(self, spec: RunSpec) -> dict[str, object]:
+        from functools import partial
+
+        from repro.runtime.arrayview import HAVE_NUMPY
+        from repro.runtime.vectorized import VectorizedScheduler
+
+        if not HAVE_NUMPY:
+            from repro.errors import EngineUnavailableError
+
+            raise EngineUnavailableError(
+                "engine 'scheduler-vectorized' needs numpy, which is not "
+                "installed; install the optional extra with "
+                "'pip install .[vectorized]' or use engine='scheduler'"
+            )
+        kwargs: dict[str, object] = {}
+        if spec.debug and spec.debug.get("check_guard_locality"):
+            kwargs["check_guard_locality"] = True
+        return {"scheduler_factory": partial(VectorizedScheduler, **kwargs)}
+
+
 class ShardedSchedulerEngine(SchedulerEngine):
     """The multi-process twin of :class:`SchedulerEngine`.
 
@@ -446,6 +485,7 @@ def build_protocol(name: str):
 
 register_engine(SchedulerEngine())
 register_engine(FullScanSchedulerEngine())
+register_engine(VectorizedSchedulerEngine())
 register_engine(ShardedSchedulerEngine())
 register_engine(ScenarioEngine())
 register_engine(MsgpassEngine())
@@ -458,6 +498,7 @@ __all__ = [
     "ScenarioEngine",
     "SchedulerEngine",
     "ShardedSchedulerEngine",
+    "VectorizedSchedulerEngine",
     "build_protocol",
     "engine_names",
     "get_engine",

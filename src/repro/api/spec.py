@@ -36,11 +36,28 @@ HEIGHT_TREE_FAMILY = "height_tree"
 #: on the multi-process sharded engine (:mod:`repro.shard`): ``shards``
 #: worker processes each own one node block, with the dirty frontier
 #: exchanged between rounds -- results are bit-identical to ``scheduler``.
-ENGINE_NAMES = ("scheduler", "scheduler-fullscan", "scheduler-sharded", "scenario", "msgpass")
+#: ``scheduler-vectorized`` runs the same measurement on the batch-kernel
+#: engine (:mod:`repro.runtime.vectorized`): under the synchronous daemon,
+#: layers with registered batch kernels evaluate guards and writes as whole
+#: numpy columns; results are again bit-identical, and the spec hash is
+#: unchanged for every existing engine name.
+ENGINE_NAMES = (
+    "scheduler",
+    "scheduler-fullscan",
+    "scheduler-sharded",
+    "scheduler-vectorized",
+    "scenario",
+    "msgpass",
+)
 
 #: The engines that run the daemon-step scheduler (and thus understand
 #: scheduler-only spec fields such as ``stop.after_substrate``).
-SCHEDULER_ENGINES = ("scheduler", "scheduler-fullscan", "scheduler-sharded")
+SCHEDULER_ENGINES = (
+    "scheduler",
+    "scheduler-fullscan",
+    "scheduler-sharded",
+    "scheduler-vectorized",
+)
 
 #: The engine that understands the ``shards`` / ``partition`` spec fields.
 SHARDED_ENGINE = "scheduler-sharded"

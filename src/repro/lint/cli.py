@@ -8,6 +8,11 @@ prints findings (exit 1 when any are found)::
     repro-lint src/repro --format json         # machine-readable findings
     repro-lint src/repro --summary rwsets.json # also write read/write sets
 
+Kernel mode cross-checks the registered batch kernels' declared read/write
+sets against the static per-node sets (rule RL007, exit 1 on disagreement)::
+
+    repro-lint --kernels
+
 Race mode runs one sharded execution with the variable-level race sanitizer
 attached and reports any frontier-exchange divergence (exit 1 on findings or
 non-convergence)::
@@ -54,6 +59,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--summary",
         metavar="FILE",
         help="also write the per-layer static read/write sets to FILE as JSON",
+    )
+    parser.add_argument(
+        "--kernels",
+        action="store_true",
+        help="cross-check registered batch-kernel reads/writes declarations "
+        "against the static per-node sets (rule RL007) instead of static lint",
     )
     race = parser.add_argument_group("race check (dynamic)")
     race.add_argument(
@@ -111,6 +122,16 @@ def _run_static(args: argparse.Namespace) -> int:
     return 1 if findings else 0
 
 
+def _run_kernels(args: argparse.Namespace) -> int:
+    from repro.lint.kernels import check_kernels
+
+    findings, checked = check_kernels()
+    _emit(findings, args.format, title="kernel cross-check")
+    if args.format == "text":
+        print(f"kernel cross-check: {checked} kernel(s) verified against static sets")
+    return 1 if findings else 0
+
+
 def _run_race(args: argparse.Namespace) -> int:
     from repro.lint.racecheck import run_race_check
 
@@ -145,6 +166,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     try:
         if args.race:
             return _run_race(args)
+        if args.kernels:
+            return _run_kernels(args)
         return _run_static(args)
     except (ValueError, OSError) as exc:
         print(f"repro-lint: {exc}", file=sys.stderr)

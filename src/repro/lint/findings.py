@@ -18,7 +18,9 @@ from repro.errors import GuardLocalityError
 
 #: Rule catalog: id -> (severity, one-line description).  The static pass
 #: emits RL001..RL006; the dynamic tracker raises RL004 (as
-#: :class:`GuardLocalityError`); the shard race checker emits RC101..RC103.
+#: :class:`GuardLocalityError`); the kernel cross-check
+#: (:mod:`repro.lint.kernels`) emits RL007; the shard race checker emits
+#: RC101..RC103.
 RULES: dict[str, tuple[str, str]] = {
     "RL001": ("error", "guard mutates state (view.write inside a guard)"),
     "RL002": ("warning", "guard performs I/O"),
@@ -26,6 +28,7 @@ RULES: dict[str, tuple[str, str]] = {
     "RL004": ("error", "non-local read (bypasses the ProcessorView neighbor checks)"),
     "RL005": ("error", "non-local write (statement writes outside its own node)"),
     "RL006": ("error", "undeclared variable access (name not in the layer's schema)"),
+    "RL007": ("error", "batch kernel reads/writes declaration disagrees with the per-node action's static sets"),
     "RC101": ("error", "stale ghost: shard mirror of a ghost node diverged from the journal"),
     "RC102": ("error", "stale block mirror: shard's own-node state diverged from the journal"),
     "RC103": ("error", "conflicting write: two shards (or a non-owner) wrote one node in a step"),

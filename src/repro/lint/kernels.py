@@ -1,0 +1,132 @@
+"""Cross-check batch-kernel read/write declarations against the static sets.
+
+Every :class:`~repro.runtime.actions.BatchAction` carries declarative
+``reads``/``writes`` tuples -- the vectorized engine does not enforce them,
+so nothing at run time catches a kernel whose declaration drifts from what
+its per-node twin actually touches.  This pass closes that gap: for each
+registered kernel it finds the per-node action of the same name on the same
+protocol class, pulls that action's statically extracted footprint
+(:mod:`repro.lint.static`), and emits rule **RL007** when the declared sets
+disagree with the derived ones.
+
+The comparison is exact, both directions: a kernel claiming a variable the
+action never touches is as much a lie as one omitting a variable it does.
+Actions whose guard or statement the static pass could not resolve are
+skipped (reported by the caller as unchecked, never silently "clean"), and a
+kernel with no per-node twin at all is itself an RL007 -- kernels exist only
+as whole-array mirrors of per-node actions.
+
+Run via ``repro-lint --kernels``; CI's vectorized job gates on it.
+"""
+
+from __future__ import annotations
+
+import inspect
+from pathlib import Path
+from typing import Callable, Iterable, Sequence
+
+from repro.lint.findings import Finding, severity_of
+from repro.lint.static import ActionSummary, analyze_paths
+from repro.runtime.protocol import Protocol
+
+#: The kernel-bearing protocols this repo registers, with a network each
+#: kernel set can be instantiated against (Dijkstra's ring protocol needs an
+#: actual ring).  New substrates with ``batch_actions`` belong here.
+def _default_registry() -> list[tuple[Protocol, object]]:
+    from repro.graphs import generators
+    from repro.substrates.dijkstra_ring import DijkstraTokenRing
+    from repro.substrates.spanning_tree import BFSSpanningTree
+
+    return [
+        (BFSSpanningTree(), generators.random_connected(8, seed=1)),
+        (DijkstraTokenRing(), generators.ring(8)),
+    ]
+
+
+def _summary_reads(summary: ActionSummary) -> frozenset[str]:
+    return frozenset(
+        summary.guard_reads_own
+        | summary.guard_reads_neighbor
+        | summary.statement_reads_own
+        | summary.statement_reads_neighbor
+    )
+
+
+def check_kernels(
+    registry: Iterable[tuple[Protocol, object]] | None = None,
+) -> tuple[list[Finding], int]:
+    """Cross-check every registered kernel; return (findings, kernels checked).
+
+    ``registry`` is ``(protocol, network)`` pairs; the default covers the
+    repo's kernel-bearing substrates.  The count excludes kernels whose
+    per-node twin the static pass could not resolve -- those are skipped,
+    not vouched for.
+    """
+    findings: list[Finding] = []
+    checked = 0
+    for protocol, network in registry if registry is not None else _default_registry():
+        kernels = protocol.batch_actions(network)
+        if not kernels:
+            continue
+        owner = type(protocol).__name__
+        module_path = Path(inspect.getfile(type(protocol)))
+        analyzer = analyze_paths([module_path])
+        summaries = {
+            summary.action: summary
+            for summary in analyzer.summaries
+            if summary.owner == owner
+        }
+        for kernel in kernels:
+            summary = summaries.get(kernel.name)
+            if summary is None:
+                findings.append(
+                    Finding(
+                        rule="RL007",
+                        path=str(module_path),
+                        line=0,
+                        message=(
+                            f"batch kernel {kernel.name!r} has no per-node action "
+                            f"on {owner} to cross-check against"
+                        ),
+                        severity=severity_of("RL007"),
+                        layer=kernel.layer,
+                        function=kernel.name,
+                    )
+                )
+                continue
+            if not (summary.guard_resolved and summary.statement_resolved):
+                continue  # unresolved twin: skipped, not vouched for
+            checked += 1
+            declared_reads = frozenset(kernel.reads)
+            declared_writes = frozenset(kernel.writes)
+            static_reads = _summary_reads(summary)
+            static_writes = frozenset(summary.writes)
+            problems = []
+            if missing := static_reads - declared_reads:
+                problems.append(f"reads missing {sorted(missing)}")
+            if extra := declared_reads - static_reads:
+                problems.append(f"reads over-declare {sorted(extra)}")
+            if missing := static_writes - declared_writes:
+                problems.append(f"writes missing {sorted(missing)}")
+            if extra := declared_writes - static_writes:
+                problems.append(f"writes over-declare {sorted(extra)}")
+            if problems:
+                findings.append(
+                    Finding(
+                        rule="RL007",
+                        path=str(module_path),
+                        line=summary.line,
+                        message=(
+                            f"batch kernel {kernel.name!r} declaration disagrees "
+                            f"with the static sets of its per-node action: "
+                            + "; ".join(problems)
+                        ),
+                        severity=severity_of("RL007"),
+                        layer=kernel.layer,
+                        function=kernel.name,
+                    )
+                )
+    return findings, checked
+
+
+__all__ = ["check_kernels"]

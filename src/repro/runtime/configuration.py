@@ -27,7 +27,7 @@ class Configuration:
     deep-copies on write).
     """
 
-    __slots__ = ("_states", "_dirty")
+    __slots__ = ("_states", "_dirty", "_watchers")
 
     def __init__(self, states: Mapping[int, Mapping[str, Any]] | None = None) -> None:
         self._states: dict[int, dict[str, Any]] = {}
@@ -35,6 +35,11 @@ class Configuration:
         # was replaced (a variable may have been *dropped*, so a name list
         # cannot describe the change).
         self._dirty: dict[int, set[str] | None] = {}
+        # Change watchers (e.g. the struct-of-arrays view): called as
+        # ``watcher(node, variables_or_None)`` on every journal event.  A
+        # watcher keeps its own pending-set, so draining the journal (which
+        # the scheduler does every step) never blinds it.
+        self._watchers: list = []
         if states is not None:
             for node, variables in states.items():
                 self._states[int(node)] = dict(variables)
@@ -97,6 +102,26 @@ class Configuration:
             names = self._dirty.setdefault(node, set())
             if names is not None:
                 names.update(variables)
+        if self._watchers:
+            for watcher in self._watchers:
+                watcher(node, variables)
+
+    def add_watcher(self, watcher) -> None:
+        """Register a ``watcher(node, variables_or_None)`` change callback.
+
+        Watchers see every journal event as it happens, independently of the
+        scheduler draining the journal; they must be cheap and must never
+        mutate the configuration.
+        """
+        if watcher not in self._watchers:
+            self._watchers.append(watcher)
+
+    def discard_watcher(self, watcher) -> None:
+        """Remove a previously registered watcher (no-op if absent)."""
+        try:
+            self._watchers.remove(watcher)
+        except ValueError:
+            pass
 
     def update_node(self, node: int, values: Mapping[str, Any]) -> None:
         """Apply several writes at ``node`` at once."""

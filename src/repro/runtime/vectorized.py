@@ -1,0 +1,289 @@
+"""Vectorized synchronous execution: batch kernels over the array view.
+
+Under the synchronous daemon every enabled processor executes in every step
+(``SynchronousDaemon.select`` returns the whole enabled set and does not
+consume randomness), so guard evaluation and action execution are data
+parallel across processors.  :class:`VectorizedScheduler` exploits that: when
+a protocol registers :class:`~repro.runtime.actions.BatchAction` kernels
+covering every per-node action, the scheduler evaluates all guards as boolean
+masks and computes all writes as whole columns on the struct-of-arrays view
+(:mod:`repro.runtime.arrayview`) instead of dispatching per processor.
+
+Fidelity is structural, not best-effort: the scheduler only overrides the two
+execution seams of the base class (:meth:`Scheduler._enabled_view` and
+:meth:`Scheduler._execute_selected`), so daemon selection, composite-atomic
+write application, step/round/move records, metrics, observers and
+instrumentation all run the unmodified base code -- the vectorized engine is
+held to byte-identical :class:`~repro.runtime.scheduler.StepRecord` streams
+by the lockstep equivalence suite.
+
+The fast path disengages -- permanently or per step -- whenever its
+preconditions fail, falling back to the incremental per-node path:
+
+* numpy missing, or the protocol's variables/values not array-encodable
+  (:class:`~repro.runtime.arrayview.ArrayViewUnsupported`) -- permanent;
+* kernels not covering every action of every node (e.g. a composed layer
+  without kernels) -- permanent;
+* a non-synchronous daemon (also mid-run via ``set_daemon``) -- per step;
+* guard-locality debug tracking, which needs per-node views -- permanent.
+
+The fallback is sound because coherence never depends on which path ran:
+the array view tracks the configuration through a change watcher, and the
+scheduler's dirty journal keeps accumulating during fast steps, so the
+per-node incremental refresh sees every change when it takes over.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.graphs.network import RootedNetwork
+from repro.runtime.actions import BatchAction
+from repro.runtime.arrayview import ArrayView, ArrayViewUnsupported, HAVE_NUMPY
+from repro.runtime.configuration import Configuration
+from repro.runtime.daemon import SynchronousDaemon
+from repro.runtime.scheduler import Scheduler
+
+
+class _KernelAction:
+    """Stand-in the fast path hands the base step loop instead of an Action.
+
+    The base class only touches ``.name`` and ``.layer`` of the mapping
+    values it gets from ``_enabled_view`` (for step records and move
+    attribution), so this is all a kernel needs to impersonate.
+    """
+
+    __slots__ = ("name", "layer")
+
+    def __init__(self, name: str, layer: str) -> None:
+        self.name = name
+        self.layer = layer
+
+
+class _KernelLookup(Mapping[int, _KernelAction]):
+    """Lazy ``node -> _KernelAction`` mapping over the best-kernel array.
+
+    Also the type marker :meth:`VectorizedScheduler._execute_selected` uses
+    to recognize that the enabled view came from the fast path.
+    """
+
+    __slots__ = ("_best", "_actions")
+
+    def __init__(self, best: Any, actions: "tuple[_KernelAction, ...]") -> None:
+        self._best = best
+        self._actions = actions
+
+    def __getitem__(self, node: int) -> _KernelAction:
+        kernel = int(self._best[node])
+        if kernel < 0:
+            raise KeyError(node)
+        return self._actions[kernel]
+
+    def __iter__(self):
+        return iter(int(node) for node in (self._best >= 0).nonzero()[0])
+
+    def __len__(self) -> int:
+        return int((self._best >= 0).sum())
+
+
+class VectorizedScheduler(Scheduler):
+    """A :class:`~repro.runtime.scheduler.Scheduler` with a batch fast path.
+
+    Accepts exactly the base constructor arguments; the vectorized machinery
+    is set up lazily on the first step so construction stays cheap and a
+    protocol without kernels costs nothing extra.
+
+    Attributes
+    ----------
+    fast_steps:
+        Number of steps executed through the batch kernels (tests assert the
+        fast path actually engaged; the benchmark reports it).
+    """
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self.fast_steps = 0
+        self._vector_failed = not HAVE_NUMPY or self.check_guard_locality
+        self._vector_setup_done = False
+        self._view: ArrayView | None = None
+        self._kernels: tuple[BatchAction, ...] = ()
+        self._kernel_actions: tuple[_KernelAction, ...] = ()
+        self._kernel_ranks: Any = None
+        self._rank_beyond = 0
+        self._vector_best: Any = None
+        self._vector_masks: list[Any] = []
+        self._absorbing = False
+
+    # ------------------------------------------------------------------
+    # Fast-path setup and teardown
+    # ------------------------------------------------------------------
+    @property
+    def vector_active(self) -> bool:
+        """Whether the batch fast path can serve steps right now."""
+        return self._vector_ready() and isinstance(self.daemon, SynchronousDaemon)
+
+    def _vector_ready(self) -> bool:
+        if self._vector_failed:
+            return False
+        if not self._vector_setup_done:
+            self._vector_setup()
+        return not self._vector_failed
+
+    def _vector_setup(self) -> None:
+        """Build kernels, rank arrays and the array view; on any
+        impossibility, mark the fast path permanently off."""
+        self._vector_setup_done = True
+        import numpy as np
+
+        kernels = tuple(self.protocol.batch_actions(self.network))
+        if not kernels:
+            self._vector_failed = True
+            return
+        kernel_of = {
+            (kernel.name, kernel.layer): index for index, kernel in enumerate(kernels)
+        }
+        n = self.network.n
+        # rank[k, node]: position of kernel k's twin action in node's action
+        # table (the per-node "first enabled action wins" priority), or
+        # ``beyond`` where the node has no such action.
+        beyond = max(len(actions) for actions in self._actions.values()) + 1
+        ranks = np.full((len(kernels), n), beyond, dtype=np.int64)
+        for node, actions in self._actions.items():
+            for position, action in enumerate(actions):
+                index = kernel_of.get((action.name, action.layer))
+                if index is None:
+                    # An action without a kernel twin: the batch path could
+                    # miss enabled processors, so it must not run at all.
+                    self._vector_failed = True
+                    return
+                if ranks[index, node] == beyond:
+                    ranks[index, node] = position
+        try:
+            self._view = ArrayView(self.network, self.protocol, self.configuration)
+        except ArrayViewUnsupported:
+            self._vector_failed = True
+            return
+        self._kernels = kernels
+        self._kernel_actions = tuple(
+            _KernelAction(kernel.name, kernel.layer) for kernel in kernels
+        )
+        self._kernel_ranks = ranks
+        self._rank_beyond = beyond
+
+    def _vector_teardown(self, failed: bool = False) -> None:
+        """Drop the vectorized machinery (topology/configuration replaced, or
+        a mid-run encode failure proved the protocol unencodable)."""
+        if self._view is not None:
+            self._view.end_absorb()
+            self._view.detach()
+            self._view = None
+        self._absorbing = False
+        self._vector_setup_done = False
+        self._kernels = ()
+        self._kernel_actions = ()
+        self._kernel_ranks = None
+        self._vector_best = None
+        self._vector_masks = []
+        if failed:
+            self._vector_failed = True
+
+    # ------------------------------------------------------------------
+    # Overridden execution seams
+    # ------------------------------------------------------------------
+    def _enabled_view(self):
+        if self.vector_active:
+            try:
+                return self._vector_enabled_view()
+            except ArrayViewUnsupported:
+                # A stored value left the encodable domain (e.g. a scenario
+                # injected something exotic): per-node dispatch from here on.
+                self._vector_teardown(failed=True)
+        return super()._enabled_view()
+
+    def _vector_enabled_view(self):
+        view = self._view
+        assert view is not None
+        if self._absorbing:  # defensive: a nested view computation mid-absorb
+            view.end_absorb()
+            self._absorbing = False
+        view.sync()
+        np = view.np
+        n = self.network.n
+        best_rank = np.full(n, self._rank_beyond, dtype=np.int64)
+        best_kernel = np.full(n, -1, dtype=np.int64)
+        masks: list[Any] = []
+        for index, kernel in enumerate(self._kernels):
+            mask = kernel.guard(view)
+            masks.append(mask)
+            rank = self._kernel_ranks[index]
+            better = mask & (rank < best_rank)
+            best_rank[better] = rank[better]
+            best_kernel[better] = index
+        if self._frozen:
+            best_kernel[list(self._frozen)] = -1
+        order = tuple(np.flatnonzero(best_kernel >= 0).tolist())
+        self._vector_best = best_kernel
+        self._vector_masks = masks
+        return order, _KernelLookup(best_kernel, self._kernel_actions), frozenset(order)
+
+    def _execute_selected(self, enabled, selected):
+        if not isinstance(enabled, _KernelLookup):
+            return super()._execute_selected(enabled, selected)
+        view = self._view
+        assert view is not None
+        np = view.np
+        best = self._vector_best
+        sel = np.asarray(selected, dtype=np.int64)
+        decoded: dict[int, dict[str, Any]] = {}
+        # Every kernel's step must read the beginning-of-step arrays
+        # (composite atomicity), so all outputs are computed before any
+        # column is mutated.  Kernels return fresh arrays, never the view's
+        # own columns, which is what makes the later absorption safe.
+        plans: list[tuple[Any, dict[str, Any]]] = []
+        for index, kernel in enumerate(self._kernels):
+            nodes = sel[best[sel] == index]
+            if nodes.size:
+                plans.append((nodes, kernel.step(view, self._vector_masks[index])))
+        for nodes, columns in plans:
+            names = tuple(columns)
+            per_name = [view.decode_values(name, columns[name], nodes) for name in names]
+            # Keep the arrays coherent by bulk assignment now; the watcher is
+            # then silenced for the apply loop (begin_absorb below), which
+            # re-applies exactly these values to the dict state.
+            view.absorb_writes(columns, nodes)
+            for position, node in enumerate(nodes.tolist()):
+                decoded[node] = {
+                    name: values[position] for name, values in zip(names, per_name)
+                }
+        actions = self._kernel_actions
+        executed = [(node, actions[best[node]].name) for node in selected]
+        pending_writes = {node: decoded[node] for node in selected}
+        view.begin_absorb()
+        self._absorbing = True
+        self.fast_steps += 1
+        return executed, pending_writes
+
+    def _advance_round(self, executed_nodes):
+        # The base step calls this right after the write-application loop and
+        # before observers run, which is exactly where the absorb window ends.
+        if self._absorbing and self._view is not None:
+            self._view.end_absorb()
+            self._absorbing = False
+        return super()._advance_round(executed_nodes)
+
+    # ------------------------------------------------------------------
+    # State manipulation: the view follows the configuration object
+    # ------------------------------------------------------------------
+    def set_configuration(self, configuration: Configuration) -> None:
+        super().set_configuration(configuration)
+        # The scheduler now owns a *new* Configuration copy; rebuild the view
+        # (and its watcher registration) against it on the next fast step.
+        self._vector_teardown()
+
+    def set_network(self, network: RootedNetwork, reinitialize: Iterable[int] = ()) -> None:
+        super().set_network(network, reinitialize=reinitialize)
+        # New topology: CSR index, kernel closures and rank tables are stale.
+        self._vector_teardown()
+
+
+__all__ = ["VectorizedScheduler"]

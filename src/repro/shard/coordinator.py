@@ -42,8 +42,15 @@ from typing import Any, Iterable, Mapping, Sequence
 
 from repro.graphs.network import RootedNetwork
 from repro.obs.instrument import Instrumentation, PHASE_FRONTIER_EXCHANGE
+from repro.runtime.arrayview import (
+    ArrayView,
+    ArrayViewUnsupported,
+    HAVE_NUMPY,
+    column_sizes,
+    np,
+)
 from repro.runtime.configuration import Configuration
-from repro.runtime.daemon import Daemon
+from repro.runtime.daemon import Daemon, SynchronousDaemon
 from repro.runtime.observers import Observer
 from repro.runtime.protocol import Protocol
 from repro.runtime.scheduler import Scheduler
@@ -136,6 +143,23 @@ def _close_handles(handles: list) -> None:
             pass
 
 
+def _release_shm(segment) -> None:
+    """Best-effort unlink+close of a shared-memory segment.
+
+    Unlink first -- it only removes the name and always succeeds -- so the
+    segment can never leak even when outstanding numpy views keep the mapping
+    exported and ``close`` raises ``BufferError``.
+    """
+    try:
+        segment.unlink()
+    except Exception:  # pragma: no cover - already unlinked
+        pass
+    try:
+        segment.close()
+    except Exception:  # pragma: no cover - exported views still alive
+        pass
+
+
 class ShardedScheduler(Scheduler):
     """A :class:`~repro.runtime.scheduler.Scheduler` that executes sharded.
 
@@ -151,6 +175,17 @@ class ShardedScheduler(Scheduler):
         worker process; ``"inline"`` runs the identical shard workers
         synchronously in-process -- zero parallelism, full observability,
         used by tests and as the fallback on fork-less platforms.
+    fused_rounds:
+        On by default.  Under the synchronous daemon the coming selection is
+        the whole enabled set, so the per-step ``apply`` + ``execute``
+        round-trip pair collapses into one fused ``round`` message whose
+        reply carries the speculative execution results, and workers commit
+        their own block's writes locally so interior writes never cross the
+        pipe again.  ``False`` restores the classic two-trip protocol (the
+        benchmark A/Bs the two).  In ``"fork"`` mode with numpy available
+        and an array-encodable protocol, frontier deltas additionally travel
+        through a ``multiprocessing.shared_memory`` mirror instead of the
+        pipes' pickle stream; both paths degrade transparently.
 
     Every observable -- enabled sets, step records, metrics, rounds, final
     configurations, convergence verdicts -- is bit-identical to a
@@ -187,6 +222,7 @@ class ShardedScheduler(Scheduler):
         check_guard_locality: bool | None = None,
         instrumentation: Instrumentation | None = None,
         race_checker=None,
+        fused_rounds: bool = True,
     ) -> None:
         super().__init__(
             network,
@@ -211,7 +247,37 @@ class ShardedScheduler(Scheduler):
         #: every frontier exchange is followed by a mirror audit and every
         #: execute fan-out by a write-ownership audit.
         self.race_checker = race_checker
+        #: Whether synchronous-daemon steps may use the fused single
+        #: round-trip ``round`` protocol (benchmarks A/B this; everything
+        #: else leaves it on).
+        self.fused_rounds = fused_rounds
         self.partition: Partition = partition_network(network, shards, strategy=partition)
+        #: ``node -> (action name, pending writes)`` speculatively computed by
+        #: the last fused ``round`` exchange; consumed by the next
+        #: ``_execute_selected`` instead of a second round-trip.
+        self._round_results: dict[int, tuple[str, dict[str, Any]]] | None = None
+        #: After a committed fused round: ``node -> writes`` the owning worker
+        #: already folded into its own mirror, so the next exchange can skip
+        #: shipping those values back to the owner (ghosting shards still get
+        #: them).  Values are compared before skipping -- a scenario overwrite
+        #: between steps invalidates the shortcut per node.
+        self._owner_synced: dict[int, dict[str, Any]] | None = None
+        #: Shards holding a pending (locally-committed but not re-evaluated)
+        #: frontier; they must receive a message next exchange even when no
+        #: deltas route to them.
+        self._owners_pending: set[int] = set()
+        # Shared-memory mirror (fork mode + numpy + encodable protocol only):
+        # frontier deltas become ("shm", names) name lists and the values
+        # travel through the segment instead of the pipe's pickle stream.
+        # The segment must exist before the workers fork so they inherit the
+        # mapping; everything degrades to pickled deltas when unavailable.
+        self._shm = None
+        self._shm_view: ArrayView | None = None
+        self._shm_buffers: dict[str, Any] | None = None
+        self._shm_names: frozenset = frozenset()
+        shm_buffers = (
+            self._create_shm_mirror() if mode == "fork" and HAVE_NUMPY else None
+        )
         handle_type = _ProcessShard if mode == "fork" else _InlineShard
         self._shards = []
         for index, block in enumerate(self.partition.blocks):
@@ -224,12 +290,63 @@ class ShardedScheduler(Scheduler):
                 tuple(self.partition.ghosts(index)),
                 self.check_guard_locality,
                 self._instr.enabled,
+                shm_buffers=shm_buffers,
             )
             self._shards.append(handle_type(factory))
         self._closed = False
         self._finalizer = weakref.finalize(self, _close_handles, list(self._shards))
         # super().__init__ left _needs_full_rescan=True, so the first
         # enabled-set access broadcasts the initial configuration ("load").
+
+    def _create_shm_mirror(self) -> dict[str, Any] | None:
+        """Allocate the shared segment and the coordinator-side encoder view.
+
+        Returns the ``{name: int64 array}`` buffer map the worker factories
+        capture (inherited through fork, so coordinator and workers alias the
+        same pages), or ``None`` when the protocol is not array-encodable or
+        the platform refuses a segment -- the engine then simply keeps
+        pickling deltas.
+        """
+        from multiprocessing import shared_memory
+
+        try:
+            sizes = column_sizes(self.network, self.protocol)
+        except ArrayViewUnsupported:
+            return None
+        try:
+            segment = shared_memory.SharedMemory(
+                create=True, size=max(sum(sizes.values()) * 8, 8)
+            )
+        except (OSError, ValueError):  # pragma: no cover - platform quirk
+            return None
+        buffers: dict[str, Any] | None = {}
+        offset = 0
+        for name in sorted(sizes):
+            buffers[name] = np.frombuffer(
+                segment.buf, dtype=np.int64, count=sizes[name], offset=offset
+            )
+            offset += sizes[name] * 8
+        try:
+            view = ArrayView(
+                self.network, self.protocol, self.configuration, buffers=buffers
+            )
+        except ArrayViewUnsupported:
+            buffers = None  # drop the exports so the mapping can close
+            _release_shm(segment)
+            return None
+        self._shm = segment
+        self._shm_view = view
+        self._shm_buffers = buffers
+        self._shm_names = frozenset(buffers)
+        self._shm_finalizer = weakref.finalize(self, _release_shm, segment)
+        return buffers
+
+    def _disable_shm(self) -> None:
+        """Stop producing shared-memory deltas (a value left the encodable
+        domain mid-run, or the topology changed the column layout)."""
+        if self._shm_view is not None:
+            self._shm_view.detach()
+            self._shm_view = None
 
     # ------------------------------------------------------------------
     # Worker messaging
@@ -283,18 +400,27 @@ class ShardedScheduler(Scheduler):
         self, nodes: Iterable[int], detail: Mapping[int, frozenset | None]
     ) -> dict[int, tuple[str, Mapping[str, Any]]]:
         """Per-node change payloads: written variables only, full state when
-        the whole local state was replaced (so dropped variables propagate)."""
-        payload: dict[int, tuple[str, Mapping[str, Any]]] = {}
+        the whole local state was replaced (so dropped variables propagate).
+
+        With the shared-memory mirror live (and freshly synced by the
+        caller), a plain variable write ships as ``("shm", names)`` -- the
+        worker reads the values out of the segment -- so only the names cross
+        the pipe.  Whole-state replacements always go pickled: a dropped
+        variable has no array representation.
+        """
+        payload: dict[int, tuple[str, Any]] = {}
+        shm_live = self._shm_view is not None
         for node in nodes:
             names = detail[node]
             state = self.configuration.peek_state(node)
             if names is None:
                 payload[node] = ("full", state)
+                continue
+            present = tuple(name for name in names if name in state)
+            if shm_live and all(name in self._shm_names for name in present):
+                payload[node] = ("shm", present)
             else:
-                payload[node] = (
-                    "vars",
-                    {name: state[name] for name in names if name in state},
-                )
+                payload[node] = ("vars", {name: state[name] for name in present})
         return payload
 
     # ------------------------------------------------------------------
@@ -317,6 +443,9 @@ class ShardedScheduler(Scheduler):
         timed = instr.enabled
         started = time.perf_counter() if timed else 0.0
         if self._needs_full_rescan:
+            self._round_results = None  # mirrors are being reloaded
+            self._owner_synced = None
+            self._owners_pending = set()
             self.configuration.drain_dirty()
             messages = {
                 index: ("load", self._states_payload(self.partition.scope(index)))
@@ -350,16 +479,70 @@ class ShardedScheduler(Scheduler):
             if timed:
                 instr.phase_time(PHASE_FRONTIER_EXCHANGE, time.perf_counter() - started)
             return
+        if self._round_results is not None:
+            # A speculative round was never committed (the configuration was
+            # mutated between an enabled-set refresh and the step that would
+            # have consumed it): the worker mirrors have run ahead of the
+            # authoritative state, so reload them wholesale.
+            self._round_results = None
+            self._owner_synced = None
+            self._owners_pending = set()
+            self._needs_full_rescan = True
+            if timed:
+                instr.phase_time(PHASE_FRONTIER_EXCHANGE, time.perf_counter() - started)
+            self._refresh_enabled()
+            return
         dirty = {node for node in detail if node in self._actions}
-        messages = {}
+        if self._shm_view is not None:
+            try:
+                # Encode every pending node into the segment *before* the
+                # sends: workers read it while handling the command, and the
+                # coordinator blocks on their replies, so nothing races.
+                self._shm_view.sync()
+            except ArrayViewUnsupported:
+                self._disable_shm()
+        # Under the synchronous daemon the coming selection is known to be
+        # the whole enabled set, so fuse apply+execute into one ``round``
+        # trip per shard and stash the speculative execution results.  The
+        # race checker needs the two-phase shape for its audits, so it keeps
+        # the classic path.
+        fused = (
+            self.fused_rounds
+            and isinstance(self.daemon, SynchronousDaemon)
+            and self.race_checker is None
+        )
+        command = "round" if fused else "apply"
+        synced = self._owner_synced
+        self._owner_synced = None
+        pending_owners = self._owners_pending
+        self._owners_pending = set()
+        frozen = tuple(self._frozen)
+        messages: dict[int, tuple] = {}
         for index in range(self.partition.k):
             relevant = dirty & self.partition.scope(index)
-            if relevant:
-                messages[index] = ("apply", self._delta_payload(relevant, detail))
+            if synced:
+                relevant = {
+                    node
+                    for node in relevant
+                    if not self._owner_already_has(index, node, detail, synced)
+                }
+            if relevant or index in pending_owners:
+                payload = self._delta_payload(relevant, detail)
+                messages[index] = (
+                    (command, payload, frozen) if fused else (command, payload)
+                )
         if not messages:
             if timed:
                 instr.phase_time(PHASE_FRONTIER_EXCHANGE, time.perf_counter() - started)
             return
+        if fused:
+            # Shards with untouched mirrors still hold enabled nodes that the
+            # synchronous step will select; they join the round with an empty
+            # delta purely to execute their share.
+            for node in self._enabled:
+                owner = self.partition.owner_of(node)
+                if owner not in messages:
+                    messages[owner] = ("round", {}, frozen)
         if timed:
             instr.count("frontier_messages", len(messages))
             instr.count(
@@ -379,6 +562,11 @@ class ShardedScheduler(Scheduler):
                 if node not in self._enabled:
                     self._invalidate_enabled_view()
                 self._enabled[node] = _RemoteAction(name, layer)
+        if fused:
+            merged: dict[int, tuple[str, dict[str, Any]]] = {}
+            for delta in answers.values():
+                merged.update(delta.get("executed", {}))
+            self._round_results = merged
         if timed:
             instr.count(
                 "frontier_bytes_received",
@@ -387,6 +575,32 @@ class ShardedScheduler(Scheduler):
             instr.phase_time(PHASE_FRONTIER_EXCHANGE, time.perf_counter() - started)
         if self.race_checker is not None:
             self.race_checker.audit_mirrors(self)
+
+    def _owner_already_has(
+        self,
+        index: int,
+        node: int,
+        detail: Mapping[int, "frozenset | None"],
+        synced: Mapping[int, Mapping[str, Any]],
+    ) -> bool:
+        """Whether shard ``index`` -- as ``node``'s owner -- already folded
+        this delta by committing its own speculative writes.
+
+        True only when every journaled variable carries exactly the value the
+        worker committed; any later overwrite (scenario surgery between
+        steps) or a whole-state replacement sends the node normally.
+        """
+        if self.partition.owner_of(node) != index:
+            return False
+        writes = synced.get(node)
+        names = detail[node]
+        if writes is None or names is None:
+            return False
+        state = self.configuration.peek_state(node)
+        return all(
+            name in writes and name in state and state[name] == writes[name]
+            for name in names
+        )
 
     def _execute_selected(
         self, enabled: Mapping[int, Any], selected: Sequence[int]
@@ -397,7 +611,37 @@ class ShardedScheduler(Scheduler):
         the answers are re-assembled in the daemon's selection order, so the
         step record (and the write-application order) is byte-identical to
         the single-process step.
+
+        When the last frontier exchange was a fused ``round``, the workers
+        already executed every enabled node speculatively and the results sit
+        in ``_round_results``; the selection is served from that stash --
+        valid because the configuration has not changed since the exchange --
+        and the second round-trip disappears entirely.
         """
+        stash = self._round_results
+        if stash is not None:
+            self._round_results = None
+            if len(stash) == len(selected) and all(node in stash for node in selected):
+                executed = [(node, stash[node][0]) for node in selected]
+                pending_writes = {node: stash[node][1] for node in selected}
+                # Commit: the step will apply exactly these values, which the
+                # owning workers already folded into their mirrors.
+                self._owner_synced = {
+                    node: writes for node, (_name, writes) in stash.items()
+                }
+                self._owners_pending = {
+                    self.partition.owner_of(node) for node in stash
+                }
+                return executed, pending_writes
+            # The selection diverged from the speculation (daemon swapped or
+            # nodes frozen mid-step): the workers committed writes this step
+            # will not apply, so reload their mirrors from the -- still
+            # beginning-of-step -- authoritative configuration and execute
+            # the real selection the classic way.
+            self._owner_synced = None
+            self._owners_pending = set()
+            self._needs_full_rescan = True
+            self._refresh_enabled()
         by_shard: dict[int, list[int]] = {}
         for node in selected:
             by_shard.setdefault(self.partition.owner_of(node), []).append(node)
@@ -422,12 +666,43 @@ class ShardedScheduler(Scheduler):
         """
         super().set_network(network, reinitialize=reinitialize)
         self.partition = self.partition.rebind(network)
+        self._round_results = None
+        self._owner_synced = None
+        self._owners_pending = set()
+        # A new topology changes the CSR layout of map columns; rather than
+        # renegotiating the segment with live workers, shared-memory deltas
+        # simply stop for the rest of the run.
+        self._disable_shm()
         self._command(
             {
                 index: ("network", network, tuple(self.partition.ghosts(index)))
                 for index in range(self.partition.k)
             }
         )
+
+    def set_configuration(self, configuration: Configuration) -> None:
+        """Replace the run's configuration (the base queues a full rescan).
+
+        The coordinator now owns a *new* journaled Configuration copy, so the
+        shared-memory encoder view is rebuilt against it; the freshly-created
+        view marks every node pending, which re-encodes the whole state into
+        the segment on the next exchange.
+        """
+        super().set_configuration(configuration)
+        self._round_results = None
+        self._owner_synced = None
+        self._owners_pending = set()
+        if self._shm_view is not None:
+            self._shm_view.detach()
+            try:
+                self._shm_view = ArrayView(
+                    self.network,
+                    self.protocol,
+                    self.configuration,
+                    buffers=self._shm_buffers,
+                )
+            except ArrayViewUnsupported:
+                self._shm_view = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -447,6 +722,12 @@ class ShardedScheduler(Scheduler):
         self._closed = True
         self._finalizer.detach()
         _close_handles(self._shards)
+        self._disable_shm()
+        self._shm_buffers = None  # release the exports so the mapping closes
+        if self._shm is not None:
+            self._shm_finalizer.detach()
+            _release_shm(self._shm)
+            self._shm = None
 
     def _collect_worker_perf(self) -> None:
         for index, shard in enumerate(self._shards):

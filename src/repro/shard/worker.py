@@ -15,6 +15,16 @@ and answers four messages:
   against the beginning-of-step mirror and return their pending writes
   (writes are never applied locally -- they come back through ``apply``, the
   same routed path every other shard's writes take);
+* ``round``  -- ``apply`` and ``execute`` fused into one round-trip: fold the
+  deltas, re-evaluate the frontier, then speculatively execute *every*
+  non-frozen enabled block node against the updated (beginning-of-step)
+  mirror -- and locally commit the resulting writes to the mirror, so the
+  coordinator never has to ship a node's own writes back to its owner.
+  Sound only under the synchronous daemon, where the coordinator knows the
+  whole enabled set will be selected; the coordinator keeps the reply's
+  ``executed`` map, serves the selection from it without a second trip, and
+  forces a full ``load`` whenever the actual selection diverges from the
+  speculation (mid-step daemon swaps, configuration surgery);
 * ``network`` -- swap the topology (dynamic-network scenarios): rebuild the
   block's action tables and ghost set; the coordinator follows up with a
   ``load``.
@@ -39,6 +49,7 @@ from repro.obs.instrument import (
     PHASE_ACTION_EXEC,
     PHASE_GUARD_EVAL,
 )
+from repro.runtime.arrayview import ArrayView, ArrayViewUnsupported
 from repro.runtime.configuration import Configuration
 from repro.runtime.processor import ProcessorView
 from repro.runtime.protocol import Protocol
@@ -61,6 +72,7 @@ class ShardWorker:
         ghosts: Sequence[int],
         check_guard_locality: bool = False,
         instrument: bool = False,
+        shm_buffers: Mapping[str, Any] | None = None,
     ) -> None:
         self.shard_index = shard_index
         self.network = network
@@ -68,6 +80,20 @@ class ShardWorker:
         self.block = tuple(block)
         self.ghosts = frozenset(ghosts)
         self.check_guard_locality = check_guard_locality
+        #: Decode-only array view over the coordinator's shared-memory
+        #: mirror.  ``shm_buffers`` maps variable names to int64 arrays that
+        #: alias the coordinator's segment (inherited through fork), so a
+        #: ``("shm", names)`` delta is decoded locally instead of pickled
+        #: across the pipe.  The throwaway Configuration is never read: the
+        #: view is used purely through :meth:`ArrayView.decode_node`.
+        self._shm_view: ArrayView | None = None
+        if shm_buffers is not None:
+            try:
+                self._shm_view = ArrayView(
+                    network, protocol, Configuration(), buffers=shm_buffers
+                )
+            except ArrayViewUnsupported:
+                self._shm_view = None
         #: Local phase timers and counters; cumulative for the worker's
         #: lifetime.  Summaries piggyback on ``apply`` replies and answer the
         #: ``perf`` command, so the coordinator's view is always the latest
@@ -82,6 +108,9 @@ class ShardWorker:
         self.configuration = Configuration()
         #: node -> currently first-enabled Action, for block nodes only.
         self.enabled: dict[int, Any] = {}
+        #: Block nodes whose guards a locally-committed ``round`` left
+        #: unevaluated; folded into the next ``apply``'s frontier.
+        self._pending_frontier: set[int] = set()
 
     # ------------------------------------------------------------------
     # Message handlers
@@ -96,6 +125,7 @@ class ShardWorker:
         started = time.perf_counter() if timed else 0.0
         self.configuration = Configuration(states)
         self.enabled = {}
+        self._pending_frontier = set()
         for node in self.block:
             action = self._first_enabled(node)
             if action is not None:
@@ -113,8 +143,10 @@ class ShardWorker:
 
         ``deltas`` carries, for every changed node visible to this shard (own
         or ghost), either ``("vars", {name: value})`` -- just the written
-        variables, the common case -- or ``("full", state)`` when the node's
-        whole local state was replaced (a variable may have been dropped).
+        variables, the common case -- ``("shm", names)`` -- the named
+        variables are read out of the shared-memory mirror instead of the
+        message -- or ``("full", state)`` when the node's whole local state
+        was replaced (a variable may have been dropped).
         The re-evaluated frontier is the changed block nodes plus the
         block-side neighbors of every changed node -- the sharded restriction
         of the incremental scheduler's dirty frontier.  Returns the enabled
@@ -127,10 +159,24 @@ class ShardWorker:
         instr = self.instrumentation
         timed = instr.enabled
         started = time.perf_counter() if timed else 0.0
-        frontier: set[int] = set()
+        # Start from the frontier a locally-committed round left behind: its
+        # writes are already in the mirror but their guards were not
+        # re-evaluated (the cross-shard writes they may depend on only arrive
+        # with this very delta batch).
+        frontier: set[int] = self._pending_frontier
+        self._pending_frontier = set()
         for node, (kind, values) in deltas.items():
             if kind == "full":
                 self.configuration.replace_node(node, values)
+            elif kind == "shm":
+                if self._shm_view is None:
+                    raise ShardError(
+                        f"shard {self.shard_index} received a shared-memory "
+                        "delta but has no shared-memory mirror"
+                    )
+                self.configuration.update_node(
+                    node, self._shm_view.decode_node(node, values)
+                )
             else:
                 self.configuration.update_node(node, values)
             if node in self._members:
@@ -188,6 +234,59 @@ class ShardWorker:
             instr.phase_time(PHASE_ACTION_EXEC, time.perf_counter() - started)
         return out
 
+    def round_step(
+        self,
+        deltas: Mapping[int, tuple[str, Mapping[str, Any]]],
+        frozen: Sequence[int] = (),
+    ) -> dict[str, Any]:
+        """``apply`` and ``execute`` fused into one message (``round``).
+
+        Folds ``deltas`` exactly like :meth:`apply`, then speculatively runs
+        the cached enabled action of every non-frozen enabled block node
+        against the updated mirror -- which is the beginning-of-step
+        configuration for the step about to happen.  The coordinator only
+        sends this under the synchronous daemon, where the selection is known
+        in advance to be exactly that node set, so nothing is wasted and the
+        second (``execute``) round-trip disappears.
+
+        The writes are then committed to the local mirror immediately (all
+        executions first, composite atomicity): the coordinator applies the
+        identical values to the authoritative configuration, so the next
+        round's deltas can skip every node whose own writes were the only
+        change -- interior writes stop crossing the pipe altogether.  The
+        written nodes and their block-side neighbors are parked in the
+        pending frontier; their guards re-evaluate on the next ``apply``,
+        when the matching cross-shard boundary writes have arrived.  The
+        reply extends the ``apply`` reply with ``executed``:
+        ``node -> (action name, pending writes)``.
+        """
+        reply = self.apply(deltas)
+        instr = self.instrumentation
+        timed = instr.enabled
+        started = time.perf_counter() if timed else 0.0
+        skip = frozenset(frozen)
+        targets = [
+            (node, action) for node, action in self.enabled.items() if node not in skip
+        ]
+        executed: dict[int, tuple[str, dict[str, Any]]] = {}
+        for node, action in targets:
+            view = ProcessorView(node, self.network, self.configuration)
+            action.execute(view)
+            executed[node] = (action.name, view.pending_writes)
+        pending = self._pending_frontier
+        for node, (_name, writes) in executed.items():
+            if writes:
+                self.configuration.update_node(node, writes)
+                pending.add(node)
+                pending.update(self.network.neighbor_set(node) & self._members)
+        reply["executed"] = executed
+        if timed:
+            instr.count("actions_executed", len(executed))
+            instr.count("fused_rounds")
+            instr.phase_time(PHASE_ACTION_EXEC, time.perf_counter() - started)
+            reply["perf"] = instr.summary()
+        return reply
+
     def perf(self) -> dict[str, Any]:
         """The worker's cumulative instrumentation summary (``perf`` command)."""
         return self.instrumentation.summary()
@@ -230,6 +329,8 @@ class ShardWorker:
             return self.load(message[1])
         if command == "apply":
             return self.apply(message[1])
+        if command == "round":
+            return self.round_step(message[1], message[2])
         if command == "execute":
             return self.execute(message[1])
         if command == "network":

@@ -31,6 +31,7 @@ from repro.api import RunSpec, NetworkSpec, run
 from repro.core.dftno import build_dftno
 from repro.core.stno import build_stno
 from repro.graphs import generators
+from repro.runtime.arrayview import HAVE_NUMPY
 from repro.runtime.daemon import make_daemon
 from repro.runtime.scheduler import Scheduler
 from repro.scenarios.library import build_scenario, scenario_names
@@ -59,16 +60,23 @@ PROTOCOLS = {
 }
 
 
-def _scheduler_builders(shards: int | None):
+def _scheduler_builders(shards: "int | str | None"):
     """The reference core plus the core under test.
 
     ``shards=None`` compares incremental vs full scan (the PR-4 pairing);
     an integer compares incremental vs the sharded engine with that many
-    blocks (inline harness: same workers, same messages, no processes).
+    blocks (inline harness: same workers, same messages, no processes);
+    ``"vectorized"`` compares incremental vs the batch-kernel engine (which
+    must not get guard-locality checking -- that debug mode deliberately
+    disables the fast path this pairing exists to hold to account).
     """
     reference = partial(Scheduler, incremental=True, check_guard_locality=True)
     if shards is None:
         candidate = partial(Scheduler, incremental=False, check_guard_locality=True)
+    elif shards == "vectorized":
+        from repro.runtime.vectorized import VectorizedScheduler
+
+        candidate = partial(VectorizedScheduler, incremental=True)
     else:
         candidate = partial(
             ShardedScheduler, shards=shards, mode="inline", check_guard_locality=True
@@ -174,6 +182,46 @@ def test_sharded_equals_incremental_property(seed, protocol_key, daemon, n, shar
     _lockstep(protocol_key, daemon, seed=seed, n=n, max_steps=80, shards=shards)
 
 
+#: The substrates that register batch kernels (the vectorized fast path);
+#: every other substrate rides the fallback, covered by the kernel-less
+#: fallback tests in ``tests/runtime/test_vectorized_scheduler.py``.
+VECTORIZED_PROTOCOLS = ("bfs-tree", "dijkstra-ring")
+
+needs_numpy = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="numpy not installed (the vectorized extra)"
+)
+
+
+@needs_numpy
+@pytest.mark.parametrize("daemon", DAEMONS)
+@pytest.mark.parametrize("protocol_key", VECTORIZED_PROTOCOLS)
+def test_vectorized_equals_incremental_for_kernel_substrates(protocol_key, daemon):
+    """Vectorized lockstep equivalence across every daemon.
+
+    Under the synchronous daemon the batch kernels serve the steps; under
+    the other daemons the engine falls back to per-node dispatch -- either
+    way the records must be identical to the incremental reference.
+    """
+    _lockstep(protocol_key, daemon, seed=11, n=7, shards="vectorized")
+
+
+@needs_numpy
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    protocol_key=st.sampled_from(VECTORIZED_PROTOCOLS),
+    daemon=st.sampled_from(DAEMONS),
+    n=st.integers(min_value=3, max_value=9),
+)
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+def test_vectorized_equals_incremental_property(seed, protocol_key, daemon, n):
+    """Vectorized equivalence holds for arbitrary seeds and sizes."""
+    _lockstep(protocol_key, daemon, seed=seed, n=n, max_steps=80, shards="vectorized")
+
+
 @pytest.mark.parametrize("shards", SHARD_COUNTS)
 @pytest.mark.parametrize("protocol_key", sorted(PROTOCOLS))
 def test_sharded_runs_have_no_frontier_races(protocol_key, shards):
@@ -208,23 +256,28 @@ def test_sharded_runs_have_no_frontier_races(protocol_key, shards):
     assert checker.mirror_audits > 0
 
 
-@pytest.mark.parametrize("daemon", ("central", "distributed"))
+@pytest.mark.parametrize("daemon", ("central", "distributed", "synchronous"))
 @pytest.mark.parametrize("protocol", ("dftno", "stno-bfs"))
 def test_engine_registry_rows_are_identical(protocol, daemon):
-    """All three scheduler engines produce identical result rows.
+    """All four scheduler engines produce identical result rows.
 
     The whole-run check through the public entry point: same spec (modulo the
     engine name and shard knobs), same :class:`StabilizationSample` row,
     converged on every path.  The sharded rows run with real forked worker
-    processes -- the engine's default mode.
+    processes -- the engine's default mode; the synchronous-daemon cells
+    drive the vectorized engine's fast path (stno-bfs carries the BFS
+    kernels) and the sharded engine's fused round protocol.
     """
-    rows = {}
-    for engine, shards in (
+    engines = [
         ("scheduler", None),
         ("scheduler-fullscan", None),
         ("scheduler-sharded", 2),
         ("scheduler-sharded", 4),
-    ):
+    ]
+    if HAVE_NUMPY:
+        engines.append(("scheduler-vectorized", None))
+    rows = {}
+    for engine, shards in engines:
         spec = RunSpec(
             engine=engine,
             protocol=protocol,

@@ -1,0 +1,62 @@
+"""Fixture protocol whose batch kernel lies about its read/write sets.
+
+The per-node action reads and writes ``km_v``; the kernel declares it reads a
+variable the action never touches (``km_ghost``) and omits ``km_v`` from its
+writes.  ``repro-lint --kernels`` must flag both directions as RL007.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.graphs.network import RootedNetwork
+from repro.runtime.actions import Action, BatchAction
+from repro.runtime.processor import ProcessorView
+from repro.runtime.protocol import Protocol
+from repro.runtime.variables import VariableSpec, int_variable
+
+VAR_VALUE = "km_v"
+
+
+class KernelMismatchProtocol(Protocol):
+    """Minimal kernel-bearing protocol with a deliberately-wrong declaration."""
+
+    name = "kernel-mismatch"
+
+    ACTION_BUMP = "KM-Bump"
+
+    def variables(self, network: RootedNetwork, node: int) -> Sequence[VariableSpec]:
+        return [int_variable(VAR_VALUE, 0, 1, initial=0, description="toggle bit")]
+
+    def legitimate(self, network: RootedNetwork, configuration) -> bool:
+        return all(
+            configuration.get(node, VAR_VALUE) == 1 for node in network.nodes()
+        )
+
+    def actions(self, network: RootedNetwork, node: int) -> Sequence[Action]:
+        def bump_guard(view: ProcessorView) -> bool:
+            return view.read(VAR_VALUE) == 0
+
+        def bump_step(view: ProcessorView) -> None:
+            view.write(VAR_VALUE, 1)
+
+        return [Action(self.ACTION_BUMP, bump_guard, bump_step, layer=self.name)]
+
+    def batch_actions(self, network: RootedNetwork) -> Sequence[BatchAction]:
+        def bump_guard(view):
+            return view.array(VAR_VALUE) == 0
+
+        def bump_step(view, mask):
+            np = view.np
+            return {VAR_VALUE: np.ones(view.network.n, dtype=np.int64)}
+
+        return [
+            BatchAction(
+                self.ACTION_BUMP,
+                bump_guard,
+                bump_step,
+                layer=self.name,
+                reads=("km_ghost",),  # never read by the per-node action
+                writes=(),  # omits km_v, which the action writes
+            ),
+        ]

@@ -1,0 +1,74 @@
+"""The batch-kernel cross-check (``repro-lint --kernels``, rule RL007)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.graphs import generators
+from repro.lint.cli import main
+from repro.lint.findings import RULES
+from repro.lint.kernels import check_kernels
+
+
+def test_rl007_in_rule_catalog() -> None:
+    severity, description = RULES["RL007"]
+    assert severity == "error"
+    assert "kernel" in description
+
+
+def test_registered_kernels_match_their_static_sets() -> None:
+    findings, checked = check_kernels()
+    assert findings == []
+    # Both kernel-bearing substrates (BFS tree + Dijkstra ring), two kernels each.
+    assert checked == 4
+
+
+def test_mismatched_kernel_is_flagged_both_directions() -> None:
+    from tests.lint.fixtures.kernel_mismatch import KernelMismatchProtocol
+
+    findings, checked = check_kernels(
+        [(KernelMismatchProtocol(), generators.random_connected(6, seed=1))]
+    )
+    assert checked == 1
+    assert len(findings) == 1
+    finding = findings[0]
+    assert finding.rule == "RL007"
+    assert finding.severity == "error"
+    assert finding.function == "KM-Bump"
+    assert finding.line > 0
+    assert "kernel_mismatch.py" in finding.path
+    # The message names every direction of the lie.
+    assert "km_v" in finding.message  # missing from declared reads and writes
+    assert "km_ghost" in finding.message  # over-declared read
+
+
+def test_kernel_without_per_node_twin_is_flagged() -> None:
+    from tests.lint.fixtures.kernel_mismatch import KernelMismatchProtocol
+
+    class Orphan(KernelMismatchProtocol):
+        def batch_actions(self, network):
+            (kernel,) = super().batch_actions(network)
+            kernel = type(kernel)(
+                "KM-Nonexistent", kernel.guard, kernel.step, layer=kernel.layer
+            )
+            return [kernel]
+
+    findings, checked = check_kernels(
+        [(Orphan(), generators.random_connected(6, seed=1))]
+    )
+    assert checked == 0
+    assert len(findings) == 1
+    assert findings[0].rule == "RL007"
+    assert "no per-node action" in findings[0].message
+
+
+def test_cli_kernels_flag_clean(capsys) -> None:
+    assert main(["--kernels"]) == 0
+    out = capsys.readouterr().out
+    assert "no findings" in out
+    assert "4 kernel(s) verified" in out
+
+
+def test_cli_kernels_flag_json(capsys) -> None:
+    assert main(["--kernels", "--format", "json"]) == 0
+    assert json.loads(capsys.readouterr().out) == []

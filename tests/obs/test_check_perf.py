@@ -159,3 +159,63 @@ def test_normalized_phases_requires_all_inputs():
     )
     del payload["instrumentation"]["steps"]
     assert check_perf.normalized_phases(payload) is None
+
+
+def test_as_float_coercion():
+    as_float = check_perf._as_float
+    assert as_float(3) == 3.0
+    assert as_float(2.5) == 2.5
+    assert as_float("4.2") == 4.2
+    assert as_float(True) is None  # a bool is never a timing
+    assert as_float("n/a") is None
+    assert as_float(None) is None
+    assert as_float({"nested": 1}) is None
+    assert as_float([1.0]) is None
+    assert as_float(float("nan")) is None
+    assert as_float(float("inf")) is None
+
+
+def test_gate_tolerates_history_from_unknown_engines(tmp_path, capsys):
+    """Hostile trajectory lines degrade to "not comparable", never crash.
+
+    The history file is append-only and shared: future benches (or hand
+    edits) may stamp the scheduler_core benchmark name onto lines whose
+    speedups, steps, phases or calibration are strings, nulls, booleans or
+    nested objects.  The gate must skip what it cannot parse and still judge
+    the well-formed lines.
+    """
+    hostile = [
+        # Same benchmark name, non-numeric speedup + phase entries.
+        {
+            "benchmark": "scheduler_core",
+            "speedup_by_n": {"60": "fast", 60: None, "500": True},
+            "calibration_seconds": "quick",
+            "instrumentation": {
+                "steps": "many",
+                "phases": {"guard_eval": "slow", "action_exec": {"s": 1}},
+            },
+        },
+        # Wrong shapes entirely.
+        {"benchmark": "scheduler_core", "speedup_by_n": [4.0], "instrumentation": []},
+        # Unknown engine's line that leaked the benchmark name, odd key types.
+        {
+            "benchmark": "scheduler_core",
+            "engine": "somebody-elses",
+            "speedup_by_n": {60: 4.0, None: 9.9},
+            "calibration_seconds": None,
+            "instrumentation": {"steps": 0, "phases": {"guard_eval": 0.01}},
+        },
+    ]
+    args = _write(tmp_path, _payload(), hostile + [_payload(), _payload()])
+    assert check_perf.main(args) == 0
+    assert "no regression" in capsys.readouterr().out
+
+
+def test_gate_tolerates_non_numeric_current_thresholds(tmp_path, capsys):
+    current = _payload()
+    current["instrumentation"]["disabled_overhead"] = "tiny"
+    current["instrumentation"]["phase_coverage"] = None
+    current["speedup_by_n"]["60"] = "4.0"  # numeric string still compares
+    args = _write(tmp_path, current, [_payload(), _payload()])
+    assert check_perf.main(args) == 0
+    assert "no regression" in capsys.readouterr().out

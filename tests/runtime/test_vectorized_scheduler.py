@@ -1,0 +1,212 @@
+"""The vectorized synchronous engine: lockstep fidelity + fallback proofs.
+
+``VectorizedScheduler`` only overrides the execution seams of the base
+scheduler, so the contract is *byte-identical step records* whenever the fast
+path runs -- and graceful per-node fallback (same records, ``fast_steps`` 0)
+whenever its preconditions fail.  Both halves are asserted here; the
+cross-engine registry/row equivalence lives in
+``tests/api/test_engine_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.dftno import build_dftno
+from repro.graphs import generators
+from repro.runtime import vectorized as vectorized_module
+from repro.runtime.daemon import CentralDaemon, SynchronousDaemon
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.vectorized import VectorizedScheduler
+from repro.substrates.dijkstra_ring import DijkstraTokenRing
+from repro.substrates.spanning_tree import BFSSpanningTree
+
+
+def _bfs_pair(n: int = 14, seed: int = 7, graph_seed: int = 2, **kwargs):
+    network = generators.random_connected(n, seed=graph_seed)
+    protocol_a, protocol_b = BFSSpanningTree(), BFSSpanningTree()
+    config = protocol_a.random_configuration(network, seed=seed)
+    base = Scheduler(
+        network,
+        protocol_a,
+        daemon=SynchronousDaemon(),
+        seed=seed,
+        configuration=config.copy(),
+        **kwargs,
+    )
+    fast = VectorizedScheduler(
+        network,
+        protocol_b,
+        daemon=SynchronousDaemon(),
+        seed=seed,
+        configuration=config.copy(),
+        **kwargs,
+    )
+    return base, fast
+
+
+def _assert_lockstep(base: Scheduler, fast: Scheduler, max_steps: int = 200) -> int:
+    """Drive both schedulers in lockstep; return the number of steps taken."""
+    steps = 0
+    for _ in range(max_steps):
+        assert base.enabled_nodes() == fast.enabled_nodes()
+        record_a, record_b = base.step(), fast.step()
+        if record_a is None or record_b is None:
+            assert record_a is None and record_b is None
+            break
+        assert record_a.executed == record_b.executed
+        assert [
+            (move.node, move.action, move.layer, move.changes)
+            for move in record_a.moves
+        ] == [
+            (move.node, move.action, move.layer, move.changes)
+            for move in record_b.moves
+        ]
+        assert base.configuration == fast.configuration
+        steps += 1
+    return steps
+
+
+@settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=2**16))
+def test_bfs_lockstep_identical_from_random_configurations(seed) -> None:
+    base, fast = _bfs_pair(seed=seed)
+    steps = _assert_lockstep(base, fast)
+    assert fast.fast_steps == steps  # every step went through the kernels
+
+
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=2**16))
+def test_dijkstra_ring_lockstep_identical(seed) -> None:
+    network = generators.ring(9)
+    protocol_a, protocol_b = DijkstraTokenRing(), DijkstraTokenRing()
+    config = protocol_a.random_configuration(network, seed=seed)
+    base = Scheduler(
+        network, protocol_a, daemon=SynchronousDaemon(), seed=seed,
+        configuration=config.copy(),
+    )
+    fast = VectorizedScheduler(
+        network, protocol_b, daemon=SynchronousDaemon(), seed=seed,
+        configuration=config.copy(),
+    )
+    # The token ring never terminates; a fixed window is the comparison.
+    for _ in range(30):
+        assert base.enabled_nodes() == fast.enabled_nodes()
+        record_a, record_b = base.step(), fast.step()
+        assert record_a is not None and record_b is not None
+        assert record_a.executed == record_b.executed
+        assert base.configuration == fast.configuration
+    assert fast.fast_steps == 30
+
+
+def test_kernel_less_protocol_falls_back_permanently() -> None:
+    """DFTNO registers no batch kernels: per-node path, identical behavior."""
+    network = generators.random_connected(10, seed=3)
+    protocol_a, protocol_b = build_dftno(), build_dftno()
+    config = protocol_a.random_configuration(network, seed=5)
+    base = Scheduler(
+        network, protocol_a, daemon=SynchronousDaemon(), seed=5,
+        configuration=config.copy(),
+    )
+    fast = VectorizedScheduler(
+        network, protocol_b, daemon=SynchronousDaemon(), seed=5,
+        configuration=config.copy(),
+    )
+    steps = _assert_lockstep(base, fast, max_steps=400)
+    assert steps > 0
+    assert fast.fast_steps == 0
+    assert not fast.vector_active
+
+
+def test_non_synchronous_daemon_uses_per_node_path() -> None:
+    base, fast = _bfs_pair()
+    base.set_daemon(CentralDaemon())
+    fast.set_daemon(CentralDaemon())
+    steps = _assert_lockstep(base, fast)
+    assert steps > 0
+    assert fast.fast_steps == 0
+    assert not fast.vector_active  # per step: the machinery itself is fine
+
+
+def test_daemon_switch_mid_run_reengages_fast_path() -> None:
+    base, fast = _bfs_pair(n=16)
+    for _ in range(2):
+        assert base.step() is not None and fast.step() is not None
+    assert fast.fast_steps == 2
+    base.set_daemon(CentralDaemon())
+    fast.set_daemon(CentralDaemon())
+    for _ in range(3):
+        record_a, record_b = base.step(), fast.step()
+        assert (record_a is None) == (record_b is None)
+        if record_a is not None:
+            assert record_a.executed == record_b.executed
+    assert fast.fast_steps == 2  # central steps took the per-node path
+    base.set_daemon(SynchronousDaemon())
+    fast.set_daemon(SynchronousDaemon())
+    before = fast.fast_steps
+    steps = _assert_lockstep(base, fast)
+    assert base.configuration == fast.configuration
+    if steps:  # anything left to do re-engaged the kernels
+        assert fast.fast_steps == before + steps
+
+
+def test_frozen_nodes_never_execute_on_the_fast_path() -> None:
+    base, fast = _bfs_pair(n=12)
+    frozen = [1, 4]
+    base.freeze(frozen)
+    fast.freeze(frozen)
+    steps = _assert_lockstep(base, fast)
+    assert fast.fast_steps == steps
+    base.unfreeze(frozen)
+    fast.unfreeze(frozen)
+    _assert_lockstep(base, fast)
+    assert base.configuration == fast.configuration
+
+
+def test_set_configuration_rebuilds_the_view() -> None:
+    base, fast = _bfs_pair(n=12)
+    _assert_lockstep(base, fast, max_steps=2)
+    replacement = BFSSpanningTree().random_configuration(
+        generators.random_connected(12, seed=2), seed=99
+    )
+    base.set_configuration(replacement.copy())
+    fast.set_configuration(replacement.copy())
+    steps = _assert_lockstep(base, fast)
+    assert steps > 0
+    assert base.configuration == fast.configuration
+
+
+def test_numpy_absent_falls_back(monkeypatch) -> None:
+    monkeypatch.setattr(vectorized_module, "HAVE_NUMPY", False)
+    base, fast = _bfs_pair()
+    steps = _assert_lockstep(base, fast)
+    assert steps > 0
+    assert fast.fast_steps == 0
+
+
+def test_guard_locality_debugging_disables_the_fast_path() -> None:
+    base, fast = _bfs_pair(check_guard_locality=True)
+    steps = _assert_lockstep(base, fast)
+    assert steps > 0
+    assert fast.fast_steps == 0
+
+
+def test_engine_without_numpy_raises_engine_unavailable(monkeypatch) -> None:
+    import repro.runtime.arrayview as arrayview_module
+    from repro.api import run
+    from repro.api.spec import NetworkSpec, RunSpec
+    from repro.errors import EngineUnavailableError
+
+    monkeypatch.setattr(arrayview_module, "HAVE_NUMPY", False)
+    spec = RunSpec(
+        engine="scheduler-vectorized",
+        protocol="stno-bfs",
+        network=NetworkSpec(family="random_connected", size=8, seed=1),
+        seed=1,
+    )
+    with pytest.raises(EngineUnavailableError, match=r"pip install \.\[vectorized\]"):
+        run(spec)
