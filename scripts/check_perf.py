@@ -82,20 +82,35 @@ def _as_float(value: object) -> float | None:
     return result if result == result and result not in (float("inf"), float("-inf")) else None
 
 
-def load_history(path: Path, benchmark: str) -> list[dict]:
-    """The trajectory lines for ``benchmark``, oldest first; bad lines skipped."""
+#: Key under which :func:`load_history` stamps each line's ``file:line``
+#: provenance, so every "skipped as non-comparable" warning can name the
+#: exact trajectory line that caused it.
+SOURCE_KEY = "_source"
+
+
+def load_history(path: Path, benchmark: str, emit=None) -> list[dict]:
+    """The trajectory lines for ``benchmark``, oldest first; bad lines skipped.
+
+    Every returned line carries its ``file:line`` origin under
+    :data:`SOURCE_KEY`.  Lines that are not JSON at all are skipped with a
+    warning through ``emit`` (when given) naming the offending line -- an
+    append-only shared file accumulates damage silently otherwise.
+    """
     if not path.exists():
         return []
     lines: list[dict] = []
-    for raw in path.read_text(encoding="utf-8").splitlines():
+    for lineno, raw in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
         raw = raw.strip()
         if not raw:
             continue
         try:
             line = json.loads(raw)
-        except json.JSONDecodeError:
+        except json.JSONDecodeError as exc:
+            if emit is not None:
+                emit(f"warning: {path.name}:{lineno}: not JSON ({exc}) -- line skipped")
             continue
         if isinstance(line, dict) and line.get("benchmark") == benchmark:
+            line[SOURCE_KEY] = f"{path.name}:{lineno}"
             lines.append(line)
     return lines
 
@@ -123,6 +138,27 @@ def normalized_phases(payload: dict) -> dict[str, float] | None:
     return normalized or None
 
 
+def noncomparable_reason(payload: dict) -> str:
+    """Why :func:`normalized_phases` returned ``None`` for ``payload``.
+
+    Mirrors that function's checks in order, so the reason names the first
+    missing ingredient -- the thing to fix (or the schema vintage to blame)
+    on that particular trajectory line.
+    """
+    instrumentation = payload.get("instrumentation")
+    if not isinstance(instrumentation, dict):
+        return "no instrumentation block"
+    if not _as_float(payload.get("calibration_seconds")):
+        return "no usable calibration_seconds"
+    phases = instrumentation.get("phases")
+    if not isinstance(phases, dict) or not phases:
+        return "no phases dict"
+    steps = _as_float(instrumentation.get("steps"))
+    if not steps or steps <= 0:
+        return "no usable step count"
+    return "no numeric phase timings"
+
+
 def check_absolute(current: dict, failures: list[str]) -> None:
     """Gate 1: the payload's own recorded thresholds must hold."""
     instrumentation = current.get("instrumentation")
@@ -141,6 +177,15 @@ def check_absolute(current: dict, failures: list[str]) -> None:
         failures.append(
             f"phase coverage {100 * coverage:.1f}% below floor {100 * floor:.0f}%"
         )
+    recorder = current.get("recorder")
+    if isinstance(recorder, dict):
+        overhead = _as_float(recorder.get("recorder_overhead"))
+        budget = _as_float(recorder.get("max_recorder_overhead"))
+        if overhead is not None and budget is not None and overhead > budget:
+            failures.append(
+                f"flight recorder costs {100 * overhead:.2f}% of step wall "
+                f"(budget {100 * budget:.0f}%)"
+            )
 
 
 def check_speedups(
@@ -191,6 +236,13 @@ def check_phases(
     for line in history:
         normalized = normalized_phases(line)
         if normalized is None:
+            # Name the exact line: "the history silently shrank" is the
+            # failure mode that turns this gate off without anyone noticing.
+            source = line.get(SOURCE_KEY, "history line")
+            emit(
+                f"  warning: {source}: not phase-comparable "
+                f"({noncomparable_reason(line)}) -- skipped"
+            )
             continue
         for name, value in normalized.items():
             past_by_phase.setdefault(name, []).append(value)
@@ -284,7 +336,7 @@ def main(argv: list[str] | None = None) -> int:
 
         current["calibration_seconds"] = machine_calibration()
 
-    history = load_history(args.history, args.benchmark)
+    history = load_history(args.history, args.benchmark, emit=print)
     print(
         f"check_perf: {args.current.name} vs {len(history)} "
         f"{args.benchmark!r} history line(s) in {args.history.name}"

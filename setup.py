@@ -28,6 +28,7 @@ setup(
         "console_scripts": [
             "repro-campaign=repro.campaign.cli:main",
             "repro-lint=repro.lint.cli:main",
+            "repro-replay=repro.replay.cli:main",
         ],
     },
 )

@@ -72,6 +72,11 @@ def engine_names() -> tuple[str, ...]:
 
 def get_engine(name: str) -> Engine:
     """The engine registered under ``name``."""
+    if name not in _ENGINES and name == "scheduler-replay":
+        # Registered lazily: repro.replay imports this module for the Engine
+        # base class, so an eager import here would be circular.  Importing
+        # the module registers the engine as a side effect.
+        import repro.replay.engine  # noqa: F401
     if name not in _ENGINES:
         raise ValueError(
             f"unknown engine {name!r}; choose from {', '.join(engine_names())}"
@@ -92,6 +97,25 @@ def _coerce_telemetry(
     if isinstance(telemetry, int):
         return ConvergenceTelemetryObserver(stride=telemetry)
     raise TypeError(f"telemetry must be bool, int or observer, got {telemetry!r}")
+
+
+def _recorder_for(spec: RunSpec):
+    """The :class:`~repro.obs.recorder.FlightRecorder` ``spec.record`` asks for.
+
+    ``True`` -> ``<DEFAULT_LOG_DIR>/run-<hash>.flight.jsonl``; a directory
+    string keeps the same file name inside it; a path ending in ``.jsonl`` is
+    used verbatim.  The canonical hash keys the file, so re-recording the
+    same spec overwrites the (deterministically identical) previous log.
+    """
+    from pathlib import Path
+
+    from repro.obs.recorder import DEFAULT_LOG_DIR, FlightRecorder
+
+    target = DEFAULT_LOG_DIR if spec.record is True else str(spec.record)
+    path = Path(target)
+    if path.suffix != ".jsonl":
+        path = path / f"run-{spec.canonical_hash}.flight.jsonl"
+    return FlightRecorder(path, spec=spec)
 
 
 def _coerce_health(
@@ -142,6 +166,11 @@ def run(
     its snapshot lands in ``RunResult.health`` and ``row["health"]``.  Both
     ride the observer stream only -- they never perturb the execution, and a
     run without them pays nothing.
+
+    ``spec.record`` attaches a :class:`~repro.obs.recorder.FlightRecorder`:
+    the run's causal event log is written (even when the run crashes) and the
+    row -- plus every health anomaly in it -- gains a ``flight_log`` pointer,
+    replayable with ``repro-replay`` or ``engine="scheduler-replay"``.
     """
     telemetry_observer = _coerce_telemetry(telemetry)
     health_monitor = _coerce_health(health)
@@ -152,6 +181,10 @@ def run(
             if obs is not None and obs not in tuple(observers)
         ]
         observers = tuple(observers) + tuple(extra)
+    recorder = None
+    if spec.record:
+        recorder = _recorder_for(spec)
+        observers = tuple(observers) + (recorder,)
     owns_tracer = False
     if instrumentation is None:
         tracer = tracer_from_env()
@@ -162,24 +195,30 @@ def run(
     instr = instrumentation
     enabled = instr is not None and instr.enabled
     tracer = instr.tracer if enabled else None
-    with maybe_profile(f"{spec.engine}-{spec.canonical_hash}"):
-        run_span = None
-        if tracer is not None:
-            run_span = tracer.span(
-                "run", kind="run", engine=spec.engine, spec=spec.canonical_hash
-            )
-            tracer.current_run = run_span
-        try:
-            result = engine.execute(spec, observers=observers, instrumentation=instr)
-        finally:
+    try:
+        with maybe_profile(f"{spec.engine}-{spec.canonical_hash}"):
+            run_span = None
             if tracer is not None:
-                if tracer.current_round is not None:
-                    tracer.current_round.close()
-                    tracer.current_round = None
-                run_span.close()
-                tracer.current_run = None
-                if owns_tracer:
-                    tracer.close()
+                run_span = tracer.span(
+                    "run", kind="run", engine=spec.engine, spec=spec.canonical_hash
+                )
+                tracer.current_run = run_span
+            try:
+                result = engine.execute(spec, observers=observers, instrumentation=instr)
+            finally:
+                if tracer is not None:
+                    if tracer.current_round is not None:
+                        tracer.current_round.close()
+                        tracer.current_round = None
+                    run_span.close()
+                    tracer.current_run = None
+                    if owns_tracer:
+                        tracer.close()
+    finally:
+        # Close even on failure: a log of the crashed prefix is precisely
+        # what the replay tooling exists to dissect.
+        if recorder is not None:
+            recorder.close()
     if enabled:
         summary = instr.summary()
         result.row["perf"] = summary
@@ -192,6 +231,17 @@ def run(
         snapshot = health_monitor.snapshot()
         result.row["health"] = snapshot
         result = replace(result, health=snapshot)
+    if recorder is not None:
+        # Every consumer of the row -- and every health anomaly inside it --
+        # can point straight at the replayable evidence.
+        log_path = str(recorder.path)
+        result.row["flight_log"] = log_path
+        health_blob = result.row.get("health")
+        if isinstance(health_blob, dict):
+            health_blob["flight_log"] = log_path
+            for anomaly in health_blob.get("anomalies") or ():
+                if isinstance(anomaly, dict):
+                    anomaly["flight_log"] = log_path
     return result
 
 

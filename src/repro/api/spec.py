@@ -41,11 +41,15 @@ HEIGHT_TREE_FAMILY = "height_tree"
 #: layers with registered batch kernels evaluate guards and writes as whole
 #: numpy columns; results are again bit-identical, and the spec hash is
 #: unchanged for every existing engine name.
+#: ``scheduler-replay`` re-executes a flight-recorder log
+#: (:mod:`repro.replay`) in verified lockstep instead of running anything
+#: new; its log path travels in the hash-excluded ``debug["replay_log"]``.
 ENGINE_NAMES = (
     "scheduler",
     "scheduler-fullscan",
     "scheduler-sharded",
     "scheduler-vectorized",
+    "scheduler-replay",
     "scenario",
     "msgpass",
 )
@@ -57,6 +61,19 @@ SCHEDULER_ENGINES = (
     "scheduler-fullscan",
     "scheduler-sharded",
     "scheduler-vectorized",
+    "scheduler-replay",
+)
+
+#: The engines whose executions a flight recorder can capture for replay:
+#: every live scheduler engine plus the scenario runner (its mutations route
+#: through the scheduler's recorded seams).  ``msgpass`` has no daemon-step
+#: stream to record, and recording a replay would be circular.
+RECORDABLE_ENGINES = (
+    "scheduler",
+    "scheduler-fullscan",
+    "scheduler-sharded",
+    "scheduler-vectorized",
+    "scenario",
 )
 
 #: The engine that understands the ``shards`` / ``partition`` spec fields.
@@ -192,6 +209,15 @@ class RunSpec:
         shard workers too), raising
         :class:`~repro.errors.GuardLocalityError` on any out-of-neighborhood
         guard read.  Unknown keys are preserved but ignored.
+    record:
+        Flight-recorder switch, **excluded from the canonical hash** exactly
+        like ``debug`` (recording observes the run; it never changes what is
+        computed, so a recorded re-run dedups against the original row).
+        ``True`` writes the causal event log under the default
+        :data:`repro.obs.recorder.DEFAULT_LOG_DIR`; a string is an explicit
+        directory; a path ending in ``.jsonl`` is the exact log file.  Only
+        legal for the :data:`RECORDABLE_ENGINES`; the row gains a
+        ``flight_log`` pointer to the written log.
     """
 
     engine: str = "scheduler"
@@ -206,6 +232,7 @@ class RunSpec:
     shards: int | None = None
     partition: str | None = None
     debug: Mapping[str, object] | None = None
+    record: "bool | str | None" = None
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINE_NAMES:
@@ -222,6 +249,19 @@ class RunSpec:
                     f"debug must be a mapping of switches (got {type(self.debug).__name__})"
                 )
             object.__setattr__(self, "debug", dict(self.debug))
+        if self.record is not None and self.record is not False:
+            if not isinstance(self.record, (bool, str)):
+                raise ValueError(
+                    f"record must be True or a directory/log path "
+                    f"(got {type(self.record).__name__})"
+                )
+            if self.engine not in RECORDABLE_ENGINES:
+                raise ValueError(
+                    f"the {self.engine} engine has no recordable execution "
+                    f"stream (recordable: {sorted(RECORDABLE_ENGINES)})"
+                )
+        elif self.record is False:
+            object.__setattr__(self, "record", None)
 
         # Validate names eagerly so a bad spec fails at construction, not at
         # execution on some pool worker an hour into a campaign.
@@ -314,9 +354,11 @@ class RunSpec:
         campaign grid plays with ``task_type``.
         """
         data = self.to_dict()
-        # Unconditionally hash-excluded: debug switches change how a run is
-        # checked, never what it computes.
+        # Unconditionally hash-excluded: debug switches and the flight
+        # recorder change how a run is checked/observed, never what it
+        # computes.
         data.pop("debug", None)
+        data.pop("record", None)
         data["network"] = _strip_defaults(data["network"], _NETWORK_DEFAULTS)
         data["stop"] = _strip_defaults(data["stop"], _STOP_DEFAULTS)
         defaults: dict[str, Any] = {
@@ -406,6 +448,7 @@ class RunResult:
 __all__ = [
     "ENGINE_NAMES",
     "HEIGHT_TREE_FAMILY",
+    "RECORDABLE_ENGINES",
     "SCHEDULER_ENGINES",
     "SHARDED_ENGINE",
     "NetworkSpec",

@@ -19,7 +19,11 @@
     python -m repro.campaign run --protocol dftno --sizes 8:32 --telemetry --health \\
         --out results/
     python -m repro.campaign watch --out results/ --protocol dftno --sizes 8:32
+    python -m repro.campaign watch --out results/ --once
     python -m repro.campaign report --out results/ --health
+    python -m repro.campaign run --protocol dftno --sizes 10 --record --health --out results/
+    python -m repro.campaign run --protocol dftno --sizes 10 \\
+        --trace-export chrome://trace.json --out results/
     python -m repro.campaign status --out results/ --protocol dftno --sizes 8:64 --shard /4
 
 ``run`` expands the declarative grid, skips tasks the store already holds
@@ -51,8 +55,16 @@ and ``run --health`` likewise persist each row's convergence time-series and
 stall-watchdog anomalies (``telemetry`` / ``health`` keys; read back with
 ``report --health`` and the ``watch`` anomaly feed).  ``watch`` tails a
 store with a live dashboard (progress, ETA, rolling phase breakdown,
-anomaly feed) while a concurrent ``run`` writes to it; ``status --shard
-[I]/K`` breaks the grid comparison down per hash-keyed slice.  All
+anomaly feed) while a concurrent ``run`` writes to it (``watch --once``
+renders a single plain-text snapshot and exits -- the scripting/CI mode);
+``status --shard [I]/K`` breaks the grid comparison down per hash-keyed
+slice.  ``run --record [DIR]`` attaches the execution flight recorder to
+every task: each task writes a replayable causal event log under ``DIR``
+(default ``flightlogs/``) and its row -- plus any health anomalies -- gains
+a ``flight_log`` pointer that ``watch`` and ``report --health`` surface
+(replay with ``repro-replay``).  ``run --trace-export chrome://FILE``
+collects the campaign's span trace and converts it to a Chrome trace file
+loadable in Perfetto.  All
 timestamps the CLI renders (store creation, ETA) are timezone-explicit UTC
 ISO-8601, so two machines reading the same store agree on them.
 """
@@ -245,6 +257,27 @@ def build_parser() -> argparse.ArgumentParser:
         "'repro-campaign report --health' or the watch anomaly feed)",
     )
     run.add_argument(
+        "--record",
+        nargs="?",
+        const=True,
+        default=None,
+        metavar="DIR",
+        help="attach the execution flight recorder to every task: each task "
+        "appends a replayable causal event log (daemon choices, write-sets, "
+        "mutations, frontier exchanges) under DIR (default flightlogs/), "
+        "keyed by its spec's canonical hash; rows and their health anomalies "
+        "gain a 'flight_log' pointer (replay with 'repro-replay')",
+    )
+    run.add_argument(
+        "--trace-export",
+        default=None,
+        metavar="chrome://FILE",
+        help="after the campaign, export the span trace as a Chrome trace "
+        "file at FILE (load in ui.perfetto.dev or chrome://tracing); spans "
+        "are collected into FILE.spans.jsonl unless REPRO_TRACE already "
+        "names a trace file",
+    )
+    run.add_argument(
         "--live",
         nargs="?",
         const=1_000,
@@ -305,6 +338,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="perf rows feeding the rolling phase breakdown (default 20)",
     )
     watch_cmd.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single plain-text snapshot frame and exit 0 -- the "
+        "stateless scripting/CI mode (equivalent to --iterations 1 with "
+        "screen clearing off)",
+    )
+    watch_cmd.add_argument(
         "--no-clear",
         action="store_true",
         help="never clear the screen between frames (frames append; use when "
@@ -359,6 +399,49 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _trace_export_target(text: str | None) -> str | None:
+    """Parse ``--trace-export chrome://FILE`` into the destination path."""
+    if text is None:
+        return None
+    prefix = "chrome://"
+    if not text.startswith(prefix) or not text[len(prefix):]:
+        raise ValueError(
+            f"bad --trace-export spec {text!r}; the only supported format is "
+            "chrome://FILE (the Chrome trace JSON file to write)"
+        )
+    return text[len(prefix):]
+
+
+def _run_with_trace_export(runner, grid, args, shard, progress, destination):
+    """Run the campaign with span tracing on, then export a Chrome trace.
+
+    If ``REPRO_TRACE`` already names a span file it is respected (and left
+    set); otherwise spans are collected into ``destination + '.spans.jsonl'``
+    for the duration of the campaign.  Pool workers inherit the variable, so
+    their runs' spans land in the same file.
+    """
+    import os
+
+    from repro.obs.spans import TRACE_ENV, export_chrome_trace
+
+    source = os.environ.get(TRACE_ENV, "").strip()
+    owns_env = not source
+    if owns_env:
+        source = destination + ".spans.jsonl"
+        os.environ[TRACE_ENV] = source
+    try:
+        result = runner.run(grid, resume=args.resume, progress=progress, shard=shard)
+    finally:
+        if owns_env:
+            del os.environ[TRACE_ENV]
+    if not os.path.exists(source):
+        # Every task resumed, so no run ever opened the span file.
+        open(source, "w", encoding="utf-8").close()
+    events = export_chrome_trace(source, destination)
+    print(f"trace export: {events} span(s) -> {destination} (chrome trace format)")
+    return result
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     grid = _build_grid(args)
     if args.lint:
@@ -402,7 +485,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         perf=args.perf,
         telemetry=telemetry,
         health=health,
+        record=args.record,
     )
+    trace_export = _trace_export_target(args.trace_export)
 
     def progress(row: dict[str, object]) -> None:
         if not args.quiet:
@@ -417,7 +502,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 flush=True,
             )
 
-    result = runner.run(grid, resume=args.resume, progress=progress, shard=shard)
+    if trace_export is not None:
+        result = _run_with_trace_export(runner, grid, args, shard, progress, trace_export)
+    else:
+        result = runner.run(grid, resume=args.resume, progress=progress, shard=shard)
     shard_note = (
         f" (shard {shard[0]}/{shard[1]} of a {len(grid)}-task grid)" if shard else ""
     )
@@ -584,13 +672,16 @@ def _cmd_status(args: argparse.Namespace) -> int:
 
 def _cmd_watch(args: argparse.Namespace) -> int:
     grid = _build_grid(args) if _grid_requested(args) else None
+    # --once is the stateless snapshot mode: one plain-text frame, exit 0.
+    iterations = 1 if args.once else args.iterations
+    clear = False if (args.once or args.no_clear) else None
     return watch(
         args.out,
         grid=grid,
         interval=args.interval,
-        iterations=args.iterations,
+        iterations=iterations,
         rolling=args.rolling,
-        clear=False if args.no_clear else None,
+        clear=clear,
     )
 
 

@@ -74,6 +74,7 @@ def run_task(
     perf: bool = False,
     telemetry: bool | int = False,
     health: bool | int = False,
+    record: "bool | str | None" = None,
 ) -> dict[str, object]:
     """Execute one campaign task and return its flat result row.
 
@@ -98,6 +99,12 @@ def run_task(
     round budget) attaches the stall/budget watchdog, its anomalies landing
     in ``row["health"]``.  Like ``perf``, both are observer-stream-only:
     rows differ from unmonitored ones only by the extra keys.
+
+    ``record`` (``True`` or a directory path) attaches the execution flight
+    recorder: each task writes a replayable causal event log (keyed by its
+    spec's canonical hash) and its row -- plus any health anomalies in it --
+    gains a ``flight_log`` pointer.  Task types without a recordable
+    execution stream (``msgpass``) simply run unrecorded.
     """
     handler = get_task_handler(spec.task_type)
     kwargs: dict[str, object] = {}
@@ -115,6 +122,8 @@ def run_task(
         kwargs["telemetry"] = telemetry
     if health and _handler_accepts(handler, "health"):
         kwargs["health"] = health
+    if record and _handler_accepts(handler, "record"):
+        kwargs["record"] = record
     row = handler(spec, **kwargs)
     row.update(spec.identity())
     row["config_hash"] = spec.config_hash
@@ -165,6 +174,7 @@ class CampaignRunner:
         perf: bool = False,
         telemetry: bool | int = False,
         health: bool | int = False,
+        record: "bool | str | None" = None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -176,6 +186,7 @@ class CampaignRunner:
         self.perf = perf
         self.telemetry = telemetry
         self.health = health
+        self.record = record
 
     def iter_results(
         self, pending: list[TaskSpec]
@@ -186,6 +197,7 @@ class CampaignRunner:
             and not self.perf
             and not self.telemetry
             and not self.health
+            and not self.record
         )
         task_runner = (
             run_task
@@ -196,6 +208,7 @@ class CampaignRunner:
                 perf=self.perf,
                 telemetry=self.telemetry,
                 health=self.health,
+                record=self.record,
             )
         )
         if self.jobs <= 1 or len(pending) <= 1:
@@ -267,6 +280,7 @@ def run_grid(
     perf: bool = False,
     telemetry: bool | int = False,
     health: bool | int = False,
+    record: "bool | str | None" = None,
 ) -> CampaignResult:
     """Convenience wrapper: ``CampaignRunner(store, jobs).run(grid, ...)``."""
     return CampaignRunner(
@@ -276,6 +290,7 @@ def run_grid(
         perf=perf,
         telemetry=telemetry,
         health=health,
+        record=record,
     ).run(grid, resume=resume, progress=progress, shard=shard)
 
 

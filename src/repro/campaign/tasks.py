@@ -87,11 +87,19 @@ def _execute_task(
     instrument: bool,
     telemetry: bool | int = False,
     health: bool | int = False,
+    record: "bool | str | None" = None,
 ) -> dict[str, object]:
     """Run the task's RunSpec; opt-in rows carry ``perf``/``telemetry``/``health``."""
+    from dataclasses import replace
+
     instrumentation = Instrumentation() if instrument else None
+    runspec = runspec_for_task(spec)
+    if record:
+        # The log file is keyed by the spec's canonical hash, so every task
+        # of a recorded campaign gets its own log inside the one directory.
+        runspec = replace(runspec, record=record)
     return run(
-        runspec_for_task(spec),
+        runspec,
         observers=observers,
         instrumentation=instrumentation,
         telemetry=telemetry or None,
@@ -106,9 +114,10 @@ def run_stabilize(
     instrument: bool = False,
     telemetry: bool | int = False,
     health: bool | int = False,
+    record: "bool | str | None" = None,
 ) -> dict[str, object]:
     """Measure stabilization of the spec's protocol on its network."""
-    return _execute_task(spec, observers, instrument, telemetry, health)
+    return _execute_task(spec, observers, instrument, telemetry, health, record)
 
 
 @register_task_type("scenario")
@@ -118,9 +127,10 @@ def run_scenario_task(
     instrument: bool = False,
     telemetry: bool | int = False,
     health: bool | int = False,
+    record: "bool | str | None" = None,
 ) -> dict[str, object]:
     """Execute the spec's library scenario and report recovery aggregates."""
-    return _execute_task(spec, observers, instrument, telemetry, health)
+    return _execute_task(spec, observers, instrument, telemetry, health, record)
 
 
 @register_task_type("msgpass")
@@ -138,7 +148,10 @@ def run_msgpass(
     message-passing workload, independent of how it was computed.  The
     ``protocol`` and ``daemon`` identity axes therefore do not influence the
     measurement (sweeping them yields repeated trials on fresh networks);
-    ``after_substrate`` has no meaning here and is rejected.
+    ``after_substrate`` has no meaning here and is rejected.  The handler
+    takes no ``record`` parameter on purpose: the synchronous simulator has
+    no daemon-step stream for the flight recorder to capture, and the runner
+    only forwards options a handler's signature accepts.
     """
     return _execute_task(spec, observers, instrument, telemetry, health)
 

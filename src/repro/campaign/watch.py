@@ -155,11 +155,17 @@ def _anomaly_feed(rows: list[dict[str, object]], limit: int) -> list[str]:
         if not isinstance(health, dict):
             continue
         for anomaly in health.get("anomalies") or []:
-            feed.append(
+            line = (
                 f"  task {row.get('task_index')} ({row.get('protocol')} "
                 f"n={row.get('size')}): {anomaly.get('kind')} at step "
                 f"{anomaly.get('step')} -- {anomaly.get('detail')}"
             )
+            # Recorded runs stamp each anomaly with its flight log, so the
+            # feed points straight at the replayable evidence.
+            log = anomaly.get("flight_log") or health.get("flight_log")
+            if log:
+                line += f" [replay: {log}]"
+            feed.append(line)
     return feed[-limit:]
 
 

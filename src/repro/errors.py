@@ -92,3 +92,11 @@ class RoutingError(ReproError):
 
 class SimulationError(ReproError):
     """Raised by the synchronous message-passing simulator on misuse."""
+
+
+class ReplayError(ReproError):
+    """Raised when a flight-recorder log cannot be read or replayed --
+    malformed entries, an unresolvable protocol, or a value recorded by
+    ``repr`` only.  A *divergence* between a log and a live re-execution is
+    not an error: it is the :class:`repro.replay.Divergence` result the
+    replay machinery exists to localize."""

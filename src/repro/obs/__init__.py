@@ -41,6 +41,11 @@ from repro.obs.instrument import (
     summary_counter,
 )
 from repro.obs.profile import PROFILE_ENV, maybe_profile, profile_dir
+from repro.obs.recorder import (
+    DEFAULT_LOG_DIR,
+    FlightRecorder,
+    SCHEMA_VERSION as RECORDER_SCHEMA_VERSION,
+)
 from repro.obs.spans import (
     JsonlSpanSink,
     ListSpanSink,
@@ -59,8 +64,11 @@ from repro.obs.telemetry import (
 
 __all__ = [
     "ConvergenceTelemetryObserver",
+    "DEFAULT_LOG_DIR",
+    "FlightRecorder",
     "HEALTH_SCHEMA",
     "HealthMonitor",
+    "RECORDER_SCHEMA_VERSION",
     "Instrumentation",
     "JsonlSpanSink",
     "ListSpanSink",

@@ -311,16 +311,24 @@ def health_summary(rows: list[dict[str, Any]]) -> dict[str, Any]:
         for anomaly in anomalies:
             kind = str(anomaly.get("kind"))
             anomaly_kinds[kind] = anomaly_kinds.get(kind, 0) + 1
-        flagged.append(
-            {
-                "task_index": row.get("task_index"),
-                "config_hash": row.get("config_hash"),
-                "task_type": row.get("task_type", "stabilize"),
-                "anomalies": len(anomalies),
-                "kinds": ",".join(kinds),
-                "first_step": anomalies[0].get("step"),
-            }
-        )
+        entry = {
+            "task_index": row.get("task_index"),
+            "config_hash": row.get("config_hash"),
+            "task_type": row.get("task_type", "stabilize"),
+            "anomalies": len(anomalies),
+            "kinds": ",".join(kinds),
+            "first_step": anomalies[0].get("step"),
+        }
+        # Recorded runs point their anomalies at the replayable flight log.
+        log = health.get("flight_log") or row.get("flight_log")
+        if log:
+            entry["flight_log"] = log
+        flagged.append(entry)
+    if any("flight_log" in entry for entry in flagged):
+        # Uniform keys so table renderers keyed on the first row keep the
+        # column even when only some flagged rows were recorded.
+        for entry in flagged:
+            entry.setdefault("flight_log", "-")
     return {
         "rows": len(rows),
         "monitored": monitored,

@@ -171,6 +171,81 @@ def tracer_from_env(environ: Mapping[str, str] | None = None) -> SpanTracer | No
     return SpanTracer(JsonlSpanSink(path))
 
 
+# ----------------------------------------------------------------------
+# Chrome-trace (Perfetto) export
+# ----------------------------------------------------------------------
+
+#: span kind -> Chrome trace thread id, so the viewer lays the run / round /
+#: step hierarchy out as stacked tracks instead of one overlapping lane.
+_CHROME_TRACKS = {"run": 1, "round": 2, "step": 3, "anomaly": 4}
+
+
+def load_span_records(path: str) -> list[dict[str, Any]]:
+    """The span records of one JSONL trace file, in emission order.
+
+    Non-JSON lines are skipped (a live tracer may still be appending the
+    last line when the exporter reads the file).
+    """
+    records: list[dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+    return records
+
+
+def to_chrome_trace(records: list[Mapping[str, Any]]) -> dict[str, Any]:
+    """Span records as a Chrome trace event object (Perfetto-loadable).
+
+    Timed spans become complete (``ph="X"``) events with microsecond
+    ``ts``/``dur`` on a per-kind track; zero-duration ``anomaly`` spans
+    become instant (``ph="i"``) markers.  Load the written file in
+    ``ui.perfetto.dev`` or ``chrome://tracing``.
+    """
+    events: list[dict[str, Any]] = []
+    for record in records:
+        kind = str(record.get("kind", "span"))
+        start_us = float(record.get("t_offset", 0.0)) * 1e6
+        duration_us = float(record.get("seconds", 0.0)) * 1e6
+        args = {
+            key: value
+            for key, value in record.items()
+            if key not in ("span", "parent", "name", "kind", "t_offset", "seconds")
+        }
+        args["span"] = record.get("span")
+        if record.get("parent") is not None:
+            args["parent"] = record.get("parent")
+        event: dict[str, Any] = {
+            "name": str(record.get("name", kind)),
+            "cat": kind,
+            "pid": 1,
+            "tid": _CHROME_TRACKS.get(kind, 5),
+            "ts": round(start_us, 3),
+            "args": args,
+        }
+        if kind == "anomaly" or duration_us <= 0:
+            event["ph"] = "i"
+            event["s"] = "t"  # thread-scoped instant marker
+        else:
+            event["ph"] = "X"
+            event["dur"] = round(duration_us, 3)
+        events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def export_chrome_trace(source: str, destination: str) -> int:
+    """Convert a JSONL span trace to a Chrome trace file; returns #events."""
+    trace = to_chrome_trace(load_span_records(source))
+    with open(destination, "w", encoding="utf-8") as stream:
+        json.dump(trace, stream)
+    return len(trace["traceEvents"])
+
+
 __all__ = [
     "JsonlSpanSink",
     "ListSpanSink",
@@ -178,5 +253,8 @@ __all__ = [
     "SpanSink",
     "SpanTracer",
     "TRACE_ENV",
+    "export_chrome_trace",
+    "load_span_records",
+    "to_chrome_trace",
     "tracer_from_env",
 ]

@@ -1,0 +1,34 @@
+"""Deterministic replay of flight-recorder logs (see :mod:`repro.obs.recorder`).
+
+The write side is the :class:`~repro.obs.recorder.FlightRecorder` observer;
+this package is the read side:
+
+* :class:`FlightLog` -- the parsed, validated log;
+* :class:`ReplayRun` / :class:`ReplayReport` / :class:`Divergence` -- lockstep
+  re-execution with first-divergence localization;
+* :class:`ReplayEngine` -- the ``scheduler-replay`` engine behind
+  :func:`repro.api.run` (importing this package registers it);
+* the ``repro-replay`` command line (:mod:`repro.replay.cli`) with ``show``,
+  ``verify`` and ``bisect``.
+"""
+
+from repro.replay.engine import (
+    Divergence,
+    ReplayDaemon,
+    ReplayEngine,
+    ReplayReport,
+    ReplayRun,
+    replay_spec,
+)
+from repro.replay.log import FlightLog, decoded_step_record
+
+__all__ = [
+    "Divergence",
+    "FlightLog",
+    "ReplayDaemon",
+    "ReplayEngine",
+    "ReplayReport",
+    "ReplayRun",
+    "decoded_step_record",
+    "replay_spec",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.replay`` -- the ``repro-replay`` command line."""
+
+import sys
+
+from repro.replay.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

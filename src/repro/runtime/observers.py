@@ -26,7 +26,7 @@ unchanged while external observers plug into exactly the same stream.
 from __future__ import annotations
 
 import warnings
-from typing import TYPE_CHECKING, Any, Callable, MutableSequence
+from typing import TYPE_CHECKING, Any, Callable, Mapping, MutableSequence
 
 from repro.runtime.metrics import ExecutionMetrics
 from repro.runtime.trace import Trace, TraceEvent
@@ -87,6 +87,15 @@ class Observer:
     kind can ignore it.
     """
 
+    def on_run_start(self, source: Any, payload: Any) -> None:
+        """The engine finished constructing its execution state.
+
+        Dispatched once by the scheduler at the end of ``__init__``, before
+        any step executes -- the only point where an observer can capture the
+        *initial* configuration (the flight recorder does).  ``payload`` is
+        currently ``None``.
+        """
+
     def on_step(self, source: Any, record: "StepRecord") -> None:
         """One computation step was executed."""
 
@@ -95,6 +104,27 @@ class Observer:
 
     def on_event(self, source: Any, event: Any) -> None:
         """A scenario event fired; ``event`` is its recovery record."""
+
+    def on_mutation(self, source: Any, mutation: Mapping[str, Any]) -> None:
+        """Out-of-band state surgery happened between steps.
+
+        ``mutation`` is a dictionary whose ``"kind"`` names the scheduler
+        seam that fired -- ``set_configuration``, ``set_daemon``,
+        ``set_network``, ``freeze``, ``unfreeze`` or ``replace_node`` -- with
+        kind-specific payload entries.  Scenario events mutate exclusively
+        through these seams, so an observer seeing every step *and* every
+        mutation has the complete causal record of the execution.
+        """
+
+    def on_exchange(self, source: Any, exchange: Mapping[str, Any]) -> None:
+        """One coordinator<->worker message exchange completed (sharded runs).
+
+        Only dispatched to observers whose ``wants_exchanges`` attribute is
+        truthy -- the exchange stream is per-message hot-path traffic, so the
+        coordinator skips it entirely unless someone asked.  ``exchange``
+        carries the command name, the shard index, payload sizes and
+        Lamport-style causal stamps (see :mod:`repro.shard.coordinator`).
+        """
 
     def on_converged(self, source: Any, result: Any) -> None:
         """The engine's stop condition was reached; ``result`` is its outcome."""

@@ -281,6 +281,10 @@ class Scheduler:
         self._enabled_order: tuple[int, ...] | None = None
         self._enabled_members: frozenset[int] | None = None
 
+        # The one point where an observer can still see the *initial*
+        # configuration (the flight recorder captures it here).
+        dispatch_safely(self._observers, "on_run_start", self, None)
+
     # ------------------------------------------------------------------
     # Observers
     # ------------------------------------------------------------------
@@ -310,6 +314,17 @@ class Scheduler:
 
     def _notify_step(self, record: StepRecord) -> None:
         dispatch_safely(self._observers, "on_step", self, record)
+
+    def _notify_mutation(self, kind: str, **payload: object) -> None:
+        """Tell every observer about out-of-band state surgery.
+
+        Mutations are rare (scenario events, test fixtures), so unlike the
+        sharded exchange stream this always dispatches to the full observer
+        list.
+        """
+        mutation = {"kind": kind}
+        mutation.update(payload)
+        dispatch_safely(self._observers, "on_mutation", self, mutation)
 
     def _notify_round(self, round_index: int) -> None:
         dispatch_safely(self._observers, "on_round", self, round_index)
@@ -747,6 +762,7 @@ class Scheduler:
         self.configuration = configuration.copy()
         self._round_pending = None
         self._invalidate_enabled()
+        self._notify_mutation("set_configuration", configuration=self.configuration)
 
     def set_daemon(self, daemon: Daemon) -> None:
         """Switch the scheduling adversary mid-run (daemon-switch scenarios).
@@ -757,6 +773,7 @@ class Scheduler:
         """
         daemon.reset()
         self.daemon = daemon
+        self._notify_mutation("set_daemon", daemon=daemon.name)
 
     def set_network(
         self, network: RootedNetwork, reinitialize: Iterable[int] = ()
@@ -786,7 +803,8 @@ class Scheduler:
         self._actions = {
             node: tuple(self.protocol.actions(network, node)) for node in network.nodes()
         }
-        for node in reinitialize:
+        reinitialized = tuple(reinitialize)
+        for node in reinitialized:
             self.configuration.replace_node(
                 node, self.protocol.random_state(network, node, self.rng)
             )
@@ -794,6 +812,15 @@ class Scheduler:
         # New links mean new guard dependencies everywhere the port orders
         # shifted; rebuild the enabled-set from scratch.
         self._invalidate_enabled()
+        # The redrawn states came from the rng, so the mutation payload must
+        # carry them for a replay to reproduce the change without it.
+        self._notify_mutation(
+            "set_network",
+            network=network,
+            reinitialized={
+                node: self.configuration.state_of(node) for node in reinitialized
+            },
+        )
 
     def freeze(self, nodes: Iterable[int]) -> None:
         """Crash ``nodes``: they stay disabled until :meth:`unfreeze`.
@@ -802,18 +829,36 @@ class Scheduler:
         function of the configuration, which freezing does not touch); the
         accessors simply stop reporting them, so no invalidation is needed.
         """
-        for node in nodes:
+        frozen = tuple(nodes)
+        for node in frozen:
             if not 0 <= node < self.network.n:
                 raise SchedulingError(f"cannot freeze unknown processor {node}")
             self._frozen.add(node)
         self._round_pending = None
         self._invalidate_enabled_view()
+        self._notify_mutation("freeze", nodes=tuple(sorted(frozen)))
 
     def unfreeze(self, nodes: Iterable[int]) -> None:
         """Let crashed ``nodes`` rejoin the computation."""
-        self._frozen.difference_update(nodes)
+        thawed = tuple(nodes)
+        self._frozen.difference_update(thawed)
         self._round_pending = None
         self._invalidate_enabled_view()
+        self._notify_mutation("unfreeze", nodes=tuple(sorted(thawed)))
+
+    def replace_node(self, node: int, values: Mapping[str, object]) -> None:
+        """Overwrite one processor's whole local state (crash-rejoin events).
+
+        Delegates to
+        :meth:`~repro.runtime.configuration.Configuration.replace_node` -- the
+        write is journaled, so the incremental enabled-set folds it in like
+        any other dirty-frontier entry -- and notifies observers, which a
+        direct ``scheduler.configuration.replace_node`` call would bypass.
+        """
+        self.configuration.replace_node(node, values)
+        self._notify_mutation(
+            "replace_node", node=node, state=self.configuration.state_of(node)
+        )
 
     @property
     def frozen_nodes(self) -> frozenset[int]:

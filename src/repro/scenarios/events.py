@@ -21,13 +21,15 @@ application time, from the run's random stream -- so one scenario object is
 reusable across every network, protocol, daemon and seed of a campaign grid.
 
 Every event mutates the run exclusively through the scheduler's journaled
-mutation paths -- :meth:`~repro.runtime.scheduler.Scheduler.set_configuration`
+mutation seams -- :meth:`~repro.runtime.scheduler.Scheduler.set_configuration`
 and :meth:`~repro.runtime.scheduler.Scheduler.set_network` invalidate the
-incremental enabled-set wholesale, while ``freeze``/``unfreeze`` and direct
-:meth:`~repro.runtime.configuration.Configuration.replace_node` writes feed
-its dirty frontier -- so the incremental scheduler core stays bit-identical
+incremental enabled-set wholesale, while ``freeze``/``unfreeze`` and
+:meth:`~repro.runtime.scheduler.Scheduler.replace_node` writes feed its
+dirty frontier -- so the incremental scheduler core stays bit-identical
 to the full scan under any scenario (the equivalence property test drives
-every library scenario through both paths).
+every library scenario through both paths), and every mutation reaches the
+observers' ``on_mutation`` hook, which is what makes a recorded scenario
+execution replayable.
 """
 
 from __future__ import annotations
@@ -153,7 +155,7 @@ class CrashRejoin(ScenarioEvent):
                 consumed += 1
         finally:
             scheduler.unfreeze((victim,))
-        scheduler.configuration.replace_node(
+        scheduler.replace_node(
             victim, scheduler.protocol.random_state(scheduler.network, victim, rng)
         )
         return EventOutcome(
@@ -221,7 +223,7 @@ class MultiCrash(ScenarioEvent):
         finally:
             scheduler.unfreeze(victims)
         for victim in victims:
-            scheduler.configuration.replace_node(
+            scheduler.replace_node(
                 victim, scheduler.protocol.random_state(scheduler.network, victim, rng)
             )
         return EventOutcome(

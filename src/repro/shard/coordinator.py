@@ -51,7 +51,7 @@ from repro.runtime.arrayview import (
 )
 from repro.runtime.configuration import Configuration
 from repro.runtime.daemon import Daemon, SynchronousDaemon
-from repro.runtime.observers import Observer
+from repro.runtime.observers import Observer, dispatch_safely
 from repro.runtime.protocol import Protocol
 from repro.runtime.scheduler import Scheduler
 from repro.shard.partition import DEFAULT_STRATEGY, Partition, partition_network
@@ -243,6 +243,19 @@ class ShardedScheduler(Scheduler):
         if mode not in MODES:
             raise ShardError(f"unknown shard mode {mode!r}; choose from {MODES}")
         self.mode = mode
+        # Lamport-style causal stamping of the coordinator<->worker message
+        # traffic, observable through the ``on_exchange`` observer hook.  The
+        # stream is hot-path (every frontier exchange), so it is dispatched
+        # only to observers that declare ``wants_exchanges`` (the flight
+        # recorder does); with no tap registered, ``_command`` pays one
+        # truthiness check.
+        self._lamport = 0
+        self._worker_clocks: dict[int, int] = {}
+        self._exchange_taps: list[Observer] = [
+            observer
+            for observer in self._observers
+            if getattr(observer, "wants_exchanges", False)
+        ]
         #: Optional :class:`repro.lint.racecheck.ShardRaceChecker`; when set,
         #: every frontier exchange is followed by a mirror audit and every
         #: execute fan-out by a write-ownership audit.
@@ -365,6 +378,15 @@ class ShardedScheduler(Scheduler):
         """
         if self._closed:
             raise ShardError("sharded scheduler already closed")
+        taps = self._exchange_taps
+        sent_stamps: dict[int, int] | None = None
+        if taps:
+            # Lamport send events: every outbound message ticks the
+            # coordinator clock before any reply is received.
+            sent_stamps = {}
+            for index in messages:
+                self._lamport += 1
+                sent_stamps[index] = self._lamport
         for index, message in messages.items():
             self._shards[index].send(message)
         answers: dict[int, Any] = {}
@@ -388,7 +410,49 @@ class ShardedScheduler(Scheduler):
         if failure is not None:
             self.close()
             raise failure
+        if taps and sent_stamps is not None:
+            self._record_exchanges(messages, answers, sent_stamps)
         return answers
+
+    def _record_exchanges(
+        self,
+        messages: Mapping[int, tuple],
+        answers: Mapping[int, Any],
+        sent_stamps: Mapping[int, int],
+    ) -> None:
+        """Stamp and publish one exchange record per coordinator<->worker
+        round trip.
+
+        The worker side of the protocol is strictly request/reply, so its
+        Lamport events (receive the command, send the answer) are fully
+        determined coordinator-side: the per-shard clock merges the send
+        stamp, ticks twice, and merges back into the coordinator clock on
+        receipt.  Cross-shard ordering is recoverable from the stamps alone
+        because every message flows through the coordinator.
+        """
+        for index, message in messages.items():
+            worker_clock = max(self._worker_clocks.get(index, 0), sent_stamps[index]) + 2
+            self._worker_clocks[index] = worker_clock
+            self._lamport = max(self._lamport, worker_clock) + 1
+            payload = message[1] if len(message) > 1 else None
+            exchange = {
+                "command": message[0],
+                "shard": index,
+                "sent": len(payload) if hasattr(payload, "__len__") else None,
+                "lamport_sent": sent_stamps[index],
+                "lamport_worker": worker_clock,
+                "lamport_received": self._lamport,
+            }
+            answer = answers.get(index)
+            if hasattr(answer, "__len__"):
+                exchange["received"] = len(answer)
+            dispatch_safely(self._exchange_taps, "on_exchange", self, exchange)
+
+    def add_observer(self, observer: Observer) -> None:
+        """Register ``observer``; exchange-stream taps self-select here too."""
+        super().add_observer(observer)
+        if getattr(observer, "wants_exchanges", False):
+            self._exchange_taps.append(observer)
 
     def _states_payload(self, nodes: Iterable[int]) -> dict[int, Mapping[str, Any]]:
         # peek_state (no deep copy): the payload is pickled onto the pipe

@@ -293,6 +293,91 @@ def test_engine_registry_rows_are_identical(protocol, daemon):
     assert reference["converged"]
 
 
+# ---------------------------------------------------------------------------
+# Replay fidelity: a recorded run must replay byte-identically
+# ---------------------------------------------------------------------------
+def _record_and_replay(
+    protocol_key: str,
+    daemon: str,
+    seed: int,
+    n: int,
+    tmp_path,
+    shards: int | None = None,
+    max_steps: int = 150,
+):
+    """Record a run with the flight recorder, replay it, assert fidelity.
+
+    The replay re-executes on the plain incremental scheduler regardless of
+    the recording engine (the lockstep grids above hold the engines
+    bit-identical), substituting the recorded daemon selections; every
+    replayed :class:`StepRecord`, the metrics and the final configuration
+    must match the log exactly.
+    """
+    from repro.obs import FlightRecorder
+    from repro.replay import ReplayRun
+
+    factory, family = PROTOCOLS[protocol_key]
+    log_path = tmp_path / f"{protocol_key}-{daemon}-{shards}.flight.jsonl"
+    recorder = FlightRecorder(log_path)
+    network = generators.family(family, n, seed=seed)
+    if shards is None:
+        scheduler = Scheduler(
+            network,
+            factory(),
+            daemon=make_daemon(daemon),
+            seed=seed,
+            observers=(recorder,),
+        )
+    else:
+        scheduler = ShardedScheduler(
+            network,
+            factory(),
+            daemon=make_daemon(daemon),
+            seed=seed,
+            shards=shards,
+            mode="inline",
+            observers=(recorder,),
+        )
+    try:
+        for _ in range(max_steps):
+            if scheduler.step() is None:
+                break
+    finally:
+        closer = getattr(scheduler, "close", None)
+        if closer is not None:
+            closer()
+        recorder.close()
+    context = f"({protocol_key}, daemon={daemon}, shards={shards})"
+    report = ReplayRun(log_path, protocol=factory()).run()
+    assert report.verified, (
+        f"replay diverged {context}: "
+        + (report.divergence.format() if report.divergence else report.final_detail or "")
+    )
+    assert report.steps_replayed == scheduler.steps_executed, context
+    assert report.final_ok is True, (context, report.final_detail)
+    assert report.metrics_ok is True, context
+    return report
+
+
+@pytest.mark.parametrize("daemon", DAEMONS)
+@pytest.mark.parametrize("protocol_key", sorted(PROTOCOLS))
+def test_replayed_run_is_byte_identical_for_every_substrate_and_daemon(
+    protocol_key, daemon, tmp_path
+):
+    """Record -> replay fidelity across the whole substrate x daemon grid."""
+    _record_and_replay(protocol_key, daemon, seed=11, n=7, tmp_path=tmp_path)
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+@pytest.mark.parametrize("protocol_key", sorted(PROTOCOLS))
+def test_replayed_sharded_run_is_byte_identical(protocol_key, shards, tmp_path):
+    """Sharded recordings (k in {1, 2, 4}, exchange entries and all) replay
+    byte-identically on the single-process core."""
+    _record_and_replay(
+        protocol_key, "distributed", seed=11, n=7, tmp_path=tmp_path, shards=shards
+    )
+
+
 @pytest.mark.parametrize("shards", (None,) + SHARD_COUNTS)
 @pytest.mark.parametrize("scenario_name", scenario_names())
 def test_scenario_executions_are_identical_across_cores(scenario_name, shards):

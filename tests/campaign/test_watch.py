@@ -197,3 +197,39 @@ def test_shard_status_table_covers_grid_and_charges_stale():
 
     single = _shard_status_table(TINY_GRID, stored, 1, 2)
     assert len(single) == 1 and single[0]["shard"] == "1/2"
+
+
+def test_cli_watch_once_renders_a_single_snapshot(tmp_path, capsys):
+    store = ResultStore(tmp_path / "once.jsonl")
+    run_grid(TINY_GRID, store=store)
+    code = campaign_main(
+        [
+            "watch",
+            "--out", str(store.path),
+            "--protocol", "dftno", "--family", "ring",
+            "--sizes", "5,6", "--trials", "1", "--seed", "11",
+            "--once",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    # Exactly one frame, never cleared: --once is for pipes and CI logs.
+    assert out.count("campaign watch --") == 1
+    assert CLEAR_SCREEN not in out
+    assert "progress: 2/2 tasks (100%)" in out
+
+
+def test_cli_watch_once_overrides_iterations(tmp_path, capsys):
+    store = ResultStore(tmp_path / "once2.jsonl")
+    run_grid(TINY_GRID, store=store)
+    code = campaign_main(
+        [
+            "watch",
+            "--out", str(store.path),
+            "--protocol", "dftno", "--family", "ring",
+            "--sizes", "5,6", "--trials", "1", "--seed", "11",
+            "--once", "--iterations", "5", "--interval", "0.01",
+        ]
+    )
+    assert code == 0
+    assert capsys.readouterr().out.count("campaign watch --") == 1

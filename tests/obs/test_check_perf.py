@@ -149,6 +149,48 @@ def test_load_history_skips_garbage(tmp_path):
     assert check_perf.load_history(tmp_path / "missing.jsonl", "x") == []
 
 
+def test_noncomparable_history_lines_are_named_with_file_and_line(tmp_path, capsys):
+    """A phase-incomparable line is reported as history.jsonl:N with a reason."""
+    legacy = {"benchmark": "scheduler_core", "speedup_by_n": {"60": 4.0}}
+    args = _write(tmp_path, _payload(), [_payload(), legacy, _payload()])
+    assert check_perf.main(args) == 0
+    out = capsys.readouterr().out
+    assert "warning: history.jsonl:2: not phase-comparable" in out
+    assert "no instrumentation block" in out
+
+
+def test_garbage_history_lines_are_named_with_file_and_line(tmp_path, capsys):
+    current_path = tmp_path / "current.json"
+    history_path = tmp_path / "history.jsonl"
+    current_path.write_text(json.dumps(_payload()))
+    history_path.write_text(
+        json.dumps(_payload()) + "\n{broken\n" + json.dumps(_payload()) + "\n"
+    )
+    args = ["--current", str(current_path), "--history", str(history_path)]
+    assert check_perf.main(args) == 0
+    out = capsys.readouterr().out
+    assert "warning: history.jsonl:2: not JSON" in out
+    assert "line skipped" in out
+
+
+def test_noncomparable_reason_names_the_first_missing_ingredient():
+    reason = check_perf.noncomparable_reason
+    assert reason({}) == "no instrumentation block"
+    assert reason({"instrumentation": {}}) == "no usable calibration_seconds"
+    base = {"calibration_seconds": 0.02}
+    assert reason({**base, "instrumentation": {}}) == "no phases dict"
+    assert (
+        reason({**base, "instrumentation": {"phases": {"guard_eval": 0.1}}})
+        == "no usable step count"
+    )
+    assert (
+        reason(
+            {**base, "instrumentation": {"steps": 10, "phases": {"guard_eval": "x"}}}
+        )
+        == "no numeric phase timings"
+    )
+
+
 def test_normalized_phases_requires_all_inputs():
     assert check_perf.normalized_phases({}) is None
     assert check_perf.normalized_phases({"calibration_seconds": 0.02}) is None

@@ -85,3 +85,62 @@ def test_maybe_profile_dumps_a_profile_per_label(tmp_path):
         sum(range(1000))
     profiles = {p.name for p in tmp_path.glob("*.prof")}
     assert profiles == {"scheduler-abc.prof", "scheduler-abc.1.prof"}
+
+
+# ---------------------------------------------------------------------------
+# Chrome-trace (Perfetto) export
+# ---------------------------------------------------------------------------
+def test_chrome_trace_maps_spans_to_complete_events(tmp_path):
+    from repro.obs.spans import export_chrome_trace, load_span_records, to_chrome_trace
+
+    path = tmp_path / "trace.spans.jsonl"
+    tracer = SpanTracer(JsonlSpanSink(str(path)))
+    with tracer.span("run", kind="run", engine="scheduler") as run_span:
+        with tracer.span("step", kind="step", parent=run_span, step=3):
+            sum(range(500))
+    tracer.close()
+
+    records = load_span_records(path)
+    trace = to_chrome_trace(records)
+    assert trace["displayTimeUnit"] == "ms"
+    events = {event["name"]: event for event in trace["traceEvents"]}
+    assert set(events) == {"run", "step"}
+    for event in events.values():
+        assert event["ph"] == "X" and event["pid"] == 1
+        assert event["dur"] >= 0 and event["ts"] >= 0
+    # Kinds land on fixed tracks so every export lines up the same way.
+    assert events["run"]["tid"] == 1
+    assert events["step"]["tid"] == 3
+    assert events["step"]["args"]["step"] == 3
+    assert events["step"]["args"]["parent"] == events["run"]["args"]["span"]
+
+    destination = tmp_path / "trace.json"
+    assert export_chrome_trace(path, destination) == 2
+    assert json.loads(destination.read_text())["traceEvents"]
+
+
+def test_chrome_trace_anomalies_become_instant_events():
+    from repro.obs.spans import to_chrome_trace
+
+    records = [
+        {"span": 1, "parent": None, "name": "stall", "kind": "anomaly",
+         "t_offset": 0.5, "seconds": 0.0, "detail": "no progress"},
+    ]
+    (event,) = to_chrome_trace(records)["traceEvents"]
+    assert event["ph"] == "i" and event["s"] == "t"
+    assert event["tid"] == 4  # the anomaly track
+    assert event["ts"] == 500000.0
+    assert event["args"]["detail"] == "no progress"
+
+
+def test_chrome_trace_loader_skips_partial_lines(tmp_path):
+    from repro.obs.spans import load_span_records
+
+    path = tmp_path / "torn.spans.jsonl"
+    path.write_text(
+        '{"span":1,"parent":null,"name":"a","kind":"run","t_offset":0.0,"seconds":0.1}\n'
+        '{"span":2,"parent":null,"na\n',
+        encoding="utf-8",
+    )
+    records = load_span_records(path)
+    assert [record["name"] for record in records] == ["a"]

@@ -1,0 +1,47 @@
+"""Shared fixtures for the flight-recorder / replay suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.dftno import build_dftno
+from repro.graphs import generators
+from repro.obs import FlightRecorder
+from repro.runtime.daemon import make_daemon
+from repro.runtime.scheduler import Scheduler
+
+
+def record_run(
+    path,
+    protocol=None,
+    daemon: str = "distributed",
+    n: int = 6,
+    seed: int = 11,
+    max_steps: int = 120,
+    spec=None,
+):
+    """Record a small run to ``path``; returns (scheduler, live step records)."""
+    recorder = FlightRecorder(path, spec=spec)
+    scheduler = Scheduler(
+        generators.random_connected(n, extra_edge_probability=0.3, seed=seed),
+        protocol if protocol is not None else build_dftno(),
+        daemon=make_daemon(daemon),
+        seed=seed,
+        observers=(recorder,),
+    )
+    records = []
+    for _ in range(max_steps):
+        record = scheduler.step()
+        if record is None:
+            break
+        records.append(record)
+    recorder.close()
+    return scheduler, records
+
+
+@pytest.fixture
+def recorded_log(tmp_path):
+    """A clean recorded dftno run: (log path, scheduler, live records)."""
+    path = tmp_path / "run.flight.jsonl"
+    scheduler, records = record_run(path)
+    return path, scheduler, records

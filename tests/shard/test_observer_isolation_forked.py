@@ -1,0 +1,128 @@
+"""Observer fault isolation when the engine runs forked shard workers.
+
+The single-process isolation contract (``dispatch_safely`` disables a raising
+observer after one warning, the run is unaffected) is pinned in
+``tests/obs/test_observer_isolation.py``.  These tests pin the part only real
+processes can get wrong: an observer that raises *between* the coordinator's
+worker round-trips must not wedge or kill the forked workers, desync the
+pipe protocol, or change the measured result -- and a healthy observer (the
+flight recorder) riding the same run must keep recording a verifiable log.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro.api import NetworkSpec, RunSpec, run
+from repro.core.dftno import build_dftno
+from repro.graphs import generators
+from repro.obs import FlightRecorder
+from repro.replay import ReplayRun
+from repro.runtime.daemon import make_daemon
+from repro.runtime.observers import Observer, ObserverFailureWarning
+from repro.runtime.scheduler import Scheduler
+from repro.shard import ShardedScheduler
+
+fork_available = "fork" in multiprocessing.get_all_start_methods()
+pytestmark = pytest.mark.skipif(
+    not fork_available, reason="fork start method unavailable on this platform"
+)
+
+
+class _ExplodingOnStep(Observer):
+    """Raises on the first step record, then (if ever called again) counts."""
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def on_step(self, source, record):
+        self.calls += 1
+        raise RuntimeError("observer bug in sharded run")
+
+
+class _ExplodingOnExchange(Observer):
+    """An exchange tap that raises mid-frontier-exchange."""
+
+    wants_exchanges = True
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def on_exchange(self, source, exchange):
+        self.calls += 1
+        raise RuntimeError("exchange tap bug")
+
+
+def test_forked_workers_survive_a_faulty_step_observer():
+    network = generators.random_connected(10, extra_edge_probability=0.3, seed=6)
+    plain = Scheduler(
+        network, build_dftno(), daemon=make_daemon("distributed"), seed=6
+    )
+    clean = plain.run_until_legitimate(max_steps=500)
+    bad = _ExplodingOnStep()
+    with ShardedScheduler(
+        network,
+        build_dftno(),
+        daemon=make_daemon("distributed"),
+        seed=6,
+        shards=3,
+        mode="fork",
+        observers=[bad],
+    ) as sharded:
+        with pytest.warns(ObserverFailureWarning, match="observer bug in sharded run"):
+            watched = sharded.run_until_legitimate(max_steps=500)
+        # The raise happened between worker round-trips; every forked worker
+        # must still be alive and in protocol at the end of the run.
+        assert all(handle.process.is_alive() for handle in sharded._shards)
+        assert plain.configuration == sharded.configuration
+        assert plain.metrics == sharded.metrics
+    assert bad.calls == 1  # disabled after the first failure
+    assert watched.converged == clean.converged
+    assert watched.steps == clean.steps
+
+
+def test_faulty_exchange_tap_does_not_break_recording(tmp_path):
+    """A raising exchange tap is disabled; the flight recorder keeps going.
+
+    Exchange dispatch happens inside ``_command`` -- the tightest spot in the
+    coordinator/worker protocol -- so this is exactly where an unisolated
+    observer failure would desync the pipes.  The healthy recorder riding the
+    same list must still produce a log that replays byte-identically.
+    """
+    network = generators.random_connected(9, extra_edge_probability=0.3, seed=8)
+    log_path = tmp_path / "forked.flight.jsonl"
+    recorder = FlightRecorder(log_path)
+    bad = _ExplodingOnExchange()
+    with ShardedScheduler(
+        network,
+        build_dftno(),
+        daemon=make_daemon("synchronous"),
+        seed=8,
+        shards=3,
+        mode="fork",
+        observers=[bad, recorder],
+    ) as sharded:
+        with pytest.warns(ObserverFailureWarning, match="exchange tap bug"):
+            sharded.run_until_legitimate(max_steps=500)
+        assert all(handle.process.is_alive() for handle in sharded._shards)
+    recorder.close()
+    assert bad.calls == 1
+    report = ReplayRun(log_path).run()
+    assert report.verified, report.divergence and report.divergence.format()
+
+
+def test_sharded_engine_row_is_unchanged_by_a_faulty_observer():
+    spec = RunSpec(
+        engine="scheduler-sharded",
+        protocol="stno-bfs",
+        network=NetworkSpec(family="random_connected", size=9, seed=8),
+        daemon="distributed",
+        seed=21,
+        shards=2,
+    )
+    clean = run(spec)
+    with pytest.warns(ObserverFailureWarning):
+        watched = run(spec, observers=[_ExplodingOnStep()])
+    assert watched.row == clean.row
